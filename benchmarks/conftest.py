@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper in its reduced
+("quick") form and prints the resulting rows, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+both times the harness and shows the reproduced numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Sequence
+
+from repro.analysis.tables import format_table
+
+
+def run_once(benchmark, func: Callable, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(title: str, rows: Sequence[Mapping[str, object]]) -> None:
+    """Print a reproduced table under a banner."""
+    print(f"\n=== {title} ===")
+    print(format_table(list(rows)))

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 5 (UNet task set: throughput and LP DMR)."""
+
+from conftest import emit, run_once
+
+from repro.experiments import fig4_6_main
+
+
+def test_bench_fig5_unet(benchmark):
+    rows = run_once(benchmark, fig4_6_main.run, "unet", True)
+    emit("Figure 5: UNet scheduling results", rows)
+
+    best = fig4_6_main.best_row(rows)
+    upper_baseline = fig4_6_main.PAPER_HIGHLIGHTS["unet"]["upper_baseline"]
+    assert best["total_jps"] > upper_baseline * 0.98
+    assert best["policy"] == "MPS"
+    # UNet is the least sensitive network: LP DMR stays low across the sweep.
+    assert all(row["lp_dmr"] < 0.10 for row in rows)

@@ -1,0 +1,54 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These do not correspond to a paper figure; they document the cost of the GPU
+engine and of a full scheduling run so regressions in the simulator's own
+performance are visible.
+"""
+
+from conftest import run_once
+
+from repro.dnn.zoo import build_model
+from repro.experiments.runner import run_daris_scenario
+from repro.gpu.platform import GpuPlatform, PlatformConfig
+from repro.rt.taskset import table2_taskset
+from repro.scheduler.config import DarisConfig
+from repro.sim.simulator import Simulator
+
+
+def test_bench_engine_kernel_throughput(benchmark):
+    """Time to execute 2000 back-to-back stages through the GPU engine."""
+    model = build_model("resnet18")
+
+    def run_engine():
+        simulator = Simulator()
+        platform = GpuPlatform(
+            simulator, PlatformConfig(num_contexts=1, streams_per_context=1, oversubscription=1.0)
+        )
+        state = {"count": 0}
+
+        def relaunch(_kernel):
+            state["count"] += 1
+            if state["count"] < 2000:
+                submit()
+
+        def submit():
+            stage = model.stages[state["count"] % model.num_stages]
+            platform.launch(0, 0, stage.to_kernel_spec(), on_complete=relaunch)
+
+        submit()
+        simulator.run(max_events=200000)
+        return state["count"]
+
+    completed = run_once(benchmark, run_engine)
+    assert completed == 2000
+
+
+def test_bench_full_scheduling_run(benchmark):
+    """Wall-clock cost of one second of simulated DARIS scheduling."""
+    taskset = table2_taskset("resnet18")
+    config = DarisConfig.mps_config(6, 6.0)
+
+    result = run_once(
+        benchmark, run_daris_scenario, taskset, config, 1000.0
+    )
+    assert result.total_jps > 0

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Compare the STR, MPS and MPS+STR partitioning policies on one workload.
+
+Reproduces the design-space question of paper Sections II-A and VI-C: which
+concurrency mechanism should a deployment use?  The example sweeps a few
+representative configurations of each policy on the InceptionV3 task set and
+prints throughput and deadline behaviour, illustrating the paper's conclusion:
+MPS for throughput, STR for the most reliable deadlines.
+"""
+
+from repro import DarisConfig, run_daris_scenario, table2_taskset
+from repro.analysis import ascii_bar_chart, format_table
+
+
+def main() -> None:
+    taskset = table2_taskset("inceptionv3")
+    configs = [
+        DarisConfig.str_config(4),
+        DarisConfig.str_config(8),
+        DarisConfig.mps_config(4, 4.0),
+        DarisConfig.mps_config(8, 8.0),
+        DarisConfig.mps_config(8, 1.0),
+        DarisConfig.mps_str_config(4, 2, 4.0),
+    ]
+
+    rows = []
+    throughputs = {}
+    for config in configs:
+        result = run_daris_scenario(taskset, config, horizon_ms=3000.0, seed=3)
+        rows.append(
+            {
+                "config": config.label(),
+                "total_jps": round(result.total_jps, 1),
+                "hp_dmr": f"{result.hp_dmr:.2%}",
+                "lp_dmr": f"{result.lp_dmr:.2%}",
+                "lp_rejected": f"{result.metrics.low.rejection_rate:.1%}",
+            }
+        )
+        throughputs[config.label()] = result.total_jps
+
+    print(format_table(rows))
+    print()
+    print(ascii_bar_chart(throughputs, title="InceptionV3 throughput by configuration (JPS)"))
+    print(
+        "\npaper expectation: MPS with 8 contexts and full oversubscription is the"
+        " best configuration for InceptionV3 (~87% of its batching baseline of 446 JPS);"
+        " OS=1 drops throughput sharply; STR trades throughput for zero LP misses."
+    )
+
+
+if __name__ == "__main__":
+    main()

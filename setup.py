@@ -1,0 +1,4 @@
+"""Setuptools entry point (kept for environments without PEP 517 build isolation)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""DARIS reproduction: an oversubscribed spatio-temporal scheduler for real-time DNN inference.
+
+This package reproduces the system described in "DARIS: An Oversubscribed
+Spatio-Temporal Scheduler for Real-Time DNN Inference on GPUs" (DAC 2025) on a
+calibrated discrete-event GPU simulator.  The public surface most users need:
+
+* :func:`repro.dnn.build_model` — calibrated DNN workload models,
+* :func:`repro.rt.table2_taskset` — the paper's task sets,
+* :class:`repro.scheduler.DarisConfig` / :class:`repro.scheduler.DarisScheduler`
+  — the scheduler itself,
+* :func:`repro.experiments.run_daris_scenario` — one-call scenario execution,
+* :mod:`repro.experiments` — per-figure/table reproduction harnesses, and
+* :mod:`repro.baselines` — the batching / GSlice / Clockwork / RTGPU baselines.
+"""
+
+from repro.dnn import build_model, available_models
+from repro.rt import table2_taskset, mixed_taskset, make_taskset, Priority
+from repro.scheduler import DarisConfig, DarisScheduler, Policy
+from repro.experiments import run_daris_scenario
+from repro.sim import Simulator, RngFactory
+from repro.gpu import GpuPlatform, PlatformConfig, RTX_2080_TI
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_model",
+    "available_models",
+    "table2_taskset",
+    "mixed_taskset",
+    "make_taskset",
+    "Priority",
+    "DarisConfig",
+    "DarisScheduler",
+    "Policy",
+    "run_daris_scenario",
+    "Simulator",
+    "RngFactory",
+    "GpuPlatform",
+    "PlatformConfig",
+    "RTX_2080_TI",
+    "__version__",
+]

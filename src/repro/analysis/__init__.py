@@ -1,0 +1,15 @@
+"""Small analysis utilities: statistics, text tables and ASCII charts."""
+
+from repro.analysis.stats import normalize, percentile, summarize_series
+from repro.analysis.tables import format_table, format_comparison
+from repro.analysis.plotting import ascii_bar_chart, ascii_series
+
+__all__ = [
+    "normalize",
+    "percentile",
+    "summarize_series",
+    "format_table",
+    "format_comparison",
+    "ascii_bar_chart",
+    "ascii_series",
+]

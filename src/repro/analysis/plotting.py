@@ -1,0 +1,44 @@
+"""ASCII charts for quick terminal inspection of experiment results."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+
+def ascii_bar_chart(values: Mapping[str, float], width: int = 50, title: str = "") -> str:
+    """Horizontal bar chart of labelled values."""
+    if not values:
+        return "(no data)"
+    maximum = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, int(round(width * value / maximum))) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.2f}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    points: Sequence[Tuple[float, float]],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Scatter-style ASCII plot of an (x, y) series."""
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][column] = "*"
+    lines = [title] if title else []
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"x: [{x_min:.1f}, {x_max:.1f}]  y: [{y_min:.2f}, {y_max:.2f}]")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Statistics helpers shared by the experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def normalize(values: Sequence[float], reference: float) -> list:
+    """Divide every value by ``reference`` (used for normalized-throughput plots)."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return [value / reference for value in values]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Percentile with an empty-input guard."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def summarize_series(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / min / max / p50 / p95 summary of a series."""
+    if not values:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0}
+    array = np.asarray(values, dtype=float)
+    return {
+        "mean": float(array.mean()),
+        "min": float(array.min()),
+        "max": float(array.max()),
+        "p50": float(np.percentile(array, 50)),
+        "p95": float(np.percentile(array, 95)),
+    }

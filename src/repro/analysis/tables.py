@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] = ()) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered: List[List[str]] = [[_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), max(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(value.ljust(width) for value, width in zip(line, widths)) for line in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def format_comparison(
+    rows: Sequence[Mapping[str, object]],
+    measured_key: str = "measured",
+    paper_key: str = "paper",
+) -> str:
+    """Render paper-vs-measured rows, adding a ratio column when both are numeric."""
+    augmented: List[Dict[str, object]] = []
+    for row in rows:
+        entry = dict(row)
+        measured = row.get(measured_key)
+        paper = row.get(paper_key)
+        if isinstance(measured, (int, float)) and isinstance(paper, (int, float)) and paper:
+            entry["ratio"] = f"{measured / paper:.2f}"
+        else:
+            entry["ratio"] = "-"
+        augmented.append(entry)
+    return format_table(augmented)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

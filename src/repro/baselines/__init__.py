@@ -1,0 +1,30 @@
+"""Baseline executors and schedulers the paper compares against.
+
+* :mod:`repro.baselines.single` — the *lower baseline*: one inference at a
+  time on the whole GPU (Table I ``min`` column).
+* :mod:`repro.baselines.batching_server` — the *upper baseline*: saturated
+  input batching on the whole GPU (Table I ``max`` column, Figure 1).
+* :mod:`repro.baselines.gslice` — a GSlice-like inference server: static
+  spatial partitions (no oversubscription), batching inside each partition,
+  no task priorities (Section VI-B comparison).
+* :mod:`repro.baselines.clockwork` — a Clockwork-like predictable server:
+  one DNN at a time, EDF, jobs that cannot finish before their deadline are
+  dropped up front.
+* :mod:`repro.baselines.rtgpu` — an RTGPU-like real-time scheduler: EDF with
+  admission but without task prioritization.
+"""
+
+from repro.baselines.single import SingleTenantExecutor
+from repro.baselines.batching_server import BatchingServer, saturated_batching_jps
+from repro.baselines.gslice import GSliceServer
+from repro.baselines.clockwork import ClockworkServer
+from repro.baselines.rtgpu import RtgpuScheduler
+
+__all__ = [
+    "SingleTenantExecutor",
+    "BatchingServer",
+    "saturated_batching_jps",
+    "GSliceServer",
+    "ClockworkServer",
+    "RtgpuScheduler",
+]

@@ -1,0 +1,182 @@
+"""Pure-batching upper baseline (Table I ``max`` column, Figure 1).
+
+The batching server accumulates incoming requests into fixed-size batches and
+executes one batch at a time on the whole GPU.  Its *saturated* throughput --
+requests always waiting, so every batch is full -- is the paper's upper
+baseline; the server can also be driven by periodic arrivals with deadlines to
+show why batching alone is problematic for real-time workloads (jobs wait for
+their batch to fill).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dnn.batching import batched_stage_specs
+from repro.dnn.model import DnnModel
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.platform import GpuPlatform, PlatformConfig
+from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.sim.simulator import Simulator
+
+
+def saturated_batching_jps(
+    model: DnnModel,
+    batch_size: int,
+    horizon_ms: float = 2000.0,
+    gpu: GpuSpec = RTX_2080_TI,
+    calibration: GpuCalibration = DEFAULT_CALIBRATION,
+) -> float:
+    """Measured throughput of back-to-back full batches on an idle GPU."""
+    server = BatchingServer(model, batch_size, gpu=gpu, calibration=calibration)
+    return server.run_saturated(horizon_ms)
+
+
+class BatchingServer:
+    """Executes one fixed-size batch at a time on the full GPU."""
+
+    def __init__(
+        self,
+        model: DnnModel,
+        batch_size: int,
+        gpu: GpuSpec = RTX_2080_TI,
+        calibration: GpuCalibration = DEFAULT_CALIBRATION,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.model = model
+        self.batch_size = batch_size
+        self.gpu = gpu
+        self.calibration = calibration
+        self.stages = batched_stage_specs(model, batch_size)
+        self.completed_jobs = 0
+        self.completed_batches = 0
+        self.batch_latencies_ms: List[float] = []
+
+    # ------------------------------------------------------------- saturated
+
+    def run_saturated(self, horizon_ms: float) -> float:
+        """Run with an always-full request queue; returns jobs per second."""
+        if horizon_ms <= 0:
+            raise ValueError("horizon must be positive")
+        simulator = Simulator()
+        platform = GpuPlatform(
+            simulator,
+            PlatformConfig(num_contexts=1, streams_per_context=1, oversubscription=1.0),
+            spec=self.gpu,
+            calibration=self.calibration,
+        )
+        self.completed_jobs = 0
+        self.completed_batches = 0
+        self.batch_latencies_ms = []
+
+        def launch_batch() -> None:
+            start_time = simulator.now
+            state = {"stage": 0}
+
+            def on_stage_done(_kernel) -> None:
+                state["stage"] += 1
+                if state["stage"] < len(self.stages):
+                    submit_stage()
+                    return
+                self.completed_batches += 1
+                self.completed_jobs += self.batch_size
+                self.batch_latencies_ms.append(simulator.now - start_time)
+                if simulator.now < horizon_ms:
+                    launch_batch()
+
+            def submit_stage() -> None:
+                stage = self.stages[state["stage"]]
+                platform.launch(0, 0, stage.to_kernel_spec(), on_complete=on_stage_done)
+
+            submit_stage()
+
+        launch_batch()
+        simulator.run_until(horizon_ms)
+        return 1000.0 * self.completed_jobs / horizon_ms
+
+    # ----------------------------------------------------------- rate-driven
+
+    def run_with_arrivals(
+        self,
+        arrival_rate_jps: float,
+        deadline_ms: float,
+        horizon_ms: float,
+        timeout_ms: Optional[float] = None,
+    ) -> dict:
+        """Drive the server with a steady request rate and per-request deadlines.
+
+        Requests are queued until ``batch_size`` of them are available (or the
+        optional ``timeout_ms`` forces a partial batch); the returned summary
+        reports throughput and the fraction of requests that finished after
+        their deadline — the effect the paper cites when arguing that real-time
+        inference cannot simply rely on batching.
+        """
+        if arrival_rate_jps <= 0 or deadline_ms <= 0 or horizon_ms <= 0:
+            raise ValueError("arrival rate, deadline and horizon must be positive")
+        simulator = Simulator()
+        platform = GpuPlatform(
+            simulator,
+            PlatformConfig(num_contexts=1, streams_per_context=1, oversubscription=1.0),
+            spec=self.gpu,
+            calibration=self.calibration,
+        )
+        pending: List[float] = []  # release times of queued requests
+        busy = {"running": False}
+        completed = {"count": 0, "missed": 0}
+        inter_arrival = 1000.0 / arrival_rate_jps
+
+        def maybe_launch(force: bool = False) -> None:
+            if busy["running"] or not pending:
+                return
+            if len(pending) < self.batch_size and not force:
+                return
+            batch = pending[: self.batch_size]
+            del pending[: len(batch)]
+            busy["running"] = True
+            scale = len(batch) / float(self.batch_size)
+            state = {"stage": 0}
+
+            def on_stage_done(_kernel) -> None:
+                state["stage"] += 1
+                if state["stage"] < len(self.stages):
+                    submit_stage()
+                    return
+                busy["running"] = False
+                for release in batch:
+                    completed["count"] += 1
+                    if simulator.now > release + deadline_ms:
+                        completed["missed"] += 1
+                maybe_launch(force=False)
+
+            def submit_stage() -> None:
+                stage = self.stages[state["stage"]]
+                spec = stage.to_kernel_spec()
+                if scale < 1.0:
+                    spec = spec.scaled(scale, 1.0, float(self.gpu.num_sms))
+                platform.launch(0, 0, spec, on_complete=on_stage_done)
+
+            submit_stage()
+
+        def on_arrival(simulator_now: float) -> None:
+            pending.append(simulator_now)
+            maybe_launch(force=False)
+            if timeout_ms is not None:
+                simulator.schedule_after(
+                    timeout_ms, lambda _sim: maybe_launch(force=True), label="batch-timeout"
+                )
+
+        next_time = 0.0
+        while next_time <= horizon_ms:
+            simulator.schedule_at(
+                next_time, lambda _sim: on_arrival(_sim.now), priority=-1, label="request"
+            )
+            next_time += inter_arrival
+        simulator.run_until(horizon_ms)
+
+        miss_rate = completed["missed"] / completed["count"] if completed["count"] else 0.0
+        return {
+            "throughput_jps": 1000.0 * completed["count"] / horizon_ms,
+            "deadline_miss_rate": miss_rate,
+            "completed": completed["count"],
+        }

@@ -1,0 +1,141 @@
+"""Clockwork-like predictable inference server.
+
+Clockwork (Gujarati et al., OSDI 2020) achieves predictable latency by
+executing exactly one DNN at a time, relying on the resulting deterministic
+execution times to decide up front whether a request can meet its deadline;
+requests that cannot are dropped.  The paper cites it as the design point that
+trades throughput for predictability.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dnn.model import DnnModel
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.platform import GpuPlatform, PlatformConfig
+from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.rt.taskset import TaskSetSpec
+from repro.sim.simulator import Simulator
+
+
+@dataclass(order=True)
+class _QueuedRequest:
+    deadline: float
+    seq: int
+    release: float = field(compare=False)
+    model: DnnModel = field(compare=False, default=None)
+
+
+class ClockworkServer:
+    """One-at-a-time EDF executor with admission by predicted completion time."""
+
+    def __init__(
+        self,
+        gpu: GpuSpec = RTX_2080_TI,
+        calibration: GpuCalibration = DEFAULT_CALIBRATION,
+    ):
+        self.gpu = gpu
+        self.calibration = calibration
+        self.completed = 0
+        self.dropped = 0
+        self.missed = 0
+        self.response_times: List[float] = []
+
+    def run_taskset(self, taskset: TaskSetSpec, horizon_ms: float) -> Dict[str, float]:
+        """Serve a periodic task set; returns throughput, drop and miss rates."""
+        if horizon_ms <= 0:
+            raise ValueError("horizon must be positive")
+        simulator = Simulator()
+        platform = GpuPlatform(
+            simulator,
+            PlatformConfig(num_contexts=1, streams_per_context=1, oversubscription=1.0),
+            spec=self.gpu,
+            calibration=self.calibration,
+        )
+        self.completed = 0
+        self.dropped = 0
+        self.missed = 0
+        self.response_times = []
+
+        queue: List[_QueuedRequest] = []
+        busy = {"running": False, "until": 0.0}
+        seq = {"value": 0}
+        released = {"count": 0}
+
+        def predicted_latency(model: DnnModel) -> float:
+            # One DNN at a time on the whole GPU: the isolated latency *is*
+            # the (deterministic) worst case, which is Clockwork's core idea.
+            return model.isolated_latency_ms(self.calibration)
+
+        def start_next() -> None:
+            while queue and not busy["running"]:
+                request = heapq.heappop(queue)
+                latency = predicted_latency(request.model)
+                if simulator.now + latency > request.deadline + 1e-9:
+                    self.dropped += 1
+                    continue
+                busy["running"] = True
+                state = {"stage": 0}
+
+                def on_stage_done(_kernel, request=request, state=state) -> None:
+                    state["stage"] += 1
+                    if state["stage"] < request.model.num_stages:
+                        submit_stage(request, state)
+                        return
+                    busy["running"] = False
+                    self.completed += 1
+                    response = simulator.now - request.release
+                    self.response_times.append(response)
+                    if simulator.now > request.deadline + 1e-9:
+                        self.missed += 1
+                    start_next()
+
+                def submit_stage(request=request, state=state) -> None:
+                    stage = request.model.stages[state["stage"]]
+                    platform.launch(
+                        0,
+                        0,
+                        stage.to_kernel_spec(),
+                        on_complete=lambda kernel: on_stage_done(kernel),
+                    )
+
+                submit_stage(request, state)
+                return
+
+        def on_release(model: DnnModel, release_time: float, deadline: float) -> None:
+            released["count"] += 1
+            seq["value"] += 1
+            heapq.heappush(
+                queue,
+                _QueuedRequest(deadline=deadline, seq=seq["value"], release=release_time, model=model),
+            )
+            start_next()
+
+        for task in taskset.tasks:
+            next_release = task.phase_ms
+            while next_release <= horizon_ms:
+                simulator.schedule_at(
+                    next_release,
+                    lambda _sim, task=task: on_release(
+                        task.model, _sim.now, _sim.now + task.relative_deadline_ms
+                    ),
+                    priority=-1,
+                    label=f"clockwork-release[{task.task_id}]",
+                )
+                next_release += task.period_ms
+        simulator.run_until(horizon_ms)
+
+        accepted = max(1, self.completed + self.missed)
+        return {
+            "throughput_jps": 1000.0 * self.completed / horizon_ms,
+            "drop_rate": self.dropped / max(1, released["count"]),
+            "deadline_miss_rate": self.missed / accepted,
+            "mean_response_ms": (
+                sum(self.response_times) / len(self.response_times)
+                if self.response_times
+                else 0.0
+            ),
+        }

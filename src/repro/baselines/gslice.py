@@ -1,0 +1,103 @@
+"""GSlice-like spatial-sharing inference server (paper Section VI-B).
+
+GSlice (Dhakal et al., SoCC 2020) controls spatial sharing by giving each
+model a fixed fraction of the GPU's SMs and batching requests inside each
+partition.  Compared to DARIS it has no oversubscription (partitions are
+isolated), no task priorities and no staging; its gain over pure batching is
+therefore modest (the paper quotes ~3.5 % for ResNet50).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dnn.batching import batched_stage_specs
+from repro.dnn.model import DnnModel
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.platform import GpuPlatform, PlatformConfig
+from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.sim.simulator import Simulator
+
+
+class GSliceServer:
+    """Static spatial partitions, one model per partition, batching inside each.
+
+    The partitions are realised as MPS contexts with ``OS = 1`` (no SM quota
+    overlap), which is exactly the isolation GSlice enforces through CUDA MPS
+    resource provisioning.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[DnnModel],
+        batch_sizes: Optional[Sequence[int]] = None,
+        gpu: GpuSpec = RTX_2080_TI,
+        calibration: GpuCalibration = DEFAULT_CALIBRATION,
+    ):
+        if not models:
+            raise ValueError("at least one model is required")
+        self.models = list(models)
+        if batch_sizes is None:
+            batch_sizes = [model.profile.preferred_batch_size for model in self.models]
+        if len(batch_sizes) != len(self.models):
+            raise ValueError("one batch size per model is required")
+        self.batch_sizes = list(batch_sizes)
+        self.gpu = gpu
+        self.calibration = calibration
+        self.completed_jobs: Dict[str, int] = {}
+
+    def run_saturated(self, horizon_ms: float) -> Dict[str, float]:
+        """Run every partition at saturation; returns per-model and total JPS."""
+        if horizon_ms <= 0:
+            raise ValueError("horizon must be positive")
+        simulator = Simulator()
+        num_partitions = len(self.models)
+        platform = GpuPlatform(
+            simulator,
+            PlatformConfig(
+                num_contexts=num_partitions,
+                streams_per_context=1,
+                oversubscription=1.0,
+            ),
+            spec=self.gpu,
+            calibration=self.calibration,
+        )
+        self.completed_jobs = {model.name: 0 for model in self.models}
+
+        def launch_batch(partition: int) -> None:
+            model = self.models[partition]
+            batch = self.batch_sizes[partition]
+            stages = batched_stage_specs(model, batch)
+            state = {"stage": 0}
+
+            def on_stage_done(_kernel) -> None:
+                state["stage"] += 1
+                if state["stage"] < len(stages):
+                    submit_stage()
+                    return
+                self.completed_jobs[model.name] += batch
+                if simulator.now < horizon_ms:
+                    launch_batch(partition)
+
+            def submit_stage() -> None:
+                stage = stages[state["stage"]]
+                platform.launch(partition, 0, stage.to_kernel_spec(), on_complete=on_stage_done)
+
+            submit_stage()
+
+        for partition in range(num_partitions):
+            launch_batch(partition)
+        simulator.run_until(horizon_ms)
+
+        results = {
+            name: 1000.0 * count / horizon_ms for name, count in self.completed_jobs.items()
+        }
+        results["total"] = sum(
+            value for key, value in results.items() if key != "total"
+        )
+        return results
+
+    @staticmethod
+    def reported_gain_over_batching() -> float:
+        """Throughput gain over pure batching reported by the GSlice paper (~3.5 %)."""
+        return 1.035

@@ -1,0 +1,61 @@
+"""RTGPU-like baseline: a real-time GPU scheduler without task prioritization.
+
+RTGPU (Zou et al., TPDS 2023) schedules hard-deadline parallel tasks with
+fine-grained utilization accounting, but — as the DARIS paper points out — it
+lacks task prioritization, so high- and low-priority tasks experience the same
+deadline miss behaviour (the paper quotes up to 11 % overall misses).  This
+baseline reuses the DARIS machinery with every priority-related feature
+disabled: a single EDF level across all tasks and no HP exemption from the
+admission test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.rt.metrics import ScenarioMetrics
+from repro.rt.taskset import TaskSetSpec
+from repro.scheduler.config import DarisConfig
+from repro.scheduler.daris import DarisScheduler
+from repro.sim.rng import RngFactory
+from repro.sim.simulator import Simulator
+
+
+class RtgpuScheduler:
+    """EDF-only multi-tenant scheduler (no HP/LP differentiation)."""
+
+    def __init__(
+        self,
+        base_config: DarisConfig,
+        gpu: GpuSpec = RTX_2080_TI,
+        calibration: GpuCalibration = DEFAULT_CALIBRATION,
+    ):
+        self.config = base_config.with_overrides(
+            fixed_priority_levels=False,
+            prioritize_last_stage=False,
+            boost_missed_predecessor=False,
+            hp_admission=True,
+        )
+        self.gpu = gpu
+        self.calibration = calibration
+
+    def run_taskset(
+        self,
+        taskset: TaskSetSpec,
+        horizon_ms: float,
+        seed: int = 0,
+        simulator: Optional[Simulator] = None,
+    ) -> ScenarioMetrics:
+        """Run the task set under pure EDF and return the scenario metrics."""
+        sim = simulator if simulator is not None else Simulator()
+        scheduler = DarisScheduler(
+            sim,
+            taskset,
+            self.config,
+            gpu=self.gpu,
+            calibration=self.calibration,
+            rng=RngFactory(seed),
+        )
+        return scheduler.run(horizon_ms)

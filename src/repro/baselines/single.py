@@ -1,0 +1,73 @@
+"""Single-tenant lower baseline: one inference at a time on the full GPU."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dnn.model import DnnModel
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.platform import GpuPlatform, PlatformConfig
+from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.sim.simulator import Simulator
+
+
+class SingleTenantExecutor:
+    """Runs back-to-back single inferences of one model on an otherwise idle GPU.
+
+    This reproduces the ``min`` column of Table I: the throughput of a single
+    CUDA stream with no co-location and no batching.
+    """
+
+    def __init__(
+        self,
+        model: DnnModel,
+        gpu: GpuSpec = RTX_2080_TI,
+        calibration: GpuCalibration = DEFAULT_CALIBRATION,
+    ):
+        self.model = model
+        self.gpu = gpu
+        self.calibration = calibration
+        self.completed_jobs = 0
+        self._horizon: Optional[float] = None
+
+    def run(self, horizon_ms: float) -> float:
+        """Execute jobs until ``horizon_ms`` and return the measured JPS."""
+        if horizon_ms <= 0:
+            raise ValueError("horizon must be positive")
+        simulator = Simulator()
+        platform = GpuPlatform(
+            simulator,
+            PlatformConfig(num_contexts=1, streams_per_context=1, oversubscription=1.0),
+            spec=self.gpu,
+            calibration=self.calibration,
+        )
+        self.completed_jobs = 0
+        self._horizon = horizon_ms
+
+        def launch_job() -> None:
+            remaining = {"stage": 0}
+
+            def on_stage_done(_kernel) -> None:
+                remaining["stage"] += 1
+                if remaining["stage"] < self.model.num_stages:
+                    submit_stage()
+                else:
+                    self.completed_jobs += 1
+                    if simulator.now < horizon_ms:
+                        launch_job()
+
+            def submit_stage() -> None:
+                stage = self.model.stages[remaining["stage"]]
+                platform.launch(0, 0, stage.to_kernel_spec(), on_complete=on_stage_done)
+
+            submit_stage()
+
+        launch_job()
+        simulator.run_until(horizon_ms)
+        return 1000.0 * self.completed_jobs / horizon_ms
+
+    def measured_latency_ms(self) -> float:
+        """Average single-job latency implied by the last run."""
+        if not self.completed_jobs or self._horizon is None:
+            raise RuntimeError("run() must complete at least one job first")
+        return self._horizon / self.completed_jobs

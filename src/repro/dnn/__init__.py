@@ -1,0 +1,51 @@
+"""DNN workload models calibrated against the paper's benchmark networks.
+
+The paper evaluates ResNet18, ResNet50, UNet and InceptionV3 (224x224x3
+inputs) on an RTX 2080 Ti.  This package describes each network as a list of
+layers, groups the layers into DARIS *stages* (the paper's synchronization
+boundaries), and converts stages into the GPU simulator's kernel
+specifications.  A per-network calibration profile anchors the model to the
+published Table I numbers (single-stream JPS, batched JPS, batching gain) and
+to the architectural traits the paper calls out (UNet wide and memory-heavy,
+InceptionV3 narrow with many small kernels).
+"""
+
+from repro.dnn.layer import LayerSpec, LayerKind, conv2d, pool2d, linear, elementwise, concat
+from repro.dnn.profiles import DnnProfile, PROFILES, get_profile
+from repro.dnn.stage import StageSpec, build_stages
+from repro.dnn.model import DnnModel, calibrate_model
+from repro.dnn.zoo import (
+    build_resnet18,
+    build_resnet50,
+    build_unet,
+    build_inceptionv3,
+    build_model,
+    available_models,
+)
+from repro.dnn.batching import batched_stage_specs, batching_throughput_curve, batched_latency_ms
+
+__all__ = [
+    "LayerSpec",
+    "LayerKind",
+    "conv2d",
+    "pool2d",
+    "linear",
+    "elementwise",
+    "concat",
+    "DnnProfile",
+    "PROFILES",
+    "get_profile",
+    "StageSpec",
+    "build_stages",
+    "DnnModel",
+    "calibrate_model",
+    "build_resnet18",
+    "build_resnet50",
+    "build_unet",
+    "build_inceptionv3",
+    "build_model",
+    "available_models",
+    "batched_stage_specs",
+    "batching_throughput_curve",
+    "batched_latency_ms",
+]

@@ -1,0 +1,149 @@
+"""Layer-level descriptions of DNNs.
+
+Layers are described with enough structure to derive *relative* compute cost
+(FLOPs) and *relative* width (how many SMs the layer's kernels can occupy).
+Absolute execution times are then calibrated per model against the paper's
+measured throughput (see :mod:`repro.dnn.model`), so the layer math only has
+to get the shape of the network right, not absolute GPU performance.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class LayerKind(enum.Enum):
+    """Supported layer families."""
+
+    CONV2D = "conv2d"
+    POOL2D = "pool2d"
+    LINEAR = "linear"
+    ELEMENTWISE = "elementwise"
+    CONCAT = "concat"
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer of a DNN.
+
+    Attributes:
+        name: layer name, unique within a model.
+        kind: layer family.
+        flops_m: forward-pass multiply-accumulate cost in MFLOPs.
+        output_elements: number of output activations, which determines how
+            many thread blocks the layer's kernels can spawn and therefore how
+            wide the layer is on the GPU.
+        memory_mb: activation + weight traffic in MB, used to derive the
+            memory intensity of the stage that contains the layer.
+        kernel_count: number of CUDA kernels the layer typically expands to
+            (convolution + bias + activation fusion patterns differ between
+            layer kinds).
+    """
+
+    name: str
+    kind: LayerKind
+    flops_m: float
+    output_elements: int
+    memory_mb: float
+    kernel_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.flops_m < 0:
+            raise ValueError(f"flops_m must be non-negative, got {self.flops_m}")
+        if self.output_elements <= 0:
+            raise ValueError("output_elements must be positive")
+        if self.kernel_count < 1:
+            raise ValueError("kernel_count must be >= 1")
+
+    @property
+    def relative_width(self) -> float:
+        """Relative GPU width of the layer (arbitrary units).
+
+        Width grows sub-linearly with the number of output elements: very
+        large activations saturate the GPU, tiny ones occupy only a few SMs.
+        """
+        return math.sqrt(self.output_elements)
+
+
+def conv2d(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    spatial: int,
+    kernel_size: int = 3,
+    stride: int = 1,
+    fused_bn_relu: bool = True,
+) -> LayerSpec:
+    """Convolution layer (optionally with fused batch-norm + ReLU)."""
+    out_spatial = max(1, spatial // stride)
+    output_elements = out_channels * out_spatial * out_spatial
+    flops_m = (
+        2.0 * in_channels * out_channels * kernel_size * kernel_size * out_spatial * out_spatial
+    ) / 1e6
+    weight_mb = (in_channels * out_channels * kernel_size * kernel_size * 4) / 1e6
+    activation_mb = (output_elements * 4) / 1e6
+    kernel_count = 1 if fused_bn_relu else 3
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.CONV2D,
+        flops_m=flops_m,
+        output_elements=output_elements,
+        memory_mb=weight_mb + activation_mb,
+        kernel_count=kernel_count,
+    )
+
+
+def pool2d(name: str, channels: int, spatial: int, stride: int = 2) -> LayerSpec:
+    """Max/average pooling layer."""
+    out_spatial = max(1, spatial // stride)
+    output_elements = channels * out_spatial * out_spatial
+    flops_m = (channels * spatial * spatial) / 1e6
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.POOL2D,
+        flops_m=flops_m,
+        output_elements=output_elements,
+        memory_mb=(output_elements * 4) / 1e6,
+        kernel_count=1,
+    )
+
+
+def linear(name: str, in_features: int, out_features: int) -> LayerSpec:
+    """Fully-connected layer."""
+    flops_m = (2.0 * in_features * out_features) / 1e6
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.LINEAR,
+        flops_m=flops_m,
+        output_elements=max(1, out_features),
+        memory_mb=(in_features * out_features * 4) / 1e6,
+        kernel_count=1,
+    )
+
+
+def elementwise(name: str, channels: int, spatial: int) -> LayerSpec:
+    """Element-wise layer (residual add, activation applied out of place, ...)."""
+    output_elements = channels * spatial * spatial
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.ELEMENTWISE,
+        flops_m=output_elements / 1e6,
+        output_elements=output_elements,
+        memory_mb=(2 * output_elements * 4) / 1e6,
+        kernel_count=1,
+    )
+
+
+def concat(name: str, channels: int, spatial: int) -> LayerSpec:
+    """Concatenation layer (UNet skip connections, Inception branch merges)."""
+    output_elements = channels * spatial * spatial
+    return LayerSpec(
+        name=name,
+        kind=LayerKind.CONCAT,
+        flops_m=output_elements / 1e6,
+        output_elements=output_elements,
+        memory_mb=(2 * output_elements * 4) / 1e6,
+        kernel_count=1,
+    )

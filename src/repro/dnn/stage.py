@@ -1,0 +1,86 @@
+"""DARIS stages: groups of consecutive layers bounded by synchronization points.
+
+The paper partitions DNNs at logical boundaries (ResNet into its four residual
+super-blocks) and dispatches one stage at a time, which is what enables
+coarse-grained preemption.  A :class:`StageSpec` aggregates the layers of a
+stage into a single unit of GPU work with a kernel count (for launch-overhead
+accounting) and a memory intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dnn.layer import LayerSpec
+from repro.gpu.kernel import KernelSpec
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a DNN as the scheduler sees it.
+
+    Attributes:
+        name: stage identifier, e.g. ``"resnet18/stage2"``.
+        index: position of the stage within its model (0-based).
+        work: calibrated compute demand in SM-milliseconds for batch size 1.
+        parallelism: calibrated number of SMs the stage's kernels occupy for
+            batch size 1.
+        num_kernels: number of CUDA kernel launches the stage issues.
+        memory_intensity: 0..1 weight for the contention model.
+    """
+
+    name: str
+    index: int
+    work: float
+    parallelism: float
+    num_kernels: int
+    memory_intensity: float
+
+    def isolated_duration_ms(self, available_sms: float) -> float:
+        """Execution time when the stage runs alone on ``available_sms`` SMs."""
+        return self.work / min(self.parallelism, available_sms)
+
+    def to_kernel_spec(self, label: str = "") -> KernelSpec:
+        """Convert to the GPU engine's kernel description (batch size 1)."""
+        return KernelSpec(
+            name=label or self.name,
+            work=self.work,
+            parallelism=self.parallelism,
+            num_launches=self.num_kernels,
+            memory_intensity=self.memory_intensity,
+        )
+
+
+def build_stages(
+    model_name: str,
+    layers: Sequence[LayerSpec],
+    boundaries: Sequence[int],
+) -> List[List[LayerSpec]]:
+    """Split ``layers`` into stages at the given boundary indices.
+
+    Args:
+        model_name: used only for error messages.
+        layers: all layers of the model, in execution order.
+        boundaries: indices (exclusive) where each stage ends; the last
+            boundary must equal ``len(layers)``.
+
+    Returns:
+        A list of per-stage layer lists.
+    """
+    if not boundaries:
+        raise ValueError(f"{model_name}: at least one stage boundary is required")
+    if sorted(boundaries) != list(boundaries):
+        raise ValueError(f"{model_name}: stage boundaries must be increasing")
+    if boundaries[-1] != len(layers):
+        raise ValueError(
+            f"{model_name}: last boundary {boundaries[-1]} must equal layer count {len(layers)}"
+        )
+    stages: List[List[LayerSpec]] = []
+    start = 0
+    for end in boundaries:
+        if end <= start:
+            raise ValueError(f"{model_name}: empty stage at boundary {end}")
+        stages.append(list(layers[start:end]))
+        start = end
+    return stages

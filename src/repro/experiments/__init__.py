@@ -1,0 +1,27 @@
+"""Experiment harness: one module per table / figure of the paper's evaluation.
+
+Every module exposes ``run(quick=True)`` returning a list of result rows
+(dictionaries) and a ``main()`` that prints the rows as a text table.  The
+``quick`` flag selects a reduced configuration grid and shorter simulation
+horizon so the benchmark suite finishes in minutes; ``quick=False`` runs the
+full grids used for EXPERIMENTS.md.
+
+==========================  =======================================
+Module                      Paper artefact
+==========================  =======================================
+``fig1_table1_batching``    Figure 1 and Table I (batching gains)
+``table2_tasksets``         Table II (task-set composition)
+``fig2_staging``            Figure 2 (staging + virtual deadlines)
+``fig4_6_main``             Figures 4-6 (main scheduling results)
+``fig7_mixed``              Figure 7 (mixed task set)
+``fig8_ablations``          Figure 8 (module contributions)
+``fig9_mret``               Figure 9 (execution time vs MRET)
+``fig10_batched``           Figure 10 (DARIS + batching)
+``fig11_overload``          Figure 11 (overload and HP:LP ratios)
+``sota_comparison``         Section VI-B (ResNet50 vs GSlice/batching)
+==========================  =======================================
+"""
+
+from repro.experiments.runner import ScenarioResult, run_daris_scenario
+
+__all__ = ["ScenarioResult", "run_daris_scenario"]

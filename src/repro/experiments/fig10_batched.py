@@ -1,0 +1,66 @@
+"""Figure 10: DARIS combined with input batching.
+
+Batch sizes 4 / 2 / 8 are used for ResNet18 / UNet / InceptionV3 respectively.
+For each network the experiment reports absolute throughput (Figure 10a-c),
+the gain relative to the equivalent un-batched configuration (Figure 10d-f)
+and the LP deadline miss rate (Figure 10g-i) across MPS configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.dnn.zoo import build_model
+from repro.experiments.runner import run_daris_scenario
+from repro.experiments.scenarios import horizon_ms, mps_configs
+from repro.rt.taskset import table2_taskset
+
+PAPER_GAIN_HINTS = {"resnet18": "moderate", "unet": "<= 18 %", "inceptionv3": ">= 55 %"}
+
+
+def run(model_name: str = "resnet18", quick: bool = True, seed: int = 1) -> List[Dict[str, object]]:
+    """Sweep MPS configurations with and without batching for one network."""
+    model = build_model(model_name)
+    batch_size = model.profile.preferred_batch_size
+    horizon = horizon_ms(quick)
+    unbatched = table2_taskset(model_name, model=model, batch_size=1)
+    batched = table2_taskset(model_name, model=model, batch_size=batch_size)
+
+    rows: List[Dict[str, object]] = []
+    configs = mps_configs(quick)
+    if quick:
+        configs = configs[:4]
+    for config in configs:
+        base = run_daris_scenario(unbatched, config, horizon, seed=seed)
+        with_batching = run_daris_scenario(batched, config, horizon, seed=seed)
+        base_jobs = base.total_jps
+        batched_jobs = with_batching.total_jps * batch_size  # jobs, not batches
+        rows.append(
+            {
+                "model": model_name,
+                "batch_size": batch_size,
+                "config": f"{config.num_contexts}x{config.streams_per_context}",
+                "oversubscription": config.oversubscription,
+                "unbatched_jps": round(base_jobs, 1),
+                "batched_jps": round(batched_jobs, 1),
+                "gain": round(batched_jobs / base_jobs, 2) if base_jobs else 0.0,
+                "lp_dmr_batched": round(with_batching.lp_dmr, 4),
+                "upper_baseline_jps": model.profile.batched_max_jps,
+            }
+        )
+    return rows
+
+
+def main(model_name: str = "resnet18", quick: bool = True) -> str:
+    """Run and render one panel set of Figure 10."""
+    rows = run(model_name, quick)
+    table = format_table(rows)
+    print(table)
+    print(f"paper gain hint for {model_name}: {PAPER_GAIN_HINTS[model_name]}")
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for name in ("resnet18", "unet", "inceptionv3"):
+        main(name, quick=False)

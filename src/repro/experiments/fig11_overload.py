@@ -1,0 +1,72 @@
+"""Figure 11: overloading and HP-to-LP task ratios.
+
+ResNet18 and UNet task sets are generated at full load and at 150 % overload
+with different fractions of the load assigned to HP tasks.  Three variants are
+compared, matching the paper:
+
+* **Full load** — demand equals the upper baseline; no deadline misses are
+  expected.
+* **Overload** — 150 % demand; HP tasks bypass the admission test, so once HP
+  demand alone exceeds capacity their miss rate rises sharply.
+* **Overload+HPA** — the admission test is also applied to HP tasks, trading
+  dropped HP jobs for (near) zero HP deadline misses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.dnn.zoo import build_model
+from repro.experiments.runner import run_daris_scenario
+from repro.experiments.scenarios import best_config_for, horizon_ms
+from repro.rt.taskset import ratio_taskset
+
+
+def run(quick: bool = True, seed: int = 1) -> List[Dict[str, object]]:
+    """One row per (model, HP fraction, load scenario)."""
+    horizon = horizon_ms(quick)
+    models = ["resnet18"] if quick else ["resnet18", "unet"]
+    hp_fractions = [1.0 / 3.0, 2.0 / 3.0] if quick else [1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0]
+    scenarios = [
+        ("full load", 1.0, False),
+        ("overload", 1.5, False),
+        ("overload+HPA", 1.5, True),
+    ]
+    rows: List[Dict[str, object]] = []
+    for model_name in models:
+        model = build_model(model_name)
+        config = best_config_for(model_name)
+        for hp_fraction in hp_fractions:
+            for label, load_factor, hpa in scenarios:
+                taskset = ratio_taskset(
+                    model_name, hp_fraction=hp_fraction, load_factor=load_factor, model=model
+                )
+                scenario_config = config.with_overrides(hp_admission=hpa)
+                result = run_daris_scenario(taskset, scenario_config, horizon, seed=seed)
+                upper = model.profile.batched_max_jps
+                rows.append(
+                    {
+                        "model": model_name,
+                        "hp_fraction": round(hp_fraction, 2),
+                        "scenario": label,
+                        "total_jps": round(result.total_jps, 1),
+                        "normalized_jps": round(result.total_jps / upper, 3),
+                        "hp_dmr": round(result.hp_dmr, 4),
+                        "lp_dmr": round(result.lp_dmr, 4),
+                        "hp_rejection": round(result.metrics.high.rejection_rate, 3),
+                        "lp_rejection": round(result.metrics.low.rejection_rate, 3),
+                    }
+                )
+    return rows
+
+
+def main(quick: bool = True) -> str:
+    """Run and render the Figure 11 reproduction."""
+    table = format_table(run(quick))
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(quick=False)

@@ -1,0 +1,74 @@
+"""Figure 1 / Table I: batching throughput of each DNN.
+
+For every benchmark network the single-stream throughput (Table I ``min``),
+the saturated batched throughput across batch sizes (Figure 1) and the
+resulting batching gain (Table I ``gain``) are measured on the simulated GPU
+using the lower / upper baseline executors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.baselines.batching_server import saturated_batching_jps
+from repro.baselines.single import SingleTenantExecutor
+from repro.dnn.zoo import available_models, build_model
+
+PAPER_TABLE1 = {
+    "resnet18": {"min_jps": 627.0, "max_jps": 1025.0, "gain": 1.63},
+    "resnet50": {"min_jps": 250.0, "max_jps": 433.0, "gain": 1.73},
+    "unet": {"min_jps": 241.0, "max_jps": 260.0, "gain": 1.08},
+    "inceptionv3": {"min_jps": 142.0, "max_jps": 446.0, "gain": 3.13},
+}
+
+BATCH_SIZES = [1, 2, 4, 8, 16, 32]
+
+
+def run(quick: bool = True) -> List[Dict[str, object]]:
+    """Measure the batching curve of every model; one row per (model, batch size)."""
+    horizon = 1000.0 if quick else 3000.0
+    batch_sizes = [1, 4, 16] if quick else BATCH_SIZES
+    rows: List[Dict[str, object]] = []
+    for name in available_models():
+        model = build_model(name)
+        single_jps = SingleTenantExecutor(model).run(horizon)
+        best_jps = single_jps
+        for batch in batch_sizes:
+            if batch == 1:
+                jps = single_jps
+            else:
+                jps = saturated_batching_jps(model, batch, horizon_ms=horizon)
+            best_jps = max(best_jps, jps)
+            rows.append(
+                {
+                    "model": name,
+                    "batch_size": batch,
+                    "measured_jps": round(jps, 1),
+                    "normalized": round(jps / single_jps, 2) if single_jps else 0.0,
+                }
+            )
+        paper = PAPER_TABLE1[name]
+        rows.append(
+            {
+                "model": name,
+                "batch_size": "gain",
+                "measured_jps": round(best_jps, 1),
+                "normalized": round(best_jps / single_jps, 2) if single_jps else 0.0,
+                "paper_min": paper["min_jps"],
+                "paper_max": paper["max_jps"],
+                "paper_gain": paper["gain"],
+            }
+        )
+    return rows
+
+
+def main(quick: bool = True) -> str:
+    """Run and render the Table I / Figure 1 reproduction."""
+    table = format_table(run(quick))
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(quick=False)

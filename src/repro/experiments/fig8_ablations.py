@@ -1,0 +1,61 @@
+"""Figure 8: contribution of the DARIS modules.
+
+DARIS is compared against four degraded variants of itself (No Staging, No
+Last, No Prior, No Fixed) on the ResNet18 task set under the best-throughput
+configuration.  The paper reports response-time ranges per priority
+(Figure 8a) and throughput normalized to full DARIS (Figure 8b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.experiments.runner import run_daris_scenario
+from repro.experiments.scenarios import best_config_for, horizon_ms
+from repro.rt.taskset import table2_taskset
+from repro.scheduler.ablations import ABLATIONS
+
+
+def run(quick: bool = True, seed: int = 1, model_name: str = "resnet18") -> List[Dict[str, object]]:
+    """One row per scheduler variant."""
+    taskset = table2_taskset(model_name)
+    base_config = best_config_for(model_name)
+    horizon = horizon_ms(quick)
+    rows: List[Dict[str, object]] = []
+    baseline_jps = None
+    for name, make_config in ABLATIONS.items():
+        config = make_config(base_config)
+        result = run_daris_scenario(taskset, config, horizon, seed=seed, label=name)
+        if name == "DARIS":
+            baseline_jps = result.total_jps
+        hp_stats = result.metrics.high.response_time_stats()
+        lp_stats = result.metrics.low.response_time_stats()
+        rows.append(
+            {
+                "variant": name,
+                "total_jps": round(result.total_jps, 1),
+                "normalized_jps": 0.0,
+                "hp_dmr": round(result.hp_dmr, 4),
+                "lp_dmr": round(result.lp_dmr, 4),
+                "hp_resp_mean_ms": round(hp_stats["mean"], 2),
+                "hp_resp_max_ms": round(hp_stats["max"], 2),
+                "lp_resp_mean_ms": round(lp_stats["mean"], 2),
+                "lp_resp_max_ms": round(lp_stats["max"], 2),
+            }
+        )
+    reference = baseline_jps or 1.0
+    for row in rows:
+        row["normalized_jps"] = round(row["total_jps"] / reference, 3)
+    return rows
+
+
+def main(quick: bool = True) -> str:
+    """Run and render the Figure 8 reproduction."""
+    table = format_table(run(quick))
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(quick=False)

@@ -1,0 +1,72 @@
+"""Shared scenario runner used by every experiment module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.rt.metrics import ScenarioMetrics
+from repro.rt.taskset import TaskSetSpec
+from repro.rt.trace import TraceRecorder
+from repro.scheduler.config import DarisConfig
+from repro.scheduler.daris import DarisScheduler
+from repro.sim.rng import RngFactory
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scheduling run: configuration label, metrics and optional trace."""
+
+    label: str
+    config: DarisConfig
+    metrics: ScenarioMetrics
+    trace: Optional[TraceRecorder] = None
+
+    @property
+    def total_jps(self) -> float:
+        """Total completed jobs per second."""
+        return self.metrics.total_jps
+
+    @property
+    def lp_dmr(self) -> float:
+        """Low-priority deadline miss rate."""
+        return self.metrics.low.deadline_miss_rate
+
+    @property
+    def hp_dmr(self) -> float:
+        """High-priority deadline miss rate."""
+        return self.metrics.high.deadline_miss_rate
+
+
+def run_daris_scenario(
+    taskset: TaskSetSpec,
+    config: DarisConfig,
+    horizon_ms: float,
+    seed: int = 1,
+    with_trace: bool = False,
+    gpu: GpuSpec = RTX_2080_TI,
+    calibration: GpuCalibration = DEFAULT_CALIBRATION,
+    label: Optional[str] = None,
+) -> ScenarioResult:
+    """Run one DARIS configuration against a task set and return the result."""
+    simulator = Simulator()
+    trace = TraceRecorder(enabled=with_trace)
+    scheduler = DarisScheduler(
+        simulator,
+        taskset,
+        config,
+        gpu=gpu,
+        calibration=calibration,
+        rng=RngFactory(seed),
+        trace=trace,
+    )
+    metrics = scheduler.run(horizon_ms)
+    return ScenarioResult(
+        label=label if label is not None else config.label(),
+        config=config,
+        metrics=metrics,
+        trace=trace if with_trace else None,
+    )

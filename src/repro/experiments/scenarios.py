@@ -1,0 +1,76 @@
+"""Configuration grids shared by the experiment modules.
+
+The paper sweeps 2-10 parallel DNNs (``Np = Nc * Ns``) under the three
+partitioning policies with oversubscription levels ``OS in {1, 1.5, 2, Nc}``.
+``main_grid`` reproduces that sweep; ``quick_grid`` is the reduced subset used
+by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.scheduler.config import DarisConfig, Policy
+
+
+def oversubscription_options(num_contexts: int, quick: bool = False) -> List[float]:
+    """The paper's OS options, clipped to the valid range for ``num_contexts``."""
+    options = [1.0, float(num_contexts)] if quick else [1.0, 1.5, 2.0, float(num_contexts)]
+    valid = sorted({min(max(option, 1.0), float(num_contexts)) for option in options})
+    return valid
+
+
+def str_configs(quick: bool = False) -> List[DarisConfig]:
+    """STR policy configurations (one context, 2..10 streams)."""
+    stream_counts = [2, 6, 10] if quick else [2, 3, 4, 6, 8, 10]
+    return [DarisConfig.str_config(count) for count in stream_counts]
+
+
+def mps_configs(quick: bool = False) -> List[DarisConfig]:
+    """MPS policy configurations (2..10 contexts, every OS option)."""
+    context_counts = [2, 6, 8] if quick else [2, 3, 4, 6, 8, 10]
+    configs: List[DarisConfig] = []
+    for count in context_counts:
+        for oversubscription in oversubscription_options(count, quick):
+            configs.append(DarisConfig.mps_config(count, oversubscription))
+    return configs
+
+
+def mps_str_configs(quick: bool = False) -> List[DarisConfig]:
+    """MPS+STR policy configurations (Nc x Ns with both > 1)."""
+    layouts = [(2, 2), (3, 2)] if quick else [(2, 2), (3, 2), (2, 3), (4, 2), (3, 3), (5, 2)]
+    configs: List[DarisConfig] = []
+    for num_contexts, streams in layouts:
+        for oversubscription in oversubscription_options(num_contexts, quick):
+            configs.append(
+                DarisConfig.mps_str_config(num_contexts, streams, oversubscription)
+            )
+    return configs
+
+
+def main_grid(quick: bool = False) -> List[DarisConfig]:
+    """The full Figures 4-6 configuration grid (all three policies)."""
+    return str_configs(quick) + mps_configs(quick) + mps_str_configs(quick)
+
+
+def best_config_for(model_name: str) -> DarisConfig:
+    """The per-DNN best-throughput configuration reported by the paper."""
+    key = model_name.lower()
+    if key == "inceptionv3":
+        return DarisConfig.mps_config(8, 8.0)
+    return DarisConfig.mps_config(6, 6.0)
+
+
+def worst_dmr_config() -> DarisConfig:
+    """The configuration the paper highlights as the most volatile (3x3 OS1)."""
+    return DarisConfig.mps_str_config(3, 3, 1.0)
+
+
+def horizon_ms(quick: bool = False) -> float:
+    """Simulation horizon used by the experiments."""
+    return 2500.0 if quick else 6000.0
+
+
+def policy_name(config: DarisConfig) -> str:
+    """Short policy name for report rows."""
+    return config.policy.value

@@ -1,0 +1,44 @@
+"""Table II: the evaluated task sets and their demanded load."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import format_table
+from repro.dnn.zoo import build_model
+from repro.rt.taskset import TABLE2, demanded_load_factor, table2_taskset
+
+
+def run(quick: bool = True) -> List[Dict[str, object]]:
+    """One row per Table II task set, including the implied overload factor."""
+    del quick  # the table is cheap to build either way
+    rows: List[Dict[str, object]] = []
+    for name, paper_row in TABLE2.items():
+        model = build_model(name)
+        taskset = table2_taskset(name, model=model)
+        rows.append(
+            {
+                "task_set": name,
+                "num_high": taskset.num_high,
+                "num_low": taskset.num_low,
+                "task_jps": paper_row.task_jps,
+                "total_demand_jps": round(taskset.total_demand_jps, 1),
+                "load_vs_upper_baseline": round(
+                    demanded_load_factor(taskset, model.profile.batched_max_jps), 2
+                ),
+                "paper_high": paper_row.num_high,
+                "paper_low": paper_row.num_low,
+            }
+        )
+    return rows
+
+
+def main(quick: bool = True) -> str:
+    """Run and render the Table II reproduction."""
+    table = format_table(run(quick))
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

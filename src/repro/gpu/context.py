@@ -1,0 +1,78 @@
+"""CUDA/MPS context model.
+
+A context owns an SM quota (possibly oversubscribed relative to the physical
+GPU), a set of streams, and a serial dispatcher that charges per-kernel launch
+overhead.  The engine asks each context which of its kernels are runnable and
+how many SMs they demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.gpu.kernel import KernelInstance, KernelState
+from repro.gpu.stream import Stream
+
+
+class Context:
+    """One MPS context with an SM quota and a set of streams."""
+
+    def __init__(self, context_id: int, sm_quota: float):
+        if sm_quota <= 0:
+            raise ValueError(f"sm_quota must be positive, got {sm_quota}")
+        self.context_id = context_id
+        self.sm_quota = float(sm_quota)
+        self.streams: List[Stream] = []
+        self.dispatcher_free_at: float = 0.0
+        self._next_stream_id = 0
+
+    def create_stream(self) -> Stream:
+        """Create and register a new stream in this context."""
+        stream = Stream(stream_id=self._next_stream_id, context_id=self.context_id)
+        self._next_stream_id += 1
+        self.streams.append(stream)
+        return stream
+
+    def stream(self, stream_id: int) -> Stream:
+        """Look up a stream by id."""
+        for stream in self.streams:
+            if stream.stream_id == stream_id:
+                return stream
+        raise KeyError(f"no stream {stream_id} in context {self.context_id}")
+
+    def running_kernels(self) -> List[KernelInstance]:
+        """Head kernels currently in the RUNNING state."""
+        running = []
+        for stream in self.streams:
+            head = stream.head
+            if head is not None and head.state is KernelState.RUNNING:
+                running.append(head)
+        return running
+
+    def idle_streams(self) -> List[Stream]:
+        """Streams with no queued or running work."""
+        return [stream for stream in self.streams if stream.is_idle]
+
+    def busy_stream_count(self) -> int:
+        """Number of streams with at least one kernel queued or running."""
+        return sum(1 for stream in self.streams if not stream.is_idle)
+
+    def queue_depth(self) -> int:
+        """Total kernels enqueued across all streams of this context."""
+        return sum(stream.depth for stream in self.streams)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Small status dictionary used by traces and debugging output."""
+        return {
+            "context_id": self.context_id,
+            "sm_quota": self.sm_quota,
+            "streams": len(self.streams),
+            "busy_streams": self.busy_stream_count(),
+            "queue_depth": self.queue_depth(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Context(id={self.context_id}, quota={self.sm_quota:.1f}, "
+            f"streams={len(self.streams)})"
+        )

@@ -1,0 +1,290 @@
+"""Event-driven GPU execution engine.
+
+The engine owns the contexts/streams/kernels, recomputes the SM allocation
+whenever the set of running kernels changes, and schedules the next kernel
+completion on the simulator.  Progress is tracked continuously: each running
+kernel has a remaining amount of work (SM-milliseconds) that decreases at a
+rate equal to its current SM allocation times its efficiency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.gpu.allocation import allocate_sms
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.context import Context
+from repro.gpu.kernel import KernelInstance, KernelSpec, KernelState
+from repro.gpu.spec import GpuSpec
+from repro.gpu.stream import Stream
+from repro.sim.simulator import Simulator
+
+_EPSILON_WORK = 1e-9
+_EPSILON_TIME = 1e-9
+
+
+class GpuEngine:
+    """Simulated GPU shared by all contexts of one experiment."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        spec: GpuSpec,
+        calibration: GpuCalibration = DEFAULT_CALIBRATION,
+        noise_rng: Optional[np.random.Generator] = None,
+    ):
+        self.simulator = simulator
+        self.spec = spec
+        self.calibration = calibration
+        self._noise_rng = noise_rng
+        self._contexts: Dict[int, Context] = {}
+        self._streams: Dict[int, Dict[int, Stream]] = {}
+        self._running: Dict[int, KernelInstance] = {}
+        self._last_update: float = simulator.now
+        self._completion_handle = None
+        self._next_context_id = 0
+        self._utilization_time_integral = 0.0
+        self._current_utilization = 0.0
+        self._current_pressure = 0.0
+        self._busy_time_start: Optional[float] = None
+        self._total_busy_time = 0.0
+        self.completed_kernels = 0
+
+    # ------------------------------------------------------------------ setup
+
+    def create_context(self, sm_quota: float) -> Context:
+        """Create a context with the given SM quota."""
+        context = Context(context_id=self._next_context_id, sm_quota=sm_quota)
+        self._next_context_id += 1
+        self._contexts[context.context_id] = context
+        self._streams[context.context_id] = {}
+        return context
+
+    def create_stream(self, context: Context) -> Stream:
+        """Create a stream inside ``context``."""
+        stream = context.create_stream()
+        self._streams[context.context_id][stream.stream_id] = stream
+        return stream
+
+    @property
+    def contexts(self) -> List[Context]:
+        """All contexts in creation order."""
+        return [self._contexts[cid] for cid in sorted(self._contexts)]
+
+    def context(self, context_id: int) -> Context:
+        """Look up a context by id."""
+        return self._contexts[context_id]
+
+    # ---------------------------------------------------------------- metrics
+
+    @property
+    def current_pressure(self) -> float:
+        """Most recent oversubscription pressure (>= 1.0 when contended)."""
+        return self._current_pressure
+
+    @property
+    def current_utilization(self) -> float:
+        """Most recent fraction of physical SMs allocated."""
+        return self._current_utilization
+
+    def average_utilization(self, since: float = 0.0) -> float:
+        """Time-weighted mean SM utilization since ``since`` (defaults to t=0)."""
+        horizon = self.simulator.now - since
+        if horizon <= 0:
+            return 0.0
+        self._accumulate_utilization()
+        return min(1.0, self._utilization_time_integral / (self.simulator.now * 1.0)) if since == 0.0 else min(
+            1.0, self._utilization_time_integral / horizon
+        )
+
+    def busy_time(self) -> float:
+        """Total time during which at least one kernel was running (ms)."""
+        total = self._total_busy_time
+        if self._busy_time_start is not None:
+            total += self.simulator.now - self._busy_time_start
+        return total
+
+    # ----------------------------------------------------------------- launch
+
+    def launch(
+        self,
+        stream: Stream,
+        spec: KernelSpec,
+        on_complete: Optional[Callable[[KernelInstance], None]] = None,
+    ) -> KernelInstance:
+        """Enqueue a kernel on ``stream`` and return its runtime instance.
+
+        The kernel starts executing once (a) it reaches the head of its stream
+        and (b) the context dispatcher has paid the launch overhead for all
+        CUDA kernels it represents.
+        """
+        kernel = KernelInstance(
+            spec=spec,
+            stream_id=stream.stream_id,
+            context_id=stream.context_id,
+            on_complete=on_complete,
+        )
+        kernel.enqueue_time = self.simulator.now
+        kernel.effective_work = spec.work
+        kernel.remaining_work = spec.work
+        became_head = stream.push(kernel)
+        if became_head:
+            self._begin_dispatch(kernel)
+        return kernel
+
+    def _begin_dispatch(self, kernel: KernelInstance) -> None:
+        """Charge launch overhead on the context dispatcher, then start the kernel."""
+        context = self._contexts[kernel.context_id]
+        launch_cost = (
+            self.calibration.dispatch_overhead_ms
+            + kernel.spec.num_launches * self.spec.launch_overhead_ms
+        )
+        start_at = max(self.simulator.now, context.dispatcher_free_at)
+        ready_at = start_at + launch_cost
+        context.dispatcher_free_at = ready_at
+        kernel.state = KernelState.DISPATCHING
+        kernel.dispatch_ready_time = ready_at
+        self.simulator.schedule_at(
+            ready_at,
+            lambda _sim, k=kernel: self._kernel_ready(k),
+            label=f"dispatch:{kernel.spec.name}",
+        )
+
+    def _kernel_ready(self, kernel: KernelInstance) -> None:
+        """Transition a dispatched kernel to RUNNING and replan allocations."""
+        if kernel.state is KernelState.COMPLETED:  # pragma: no cover - defensive
+            return
+        self._advance_progress()
+        kernel.state = KernelState.RUNNING
+        kernel.start_time = self.simulator.now
+        context = self._contexts[kernel.context_id]
+        concurrent = len(context.running_kernels()) + 1
+        sigma = self.calibration.noise_sigma(concurrent, self._current_pressure or 1.0)
+        kernel.noise_factor = self._sample_noise(sigma)
+        kernel.effective_work = kernel.spec.work * kernel.noise_factor
+        kernel.remaining_work = kernel.effective_work
+        self._running[kernel.uid] = kernel
+        self._replan()
+
+    def _sample_noise(self, sigma: float) -> float:
+        """Log-normal noise factor with unit mean (deterministic 1.0 without RNG)."""
+        if self._noise_rng is None or sigma <= 0:
+            return 1.0
+        draw = self._noise_rng.normal(0.0, sigma)
+        return math.exp(draw - 0.5 * sigma * sigma)
+
+    # -------------------------------------------------------------- execution
+
+    def _advance_progress(self) -> None:
+        """Decrease remaining work of running kernels for time elapsed since last update."""
+        now = self.simulator.now
+        elapsed = now - self._last_update
+        self._accumulate_utilization()
+        if elapsed > _EPSILON_TIME:
+            for kernel in self._running.values():
+                kernel.remaining_work = max(
+                    0.0, kernel.remaining_work - kernel.current_rate * elapsed
+                )
+        self._last_update = now
+
+    def _accumulate_utilization(self) -> None:
+        elapsed = self.simulator.now - self._last_update
+        if elapsed > 0:
+            self._utilization_time_integral += self._current_utilization * elapsed
+
+    def _replan(self) -> None:
+        """Recompute SM allocation and schedule the next completion event."""
+        if self._completion_handle is not None:
+            self._completion_handle.cancel()
+            self._completion_handle = None
+
+        # Track busy time for utilization-style reporting.
+        if self._running and self._busy_time_start is None:
+            self._busy_time_start = self.simulator.now
+        elif not self._running and self._busy_time_start is not None:
+            self._total_busy_time += self.simulator.now - self._busy_time_start
+            self._busy_time_start = None
+
+        if not self._running:
+            self._current_utilization = 0.0
+            self._current_pressure = 0.0
+            return
+
+        running_by_context: Dict[int, List] = {}
+        for kernel in self._running.values():
+            running_by_context.setdefault(kernel.context_id, []).append(
+                (kernel.uid, kernel.spec.parallelism)
+            )
+        quotas = {cid: ctx.sm_quota for cid, ctx in self._contexts.items()}
+        result = allocate_sms(self.spec.num_sms, quotas, running_by_context)
+        self._current_pressure = result.pressure
+        self._current_utilization = result.utilization
+
+        soonest: Optional[float] = None
+        for kernel in self._running.values():
+            allocation = max(
+                result.kernel_sms.get(kernel.uid, 0.0), self.calibration.min_rate_sms
+            )
+            concurrency = result.context_concurrency.get(kernel.context_id, 1)
+            efficiency = self.calibration.intra_efficiency(concurrency)
+            efficiency *= self.calibration.contention_efficiency(
+                result.pressure, kernel.spec.memory_intensity
+            )
+            kernel.allocated_sms = allocation
+            kernel.current_rate = allocation * efficiency
+            if kernel.current_rate > 0:
+                eta = kernel.remaining_work / kernel.current_rate
+                if soonest is None or eta < soonest:
+                    soonest = eta
+
+        if soonest is None:  # pragma: no cover - defensive
+            return
+        fire_at = self.simulator.now + max(soonest, 0.0)
+        self._completion_handle = self.simulator.schedule_at(
+            fire_at, lambda _sim: self._on_completion(), label="gpu-completion"
+        )
+
+    def _on_completion(self) -> None:
+        """Complete every kernel whose remaining work reached zero, then replan."""
+        self._completion_handle = None
+        self._advance_progress()
+        finished = [
+            kernel
+            for kernel in self._running.values()
+            if kernel.remaining_work <= _EPSILON_WORK
+        ]
+        if not finished:
+            self._replan()
+            return
+        for kernel in finished:
+            del self._running[kernel.uid]
+            kernel.state = KernelState.COMPLETED
+            kernel.finish_time = self.simulator.now
+            kernel.remaining_work = 0.0
+            self.completed_kernels += 1
+            stream = self._streams[kernel.context_id][kernel.stream_id]
+            popped = stream.pop_head()
+            if popped.uid != kernel.uid:  # pragma: no cover - defensive
+                raise RuntimeError("stream head does not match completed kernel")
+            next_kernel = stream.head
+            if next_kernel is not None:
+                self._begin_dispatch(next_kernel)
+        self._replan()
+        for kernel in finished:
+            if kernel.on_complete is not None:
+                kernel.on_complete(kernel)
+
+    # ------------------------------------------------------------------ query
+
+    def running_count(self) -> int:
+        """Number of kernels currently receiving SM allocation."""
+        return len(self._running)
+
+    def is_idle(self) -> bool:
+        """True when no kernel is queued, dispatching or running anywhere."""
+        if self._running:
+            return False
+        return all(ctx.queue_depth() == 0 for ctx in self._contexts.values())

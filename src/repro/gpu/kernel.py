@@ -1,0 +1,119 @@
+"""Kernel descriptions and runtime kernel state.
+
+A :class:`KernelSpec` is a static amount of GPU work.  The simulator usually
+executes DNN *stages* as one aggregated kernel (``num_launches`` records how
+many CUDA kernels the stage represents so the dispatcher can charge launch
+overheads), but nothing prevents launching individual fine-grained kernels.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class KernelState(enum.Enum):
+    """Lifecycle of a kernel inside the engine."""
+
+    QUEUED = "queued"  # in a stream, behind other kernels
+    DISPATCHING = "dispatching"  # head of its stream, waiting for the dispatcher
+    RUNNING = "running"  # receiving SM allocation
+    COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static description of a unit of GPU work.
+
+    Attributes:
+        name: human-readable identifier (e.g. ``"resnet18/stage2"``).
+        work: total compute demand in SM-milliseconds: a kernel with
+            ``work=10`` finishes in 1 ms when it holds 10 SMs at full
+            efficiency.
+        parallelism: maximum number of SMs the kernel can productively occupy
+            at once; narrow kernels (InceptionV3's parallel paths) have small
+            values and therefore leave SMs idle unless co-located or batched.
+        num_launches: number of CUDA kernel launches this spec stands for;
+            each launch costs ``GpuSpec.launch_overhead_ms`` on the owning
+            context's dispatcher.
+        memory_intensity: 0..1 weight describing how memory-bound the kernel
+            is; memory-bound kernels suffer more from oversubscription
+            contention (UNet is the memory-heavy model in the paper).
+    """
+
+    name: str
+    work: float
+    parallelism: float
+    num_launches: int = 1
+    memory_intensity: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError(f"work must be non-negative, got {self.work}")
+        if self.parallelism <= 0:
+            raise ValueError(f"parallelism must be positive, got {self.parallelism}")
+        if self.num_launches < 1:
+            raise ValueError(f"num_launches must be >= 1, got {self.num_launches}")
+        if not 0.0 <= self.memory_intensity <= 1.0:
+            raise ValueError(
+                f"memory_intensity must be within [0, 1], got {self.memory_intensity}"
+            )
+
+    @property
+    def isolated_duration_ms(self) -> float:
+        """Execution time when the kernel runs alone with all the SMs it can use."""
+        return self.work / self.parallelism
+
+    def scaled(self, work_scale: float, parallelism_scale: float, max_parallelism: float) -> "KernelSpec":
+        """Return a copy with work and parallelism scaled (used by batching)."""
+        return KernelSpec(
+            name=self.name,
+            work=self.work * work_scale,
+            parallelism=min(self.parallelism * parallelism_scale, max_parallelism),
+            num_launches=self.num_launches,
+            memory_intensity=self.memory_intensity,
+        )
+
+
+_instance_counter = itertools.count()
+
+
+@dataclass
+class KernelInstance:
+    """Runtime state of one launched kernel."""
+
+    spec: KernelSpec
+    stream_id: int
+    context_id: int
+    on_complete: Optional[Callable[["KernelInstance"], None]] = None
+    uid: int = field(default_factory=lambda: next(_instance_counter))
+    state: KernelState = KernelState.QUEUED
+
+    enqueue_time: float = 0.0
+    dispatch_ready_time: float = 0.0
+    start_time: float = 0.0
+    finish_time: float = 0.0
+
+    effective_work: float = 0.0
+    remaining_work: float = 0.0
+    noise_factor: float = 1.0
+    allocated_sms: float = 0.0
+    current_rate: float = 0.0
+
+    @property
+    def execution_time_ms(self) -> float:
+        """Wall-clock time from SM execution start to completion."""
+        return self.finish_time - self.start_time
+
+    @property
+    def service_time_ms(self) -> float:
+        """Wall-clock time from enqueue (launch call) to completion."""
+        return self.finish_time - self.enqueue_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KernelInstance({self.spec.name!r}, state={self.state.value}, "
+            f"remaining={self.remaining_work:.3f})"
+        )

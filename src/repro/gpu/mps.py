@@ -1,0 +1,56 @@
+"""MPS-style SM partitioning (paper Equation 9).
+
+All contexts receive an equal SM quota::
+
+    N_SM = ceil_even(OS * N_SM_max / N_c)
+
+where ``ceil_even`` rounds up to the nearest even integer, ``OS`` is the
+oversubscription level (``1 <= OS <= N_c``), and ``N_SM_max`` is the physical
+SM count.  ``OS = 1`` isolates contexts; ``OS = N_c`` lets every context see
+the whole GPU.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def ceil_even(value: float) -> int:
+    """Round ``value`` up to the nearest even integer (minimum 2)."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    rounded = math.ceil(value)
+    if rounded % 2 == 1:
+        rounded += 1
+    return max(2, rounded)
+
+
+def sm_quota(num_sms: int, num_contexts: int, oversubscription: float) -> int:
+    """Per-context SM quota following paper Equation 9.
+
+    The quota is capped at the physical SM count: a single context can never
+    address more SMs than the device has.
+    """
+    if num_contexts < 1:
+        raise ValueError(f"num_contexts must be >= 1, got {num_contexts}")
+    if not 1.0 <= oversubscription <= max(1.0, float(num_contexts)):
+        raise ValueError(
+            f"oversubscription must be within [1, num_contexts]={num_contexts}, "
+            f"got {oversubscription}"
+        )
+    quota = ceil_even(oversubscription * num_sms / num_contexts)
+    return min(quota, num_sms)
+
+
+def partition_quotas(num_sms: int, num_contexts: int, oversubscription: float) -> List[int]:
+    """Quotas for all contexts (equal by construction)."""
+    quota = sm_quota(num_sms, num_contexts, oversubscription)
+    return [quota] * num_contexts
+
+
+def total_oversubscription_ratio(num_sms: int, quotas: List[int]) -> float:
+    """Ratio of the summed quotas to the physical SM count (>= 1 when oversubscribed)."""
+    if num_sms <= 0:
+        raise ValueError("num_sms must be positive")
+    return sum(quotas) / float(num_sms)

@@ -1,0 +1,55 @@
+"""Static GPU hardware descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Immutable description of a GPU device.
+
+    Attributes:
+        name: marketing name of the device.
+        num_sms: number of streaming multiprocessors; the paper's RTX 2080 Ti
+            has 68.
+        sm_clock_mhz: boost clock; only used to document relative device
+            strength, the work unit of the simulator is already expressed in
+            SM-milliseconds on this device.
+        memory_bandwidth_gbps: peak memory bandwidth; informs how strongly
+            memory-intensive kernels suffer under contention.
+        launch_overhead_ms: per-kernel launch gap: CPU-side launch cost plus
+            the GPU-side scheduling gap between consecutive small kernels of
+            one stream.  For batch-1 inference through LibTorch these gaps are
+            in the 10-20 microsecond range per kernel and are the main reason
+            a single un-batched inference cannot keep the GPU busy; they can
+            only be reclaimed by other streams of the same context or, with
+            SM oversubscription, by other contexts.
+        mps_supported: whether MPS-style multi-context spatial partitioning is
+            available (embedded GPUs in the paper's discussion lack it).
+    """
+
+    name: str
+    num_sms: int
+    sm_clock_mhz: float = 1545.0
+    memory_bandwidth_gbps: float = 616.0
+    launch_overhead_ms: float = 0.015
+    mps_supported: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError(f"num_sms must be positive, got {self.num_sms}")
+        if self.launch_overhead_ms < 0:
+            raise ValueError("launch_overhead_ms must be non-negative")
+
+
+RTX_2080_TI = GpuSpec(name="NVIDIA GeForce RTX 2080 Ti", num_sms=68)
+
+JETSON_XAVIER = GpuSpec(
+    name="NVIDIA Jetson AGX Xavier",
+    num_sms=8,
+    sm_clock_mhz=1377.0,
+    memory_bandwidth_gbps=137.0,
+    launch_overhead_ms=0.025,
+    mps_supported=False,
+)

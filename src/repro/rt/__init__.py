@@ -1,0 +1,67 @@
+"""Real-time task model: tasks, jobs, stages, timing estimation and metrics.
+
+This package implements the DARIS task model of Section III of the paper:
+periodic tasks with implicit deadlines and two priority levels, divided into
+sequential stages, with MRET-based dynamic timing estimation, AFET-based
+offline initialization, utilization accounting, virtual deadlines, and the
+throughput / deadline-miss / response-time metrics used in the evaluation.
+"""
+
+from repro.rt.task import (
+    Priority,
+    TaskSpec,
+    Task,
+    Job,
+    StageInstance,
+    JobState,
+)
+from repro.rt.mret import MretEstimator, TaskTimingModel
+from repro.rt.afet import estimate_afet_analytic, profile_afet
+from repro.rt.utilization import (
+    task_utilization,
+    context_total_utilization,
+    context_priority_utilization,
+    remaining_utilization,
+)
+from repro.rt.deadlines import assign_virtual_deadlines, virtual_deadline_shares
+from repro.rt.taskset import (
+    TaskSetSpec,
+    make_taskset,
+    table2_taskset,
+    mixed_taskset,
+    ratio_taskset,
+    TABLE2,
+)
+from repro.rt.metrics import MetricsCollector, PriorityMetrics, ScenarioMetrics
+from repro.rt.trace import TraceRecorder, StageTraceRecord, JobTraceRecord
+
+__all__ = [
+    "Priority",
+    "TaskSpec",
+    "Task",
+    "Job",
+    "StageInstance",
+    "JobState",
+    "MretEstimator",
+    "TaskTimingModel",
+    "estimate_afet_analytic",
+    "profile_afet",
+    "task_utilization",
+    "context_total_utilization",
+    "context_priority_utilization",
+    "remaining_utilization",
+    "assign_virtual_deadlines",
+    "virtual_deadline_shares",
+    "TaskSetSpec",
+    "make_taskset",
+    "table2_taskset",
+    "mixed_taskset",
+    "ratio_taskset",
+    "TABLE2",
+    "MetricsCollector",
+    "PriorityMetrics",
+    "ScenarioMetrics",
+    "TraceRecorder",
+    "StageTraceRecord",
+    "JobTraceRecord",
+]

@@ -1,0 +1,126 @@
+"""Average Full-Load Execution Time (AFET) profiling (paper Section IV-A1).
+
+AFET is the offline, pessimistic initialization of the timing model: the
+target task is executed in one stream while the remaining streams run randomly
+chosen other tasks, and the average per-stage execution time is recorded.  It
+seeds the MRET estimators (Equation 10) and is replaced by measurements as
+soon as the online phase produces them.
+
+Two implementations are provided:
+
+* :func:`profile_afet` runs the measurement procedure on the simulated GPU,
+  mirroring the paper's methodology.
+* :func:`estimate_afet_analytic` computes a closed-form approximation (stage
+  work divided by its fair SM share under full load), useful for fast test
+  setups and for seeding very large experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dnn.model import DnnModel
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.platform import GpuPlatform, PlatformConfig
+from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.sim.simulator import Simulator
+
+
+def estimate_afet_analytic(
+    model: DnnModel,
+    sm_quota: float,
+    concurrent_jobs: int,
+    calibration: GpuCalibration = DEFAULT_CALIBRATION,
+    num_sms: Optional[int] = None,
+) -> List[float]:
+    """Closed-form AFET estimate per stage.
+
+    Under full load every co-resident kernel competes for SMs; each stage of
+    the target task receives roughly ``min(parallelism, quota,
+    num_sms / concurrent_jobs)`` SMs, degraded by the calibrated intra-context
+    and contention efficiencies.
+    """
+    if concurrent_jobs < 1:
+        raise ValueError("concurrent_jobs must be >= 1")
+    total_sms = float(num_sms if num_sms is not None else model.gpu.num_sms)
+    afets = []
+    for stage in model.stages:
+        fair_share = max(total_sms / concurrent_jobs, calibration.min_rate_sms)
+        allocation = min(stage.parallelism, sm_quota, fair_share)
+        pressure = max(1.0, concurrent_jobs * min(stage.parallelism, sm_quota) / total_sms)
+        efficiency = calibration.contention_efficiency(pressure, stage.memory_intensity)
+        afets.append(stage.work / (allocation * efficiency))
+    return afets
+
+
+def profile_afet(
+    target: DnnModel,
+    background: Sequence[DnnModel],
+    platform_config: PlatformConfig,
+    repetitions: int = 10,
+    gpu: GpuSpec = RTX_2080_TI,
+    calibration: GpuCalibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+) -> List[float]:
+    """Measure AFET per stage of ``target`` on the simulated GPU.
+
+    The target task runs its stages back to back in context 0 / stream 0 while
+    every other (context, stream) slot continuously executes stages drawn at
+    random from ``background``.  The mean measured duration per stage over
+    ``repetitions`` runs is returned.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    rng = np.random.default_rng(seed)
+    simulator = Simulator()
+    platform = GpuPlatform(simulator, platform_config, spec=gpu, calibration=calibration)
+
+    durations: Dict[int, List[float]] = {i: [] for i in range(target.num_stages)}
+    state = {"stage": 0, "repetition": 0, "done": False}
+
+    def launch_target(_kernel=None) -> None:
+        if _kernel is not None:
+            stage_index = state["stage"]
+            durations[stage_index].append(_kernel.execution_time_ms)
+            state["stage"] += 1
+            if state["stage"] >= target.num_stages:
+                state["stage"] = 0
+                state["repetition"] += 1
+                if state["repetition"] >= repetitions:
+                    state["done"] = True
+                    return
+        stage = target.stages[state["stage"]]
+        platform.launch(0, 0, stage.to_kernel_spec(), on_complete=launch_target)
+
+    def launch_background(context_index: int, stream_index: int) -> None:
+        def relaunch(_kernel) -> None:
+            if not state["done"]:
+                launch_background(context_index, stream_index)
+
+        if not background:
+            return
+        model = background[int(rng.integers(len(background)))]
+        stage = model.stages[int(rng.integers(model.num_stages))]
+        platform.launch(context_index, stream_index, stage.to_kernel_spec(), on_complete=relaunch)
+
+    for context_index in range(platform.num_contexts):
+        for stream_index in range(platform.streams_per_context):
+            if context_index == 0 and stream_index == 0:
+                continue
+            launch_background(context_index, stream_index)
+    launch_target()
+
+    # A generous horizon; the loop stops feeding work once done.
+    horizon = repetitions * target.num_stages * 200.0 + 1000.0
+    simulator.run_until(horizon)
+
+    afets: List[float] = []
+    for stage_index in range(target.num_stages):
+        samples = durations[stage_index][:repetitions]
+        if samples:
+            afets.append(float(np.mean(samples)))
+        else:  # pragma: no cover - only reachable with absurdly short horizons
+            afets.append(target.stages[stage_index].isolated_duration_ms(gpu.num_sms))
+    return afets

@@ -1,0 +1,49 @@
+"""Virtual deadline assignment (paper Equation 8 and Figure 2).
+
+Each stage of a job receives a share of the task's relative deadline
+proportional to its MRET; the absolute virtual deadline of stage ``j`` is the
+release time plus the cumulative share of stages ``1..j``.  Longer stages thus
+receive a larger slice of the deadline, and the last stage's virtual deadline
+coincides with the job's actual deadline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.rt.task import Job
+
+
+def virtual_deadline_shares(mret_per_stage: Sequence[float], relative_deadline: float) -> List[float]:
+    """Relative virtual deadlines ``D_{i,j}`` for one job (Equation 8).
+
+    When all MRETs are zero (no timing information at all) the deadline is
+    split uniformly so that the shares still sum to the relative deadline.
+    """
+    if relative_deadline <= 0:
+        raise ValueError("relative_deadline must be positive")
+    if not mret_per_stage:
+        raise ValueError("at least one stage is required")
+    if any(value < 0 for value in mret_per_stage):
+        raise ValueError("MRET values must be non-negative")
+    total = sum(mret_per_stage)
+    count = len(mret_per_stage)
+    if total <= 0:
+        return [relative_deadline / count] * count
+    return [relative_deadline * value / total for value in mret_per_stage]
+
+
+def assign_virtual_deadlines(job: Job) -> None:
+    """Assign absolute virtual deadlines to every stage of ``job`` in place.
+
+    Also records the MRET snapshot used for the assignment on each stage
+    instance so later analysis (Figure 9) can compare prediction with the
+    actually measured execution time.
+    """
+    mrets = [job.task.timing.stage_value(i) for i in range(job.num_stages)]
+    shares = virtual_deadline_shares(mrets, job.task.spec.relative_deadline_ms)
+    cumulative = job.release_time
+    for stage, share, mret in zip(job.stages, shares, mrets):
+        cumulative += share
+        stage.virtual_deadline = cumulative
+        stage.mret_at_release = mret

@@ -1,0 +1,160 @@
+"""Throughput, deadline-miss and response-time metrics (paper Section V-VI).
+
+The evaluation uses three headline metrics:
+
+* **JPS** — completed jobs per second (throughput),
+* **DMR** — missed deadlines over *accepted* jobs, reported per priority, and
+* **response time** — completion minus release time, reported per priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.rt.task import Job, Priority
+
+
+@dataclass
+class PriorityMetrics:
+    """Counters and samples for one priority level."""
+
+    released: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    missed: int = 0
+    response_times: List[float] = field(default_factory=list)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Missed deadlines divided by accepted jobs (the paper's DMR)."""
+        if self.admitted == 0:
+            return 0.0
+        return self.missed / self.admitted
+
+    @property
+    def rejection_rate(self) -> float:
+        """Rejected jobs divided by released jobs."""
+        if self.released == 0:
+            return 0.0
+        return self.rejected / self.released
+
+    def response_time_stats(self) -> Dict[str, float]:
+        """Mean / p50 / p95 / max response time in milliseconds."""
+        if not self.response_times:
+            return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0, "min": 0.0}
+        values = np.asarray(self.response_times)
+        return {
+            "mean": float(values.mean()),
+            "p50": float(np.percentile(values, 50)),
+            "p95": float(np.percentile(values, 95)),
+            "max": float(values.max()),
+            "min": float(values.min()),
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioMetrics:
+    """Immutable summary of one scheduling run."""
+
+    horizon_ms: float
+    total_jps: float
+    high: PriorityMetrics
+    low: PriorityMetrics
+    per_task_completed: Dict[str, int]
+    average_gpu_utilization: float = 0.0
+
+    @property
+    def total_completed(self) -> int:
+        """Completed jobs across both priorities."""
+        return self.high.completed + self.low.completed
+
+    @property
+    def overall_dmr(self) -> float:
+        """DMR across both priorities (missed / admitted)."""
+        admitted = self.high.admitted + self.low.admitted
+        if admitted == 0:
+            return 0.0
+        return (self.high.missed + self.low.missed) / admitted
+
+
+class MetricsCollector:
+    """Accumulates per-job outcomes during a run and produces the summary."""
+
+    def __init__(self) -> None:
+        self._per_priority: Dict[Priority, PriorityMetrics] = {
+            Priority.HIGH: PriorityMetrics(),
+            Priority.LOW: PriorityMetrics(),
+        }
+        self._per_task_completed: Dict[str, int] = {}
+        self._warmup_ms = 0.0
+
+    def set_warmup(self, warmup_ms: float) -> None:
+        """Ignore jobs released before ``warmup_ms`` when computing rates."""
+        if warmup_ms < 0:
+            raise ValueError("warmup must be non-negative")
+        self._warmup_ms = warmup_ms
+
+    def _bucket(self, job: Job) -> Optional[PriorityMetrics]:
+        if job.release_time < self._warmup_ms:
+            return None
+        return self._per_priority[job.priority]
+
+    def record_release(self, job: Job) -> None:
+        """A job was released."""
+        bucket = self._bucket(job)
+        if bucket is not None:
+            bucket.released += 1
+
+    def record_admission(self, job: Job) -> None:
+        """A job passed the admission test (or was HP and exempt)."""
+        bucket = self._bucket(job)
+        if bucket is not None:
+            bucket.admitted += 1
+
+    def record_rejection(self, job: Job) -> None:
+        """A job was rejected by the admission test."""
+        bucket = self._bucket(job)
+        if bucket is not None:
+            bucket.rejected += 1
+
+    def record_completion(self, job: Job) -> None:
+        """A job finished; accounts for throughput, DMR and response time."""
+        bucket = self._bucket(job)
+        if bucket is None:
+            return
+        bucket.completed += 1
+        if job.response_time is not None:
+            bucket.response_times.append(job.response_time)
+        if job.missed_deadline:
+            bucket.missed += 1
+        task_name = job.task.name
+        self._per_task_completed[task_name] = self._per_task_completed.get(task_name, 0) + 1
+
+    def priority_metrics(self, priority: Priority) -> PriorityMetrics:
+        """Metrics of one priority level (mutable view)."""
+        return self._per_priority[priority]
+
+    def summarize(self, horizon_ms: float, gpu_utilization: float = 0.0) -> ScenarioMetrics:
+        """Produce the immutable scenario summary for a measurement horizon."""
+        if horizon_ms <= 0:
+            raise ValueError("horizon must be positive")
+        effective_horizon = horizon_ms - self._warmup_ms
+        if effective_horizon <= 0:
+            raise ValueError("horizon must exceed the warm-up period")
+        completed = (
+            self._per_priority[Priority.HIGH].completed
+            + self._per_priority[Priority.LOW].completed
+        )
+        total_jps = 1000.0 * completed / effective_horizon
+        return ScenarioMetrics(
+            horizon_ms=effective_horizon,
+            total_jps=total_jps,
+            high=self._per_priority[Priority.HIGH],
+            low=self._per_priority[Priority.LOW],
+            per_task_completed=dict(self._per_task_completed),
+            average_gpu_utilization=gpu_utilization,
+        )

@@ -1,0 +1,249 @@
+"""Task, job and stage-instance runtime objects (paper Section III-A).
+
+A *task* corresponds to one DNN served periodically; each released *job* is
+divided into sequential *stage instances*, the unit the DARIS stage scheduler
+dispatches.  Tasks carry their timing model (MRET per stage) and their current
+context assignment, which the online phase may change for low-priority tasks
+(migration).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dnn.model import DnnModel
+from repro.dnn.stage import StageSpec
+from repro.rt.mret import TaskTimingModel
+
+
+class Priority(enum.IntEnum):
+    """Two task priority levels; HIGH beats LOW everywhere in the scheduler."""
+
+    HIGH = 0
+    LOW = 1
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a released job."""
+
+    RELEASED = "released"
+    ADMITTED = "admitted"
+    REJECTED = "rejected"
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Static description of a periodic inference task.
+
+    Attributes:
+        task_id: unique integer id.
+        name: human-readable name (defaults to ``"{model}/task{id}"``).
+        model: the calibrated DNN the task serves.
+        period_ms: release period ``T_i``.
+        deadline_ms: relative deadline ``D_i``; the paper uses implicit
+            deadlines (``D_i = T_i``).
+        priority: HIGH or LOW.
+        batch_size: inference batch size (1 in the main experiments, 4/2/8 in
+            the Figure 10 batching study).
+        phase_ms: release offset of the first job.
+    """
+
+    task_id: int
+    model: DnnModel
+    period_ms: float
+    priority: Priority
+    deadline_ms: Optional[float] = None
+    batch_size: int = 1
+    phase_ms: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.period_ms <= 0:
+            raise ValueError(f"period must be positive, got {self.period_ms}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not self.name:
+            object.__setattr__(self, "name", f"{self.model.name}/task{self.task_id}")
+
+    @property
+    def relative_deadline_ms(self) -> float:
+        """Relative deadline ``D_i`` (defaults to the period)."""
+        return self.deadline_ms if self.deadline_ms is not None else self.period_ms
+
+    @property
+    def is_high_priority(self) -> bool:
+        """True for HP tasks."""
+        return self.priority is Priority.HIGH
+
+
+class Task:
+    """Runtime state of a task: timing model, context assignment, counters."""
+
+    def __init__(self, spec: TaskSpec, stages: Optional[List[StageSpec]] = None, window_size: int = 5):
+        self.spec = spec
+        self.stages: List[StageSpec] = list(stages) if stages is not None else list(spec.model.stages)
+        self.timing = TaskTimingModel(num_stages=len(self.stages), window_size=window_size)
+        self.context_index: int = -1
+        self.jobs_released = 0
+        self.jobs_admitted = 0
+        self.jobs_rejected = 0
+        self.jobs_completed = 0
+        self.jobs_missed = 0
+
+    @property
+    def task_id(self) -> int:
+        """Task id from the spec."""
+        return self.spec.task_id
+
+    @property
+    def name(self) -> str:
+        """Task name from the spec."""
+        return self.spec.name
+
+    @property
+    def priority(self) -> Priority:
+        """Task priority from the spec."""
+        return self.spec.priority
+
+    @property
+    def num_stages(self) -> int:
+        """Number of stages of this task's (possibly merged) DNN."""
+        return len(self.stages)
+
+    def mret_total(self) -> float:
+        """Paper Equation 2: sum of per-stage MRETs."""
+        return self.timing.total()
+
+    def utilization(self) -> float:
+        """Paper Equation 3 (with Equation 10's AFET fallback handled by the timing model)."""
+        return self.mret_total() / self.spec.period_ms
+
+    def release_job(self, release_time: float) -> "Job":
+        """Create the next job of this task at ``release_time``."""
+        job = Job(task=self, index=self.jobs_released, release_time=release_time)
+        self.jobs_released += 1
+        return job
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task({self.name!r}, {self.priority.name}, T={self.spec.period_ms:.2f} ms, "
+            f"ctx={self.context_index})"
+        )
+
+
+_job_counter = itertools.count()
+
+
+class Job:
+    """One released instance of a task."""
+
+    def __init__(self, task: Task, index: int, release_time: float):
+        self.uid = next(_job_counter)
+        self.task = task
+        self.index = index
+        self.release_time = release_time
+        self.absolute_deadline = release_time + task.spec.relative_deadline_ms
+        self.state = JobState.RELEASED
+        self.context_index: int = task.context_index
+        self.completion_time: Optional[float] = None
+        self.stages: List[StageInstance] = [
+            StageInstance(job=self, stage_index=i, spec=stage)
+            for i, stage in enumerate(task.stages)
+        ]
+        self.current_stage_index = 0
+
+    @property
+    def priority(self) -> Priority:
+        """Priority inherited from the owning task."""
+        return self.task.priority
+
+    @property
+    def num_stages(self) -> int:
+        """Number of stages of the job."""
+        return len(self.stages)
+
+    @property
+    def current_stage(self) -> "StageInstance":
+        """The stage that should execute next."""
+        return self.stages[self.current_stage_index]
+
+    @property
+    def is_finished(self) -> bool:
+        """True once every stage completed."""
+        return self.current_stage_index >= len(self.stages)
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Completion time minus release time, if the job finished."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.release_time
+
+    @property
+    def missed_deadline(self) -> Optional[bool]:
+        """Whether the job finished after its absolute deadline."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time > self.absolute_deadline + 1e-9
+
+    def advance(self) -> None:
+        """Mark the current stage as done and move to the next one."""
+        self.current_stage_index += 1
+
+    def remaining_mret(self) -> float:
+        """Sum of MRET of the stages that have not completed yet."""
+        return sum(
+            self.task.timing.stage_value(i)
+            for i in range(self.current_stage_index, len(self.stages))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job({self.task.name}#{self.index}, state={self.state.value})"
+
+
+@dataclass
+class StageInstance:
+    """One stage of one job: the dispatchable unit of the DARIS scheduler."""
+
+    job: Job
+    stage_index: int
+    spec: StageSpec
+    virtual_deadline: float = 0.0
+    mret_at_release: float = 0.0
+    context_index: int = -1
+    enqueue_time: float = 0.0
+    dispatch_time: Optional[float] = None
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    missed_virtual_deadline: bool = False
+    predecessor_missed: bool = False
+
+    @property
+    def is_last(self) -> bool:
+        """True for the final stage of its job (``tau_{i,n_i}``)."""
+        return self.stage_index == self.job.num_stages - 1
+
+    @property
+    def priority(self) -> Priority:
+        """Task priority of the owning job."""
+        return self.job.priority
+
+    @property
+    def execution_time(self) -> Optional[float]:
+        """Measured execution time (start to finish), once completed."""
+        if self.start_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StageInstance({self.job.task.name}#{self.job.index}.s{self.stage_index}, "
+            f"vd={self.virtual_deadline:.2f})"
+        )

@@ -1,0 +1,72 @@
+"""Utilization accounting (paper Equations 3-7 and 11).
+
+Utilization is always derived from the *current* MRET (or the AFET fallback
+before measurements exist), so the same functions serve the offline load
+balancing (total utilization, Equation 6) and the online admission test
+(active utilization, Equation 7, against the remaining capacity of
+Equation 11).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.rt.task import Job, Priority, Task
+
+
+def task_utilization(task: Task) -> float:
+    """Paper Equation 3: MRET over period."""
+    return task.utilization()
+
+
+def context_priority_utilization(tasks: Iterable[Task], context_index: int) -> Tuple[float, float]:
+    """Paper Equations 4-5: total HP and LP utilization of one context."""
+    high = 0.0
+    low = 0.0
+    for task in tasks:
+        if task.context_index != context_index:
+            continue
+        utilization = task.utilization()
+        if task.priority is Priority.HIGH:
+            high += utilization
+        else:
+            low += utilization
+    return high, low
+
+
+def context_total_utilization(tasks: Iterable[Task], context_index: int) -> float:
+    """Paper Equation 6: total utilization of one context."""
+    high, low = context_priority_utilization(tasks, context_index)
+    return high + low
+
+
+def active_low_priority_utilization(active_jobs: Iterable[Job], context_index: int) -> float:
+    """Utilization of LP tasks with an active (released, unfinished) job (Equation 7)."""
+    total = 0.0
+    seen_tasks = set()
+    for job in active_jobs:
+        if job.context_index != context_index or job.priority is not Priority.LOW:
+            continue
+        if job.task.task_id in seen_tasks:
+            continue
+        seen_tasks.add(job.task.task_id)
+        total += job.task.utilization()
+    return total
+
+
+def remaining_utilization(streams_per_context: int, high_priority_utilization: float) -> float:
+    """Paper Equation 11: remaining capacity of a context for LP tasks."""
+    if streams_per_context < 1:
+        raise ValueError("streams_per_context must be >= 1")
+    return float(streams_per_context) - high_priority_utilization
+
+
+def admission_test(
+    streams_per_context: int,
+    high_priority_utilization: float,
+    active_low_utilization: float,
+    candidate_utilization: float,
+) -> bool:
+    """Paper Equation 12: whether a candidate LP job fits in a context."""
+    remaining = remaining_utilization(streams_per_context, high_priority_utilization)
+    return active_low_utilization + candidate_utilization < remaining

@@ -1,0 +1,49 @@
+"""DARIS: the deadline-aware real-time DNN inference scheduler (paper Section IV).
+
+The scheduler package contains the paper's primary contribution:
+
+* :mod:`repro.scheduler.config` — the ``Nc x Ns OS`` configuration space and
+  the three partitioning policies (STR, MPS, MPS+STR),
+* :mod:`repro.scheduler.offline` — AFET initialization and the
+  utilization-balancing initial context assignment (Algorithm 1),
+* :mod:`repro.scheduler.admission` — the online utilization-based admission
+  test (Equations 11-12) with migration to the context with the earliest
+  predicted finish time,
+* :mod:`repro.scheduler.priorities` — the eight fixed stage priority levels
+  with EDF tie-breaking,
+* :mod:`repro.scheduler.daris` — the online scheduler binding everything to
+  the simulated GPU, and
+* :mod:`repro.scheduler.ablations` — the module-contribution variants of
+  Figure 8 (No Staging / No Last / No Prior / No Fixed).
+"""
+
+from repro.scheduler.config import DarisConfig, Policy
+from repro.scheduler.priorities import stage_priority_level, stage_queue_key, NUM_PRIORITY_LEVELS
+from repro.scheduler.offline import populate_contexts, initialize_timing
+from repro.scheduler.admission import AdmissionController, AdmissionDecision
+from repro.scheduler.daris import DarisScheduler
+from repro.scheduler.ablations import (
+    ablation_no_staging,
+    ablation_no_last,
+    ablation_no_prior,
+    ablation_no_fixed,
+    ABLATIONS,
+)
+
+__all__ = [
+    "DarisConfig",
+    "Policy",
+    "stage_priority_level",
+    "stage_queue_key",
+    "NUM_PRIORITY_LEVELS",
+    "populate_contexts",
+    "initialize_timing",
+    "AdmissionController",
+    "AdmissionDecision",
+    "DarisScheduler",
+    "ablation_no_staging",
+    "ablation_no_last",
+    "ablation_no_prior",
+    "ablation_no_fixed",
+    "ABLATIONS",
+]

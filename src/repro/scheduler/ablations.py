@@ -1,0 +1,50 @@
+"""Module-contribution ablations (paper Section VI-F, Figure 8).
+
+The paper evaluates DARIS against four degraded variants of itself:
+
+* **No Staging** — tasks are scheduled as whole units (no coarse-grained
+  preemption),
+* **No Last** — the final stage of a job is not elevated,
+* **No Prior** — a stage whose predecessor missed its virtual deadline is not
+  elevated, and
+* **No Fixed** — no HP/LP differentiation between stages (pure EDF).
+
+Each helper takes a fully configured DARIS configuration and returns the
+ablated variant, so the ablation study runs the exact same platform and task
+set with a single switch flipped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.scheduler.config import DarisConfig
+
+
+def ablation_no_staging(config: DarisConfig) -> DarisConfig:
+    """Disable staging: whole DNNs are dispatched as single units."""
+    return config.with_overrides(staging=False)
+
+
+def ablation_no_last(config: DarisConfig) -> DarisConfig:
+    """Do not elevate the last stage of each job."""
+    return config.with_overrides(prioritize_last_stage=False)
+
+
+def ablation_no_prior(config: DarisConfig) -> DarisConfig:
+    """Do not elevate stages whose predecessor missed its virtual deadline."""
+    return config.with_overrides(boost_missed_predecessor=False)
+
+
+def ablation_no_fixed(config: DarisConfig) -> DarisConfig:
+    """Remove the HP/LP fixed-priority separation between stages (pure EDF)."""
+    return config.with_overrides(fixed_priority_levels=False)
+
+
+ABLATIONS: Dict[str, Callable[[DarisConfig], DarisConfig]] = {
+    "DARIS": lambda config: config,
+    "No Staging": ablation_no_staging,
+    "No Last": ablation_no_last,
+    "No Prior": ablation_no_prior,
+    "No Fixed": ablation_no_fixed,
+}

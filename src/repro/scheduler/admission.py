@@ -1,0 +1,167 @@
+"""Online admission test and migration (paper Section IV-B1).
+
+LP jobs (and, in the Overload+HPA variant, HP jobs) are admitted into a
+context only if the active utilization leaves room (Equations 11-12).  When
+the task's own context fails the test, the other contexts are probed as
+migration candidates and the job migrates to the admissible context with the
+earliest predicted finish time; if no context passes, the job is rejected.
+
+In addition to the utilization test, the controller can require the context's
+*predicted finish time* for the job (the same estimate the paper uses to rank
+migration candidates) to fall before the job's absolute deadline.  Admitting a
+job that is already predicted to miss only wastes GPU time on late work, so
+DARIS rejects it; this keeps the accepted-job deadline-miss rate low even when
+a context is heavily backlogged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.rt.task import Job, Priority, Task
+from repro.rt.utilization import remaining_utilization
+from repro.scheduler.config import DarisConfig
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of the admission test for one job."""
+
+    admitted: bool
+    context_index: int
+    migrated: bool
+    reason: str = ""
+
+
+class AdmissionController:
+    """Tracks per-context active utilization and runs the admission test."""
+
+    def __init__(self, config: DarisConfig, tasks: Iterable[Task]):
+        self.config = config
+        self._tasks = list(tasks)
+        self._active_low: List[Dict[int, int]] = [
+            {} for _ in range(config.num_contexts)
+        ]  # context -> task_id -> active job count
+        self._active_high: List[Dict[int, int]] = [
+            {} for _ in range(config.num_contexts)
+        ]
+        self._task_by_id = {task.task_id: task for task in self._tasks}
+
+    # ----------------------------------------------------------- bookkeeping
+
+    def register_admission(self, job: Job, context_index: int) -> None:
+        """Record that ``job`` became active in ``context_index``."""
+        table = self._table_for(job.priority)[context_index]
+        table[job.task.task_id] = table.get(job.task.task_id, 0) + 1
+
+    def register_completion(self, job: Job, context_index: int) -> None:
+        """Record that ``job`` finished (or was abandoned) in ``context_index``."""
+        table = self._table_for(job.priority)[context_index]
+        count = table.get(job.task.task_id, 0)
+        if count <= 1:
+            table.pop(job.task.task_id, None)
+        else:
+            table[job.task.task_id] = count - 1
+
+    def _table_for(self, priority: Priority) -> List[Dict[int, int]]:
+        return self._active_high if priority is Priority.HIGH else self._active_low
+
+    # ----------------------------------------------------------- utilization
+
+    def high_priority_utilization(self, context_index: int) -> float:
+        """Equation 4: total utilization of HP tasks assigned to the context."""
+        return sum(
+            task.utilization()
+            for task in self._tasks
+            if task.priority is Priority.HIGH and task.context_index == context_index
+        )
+
+    def active_low_utilization(self, context_index: int) -> float:
+        """Equation 7's LP component: utilization of LP tasks with an active job."""
+        table = self._active_low[context_index]
+        return sum(
+            self._task_by_id[task_id].utilization() for task_id, count in table.items() if count > 0
+        )
+
+    def active_high_utilization(self, context_index: int) -> float:
+        """Utilization of HP tasks with an active job (used by Overload+HPA)."""
+        table = self._active_high[context_index]
+        return sum(
+            self._task_by_id[task_id].utilization() for task_id, count in table.items() if count > 0
+        )
+
+    def remaining(self, context_index: int) -> float:
+        """Equation 11: remaining LP capacity of one context."""
+        return remaining_utilization(
+            self.config.streams_per_context, self.high_priority_utilization(context_index)
+        )
+
+    # -------------------------------------------------------------- the test
+
+    def utilization_passes(self, job: Job, context_index: int) -> bool:
+        """Equation 12 for one candidate context."""
+        utilization = job.task.utilization()
+        if job.priority is Priority.LOW:
+            return (
+                self.active_low_utilization(context_index) + utilization
+                < self.remaining(context_index)
+            )
+        # HP admission (Overload+HPA): HP jobs may use the full context
+        # capacity, so they are tested against Ns with their own active load.
+        return (
+            self.active_high_utilization(context_index) + utilization
+            < float(self.config.streams_per_context)
+        )
+
+    def context_passes(
+        self,
+        job: Job,
+        context_index: int,
+        predicted_finish: Optional[Callable[[int], float]] = None,
+    ) -> bool:
+        """Utilization test plus the predicted-finish feasibility check."""
+        if not self.utilization_passes(job, context_index):
+            return False
+        if predicted_finish is None:
+            return True
+        finish_estimate = predicted_finish(context_index) + job.task.mret_total()
+        return finish_estimate <= job.absolute_deadline + 1e-9
+
+    def decide(
+        self,
+        job: Job,
+        predicted_finish: Callable[[int], float],
+    ) -> AdmissionDecision:
+        """Run the admission test, probing migration candidates when needed.
+
+        Args:
+            job: the released job.
+            predicted_finish: callable mapping a context index to its predicted
+                finish time for this job (used both to rank admissible
+                candidates and to reject jobs that are already bound to miss).
+        """
+        needs_test = (
+            self.config.admission_enabled
+            and (job.priority is Priority.LOW or self.config.hp_admission)
+        )
+        home = job.task.context_index
+        if not needs_test:
+            return AdmissionDecision(admitted=True, context_index=home, migrated=False, reason="exempt")
+
+        if self.context_passes(job, home, predicted_finish):
+            return AdmissionDecision(admitted=True, context_index=home, migrated=False, reason="home")
+
+        may_migrate = self.config.lp_migration and job.priority is Priority.LOW
+        if may_migrate:
+            candidates = [
+                index
+                for index in range(self.config.num_contexts)
+                if index != home and self.context_passes(job, index, predicted_finish)
+            ]
+            if candidates:
+                best = min(candidates, key=lambda index: (predicted_finish(index), index))
+                return AdmissionDecision(
+                    admitted=True, context_index=best, migrated=True, reason="migrated"
+                )
+        return AdmissionDecision(admitted=False, context_index=home, migrated=False, reason="rejected")

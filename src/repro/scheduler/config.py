@@ -1,0 +1,145 @@
+"""DARIS configuration: partitioning policy, concurrency and feature switches."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class Policy(enum.Enum):
+    """GPU partitioning policies evaluated in the paper (Section V).
+
+    * ``STR`` — a single context, CUDA streams only (the only option on GPUs
+      without MPS); one global job queue.
+    * ``MPS`` — one stream per context, MPS contexts only.
+    * ``MPS_STR`` — several contexts, several streams each.
+    """
+
+    STR = "STR"
+    MPS = "MPS"
+    MPS_STR = "MPS+STR"
+
+
+@dataclass(frozen=True)
+class DarisConfig:
+    """Full configuration of a DARIS run.
+
+    Attributes:
+        policy: partitioning policy (STR / MPS / MPS+STR).
+        num_contexts: number of MPS contexts, ``Nc``.
+        streams_per_context: CUDA streams per context, ``Ns``.
+        oversubscription: SM oversubscription level ``OS`` (1..Nc).
+        window_size: MRET sliding-window size ``ws`` (the paper uses 5).
+        staging: divide DNNs into stages (False reproduces the "No Staging"
+            ablation).
+        prioritize_last_stage: elevate the final stage of each job (False is
+            the "No Last" ablation).
+        boost_missed_predecessor: elevate a stage whose predecessor missed its
+            virtual deadline (False is the "No Prior" ablation).
+        fixed_priority_levels: differentiate HP from LP stages (False is the
+            "No Fixed" ablation: pure EDF across all stages).
+        admission_enabled: run the utilization-based admission test for LP
+            jobs.
+        hp_admission: also subject HP jobs to the admission test (the
+            Overload+HPA scenario of Figure 11).
+        lp_migration: allow LP tasks to migrate to another context when their
+            own context fails the admission test.
+        stage_migration: allow an LP job's next stage to migrate to an idle
+            context mid-job (the paper's zero-delay migration).
+        afet_mode: ``"analytic"`` (closed-form full-load estimate) or
+            ``"profile"`` (measure AFET on the simulated GPU, as the paper
+            does); analytic is the default because it is much faster and the
+            online MRET replaces it within a few jobs either way.
+        warmup_ms: measurement warm-up excluded from the reported metrics.
+    """
+
+    policy: Policy
+    num_contexts: int
+    streams_per_context: int
+    oversubscription: float
+    window_size: int = 5
+    staging: bool = True
+    prioritize_last_stage: bool = True
+    boost_missed_predecessor: bool = True
+    fixed_priority_levels: bool = True
+    admission_enabled: bool = True
+    hp_admission: bool = False
+    lp_migration: bool = True
+    stage_migration: bool = True
+    afet_mode: str = "analytic"
+    warmup_ms: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.num_contexts < 1 or self.streams_per_context < 1:
+            raise ValueError("num_contexts and streams_per_context must be >= 1")
+        if not 1.0 <= self.oversubscription <= max(1.0, float(self.num_contexts)):
+            raise ValueError(
+                f"oversubscription must be in [1, {self.num_contexts}], got {self.oversubscription}"
+            )
+        if self.window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if self.afet_mode not in ("analytic", "profile"):
+            raise ValueError("afet_mode must be 'analytic' or 'profile'")
+        if self.policy is Policy.STR and self.num_contexts != 1:
+            raise ValueError("the STR policy uses exactly one context")
+        if self.policy is Policy.MPS and self.streams_per_context != 1:
+            raise ValueError("the MPS policy uses exactly one stream per context")
+        if (
+            self.policy is Policy.MPS_STR
+            and (self.num_contexts < 2 or self.streams_per_context < 2)
+        ):
+            raise ValueError("the MPS+STR policy needs >= 2 contexts and >= 2 streams each")
+
+    @property
+    def max_parallel_jobs(self) -> int:
+        """``Np = Nc * Ns``."""
+        return self.num_contexts * self.streams_per_context
+
+    def label(self) -> str:
+        """Human-readable configuration label, e.g. ``"MPS 6x1 OS6"``."""
+        os_value = self.oversubscription
+        os_text = f"{int(os_value)}" if float(os_value).is_integer() else f"{os_value}"
+        return (
+            f"{self.policy.value} {self.num_contexts}x{self.streams_per_context} OS{os_text}"
+        )
+
+    def with_overrides(self, **kwargs) -> "DarisConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------ constructors
+
+    @staticmethod
+    def str_config(num_streams: int, **kwargs) -> "DarisConfig":
+        """STR policy: one context holding the whole GPU, ``num_streams`` streams."""
+        return DarisConfig(
+            policy=Policy.STR,
+            num_contexts=1,
+            streams_per_context=num_streams,
+            oversubscription=1.0,
+            **kwargs,
+        )
+
+    @staticmethod
+    def mps_config(num_contexts: int, oversubscription: float, **kwargs) -> "DarisConfig":
+        """MPS policy: ``num_contexts`` contexts, one stream each."""
+        return DarisConfig(
+            policy=Policy.MPS,
+            num_contexts=num_contexts,
+            streams_per_context=1,
+            oversubscription=oversubscription,
+            **kwargs,
+        )
+
+    @staticmethod
+    def mps_str_config(
+        num_contexts: int, streams_per_context: int, oversubscription: float, **kwargs
+    ) -> "DarisConfig":
+        """MPS+STR policy: several contexts with several streams each."""
+        return DarisConfig(
+            policy=Policy.MPS_STR,
+            num_contexts=num_contexts,
+            streams_per_context=streams_per_context,
+            oversubscription=oversubscription,
+            **kwargs,
+        )

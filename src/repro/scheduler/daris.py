@@ -1,0 +1,305 @@
+"""The DARIS online scheduler (paper Figure 3 and Section IV-B).
+
+``DarisScheduler`` binds a task set to the simulated GPU platform:
+
+* periodic job releases trigger virtual-deadline assignment and the admission
+  test (with migration),
+* admitted stages are kept in per-context ready queues ordered by the eight
+  fixed priority levels + EDF,
+* whenever a context has an idle stream, the highest-priority ready stage is
+  dispatched to it,
+* completed stages feed the MRET estimators, may raise the priority of their
+  successor (missed virtual deadline), and completed jobs feed the metrics.
+
+With one context (the STR policy) the per-context queue degenerates into the
+single global queue the paper describes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dnn.batching import batched_stage_specs
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.kernel import KernelInstance
+from repro.gpu.platform import GpuPlatform, PlatformConfig
+from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.rt.deadlines import assign_virtual_deadlines
+from repro.rt.metrics import MetricsCollector, ScenarioMetrics
+from repro.rt.task import Job, JobState, Priority, StageInstance, Task
+from repro.rt.taskset import TaskSetSpec
+from repro.rt.trace import JobTraceRecord, StageTraceRecord, TraceRecorder
+from repro.scheduler.admission import AdmissionController
+from repro.scheduler.config import DarisConfig
+from repro.scheduler.offline import initialize_timing, populate_contexts
+from repro.scheduler.priorities import stage_queue_key
+from repro.sim.rng import RngFactory
+from repro.sim.simulator import Simulator
+from repro.sim.workload import PeriodicArrival
+
+
+class DarisScheduler:
+    """Deadline-aware real-time DNN inference scheduler on the simulated GPU."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        taskset: TaskSetSpec,
+        config: DarisConfig,
+        gpu: GpuSpec = RTX_2080_TI,
+        calibration: GpuCalibration = DEFAULT_CALIBRATION,
+        rng: Optional[RngFactory] = None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.simulator = simulator
+        self.config = config
+        self.gpu = gpu
+        self.calibration = calibration
+        self.rng = rng if rng is not None else RngFactory(seed=0)
+        self.metrics = MetricsCollector()
+        self.metrics.set_warmup(config.warmup_ms)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+
+        self.platform = GpuPlatform(
+            simulator,
+            PlatformConfig(
+                num_contexts=config.num_contexts,
+                streams_per_context=config.streams_per_context,
+                oversubscription=config.oversubscription,
+            ),
+            spec=gpu,
+            calibration=calibration,
+            noise_rng=self.rng.stream("gpu-noise"),
+        )
+
+        self.tasks: List[Task] = [self._build_task(spec) for spec in taskset.tasks]
+        self._task_by_id = {task.task_id: task for task in self.tasks}
+
+        # Offline phase: AFET seeding plus Algorithm 1 context assignment.
+        initialize_timing(self.tasks, config, gpu=gpu, calibration=calibration, seed=self.rng.seed)
+        populate_contexts(self.tasks, config.num_contexts)
+
+        self.admission = AdmissionController(config, self.tasks)
+        self._queues: List[List[Tuple[Tuple[int, float, int], StageInstance]]] = [
+            [] for _ in range(config.num_contexts)
+        ]
+        self._sequence = itertools.count()
+        self._active_jobs: List[Dict[int, Job]] = [dict() for _ in range(config.num_contexts)]
+
+    # ------------------------------------------------------------------ setup
+
+    def _build_task(self, spec) -> Task:
+        """Instantiate the runtime task, applying staging and batching choices."""
+        model = spec.model
+        if not self.config.staging:
+            model = model.merged()
+        if spec.batch_size > 1:
+            stages = batched_stage_specs(model, spec.batch_size)
+        else:
+            stages = list(model.stages)
+        return Task(spec, stages=stages, window_size=self.config.window_size)
+
+    def start(self, horizon_ms: float) -> None:
+        """Schedule every task's periodic job releases up to ``horizon_ms``."""
+        if horizon_ms <= 0:
+            raise ValueError("horizon must be positive")
+        jitter_rng = self.rng.stream("release-jitter")
+        for task in self.tasks:
+            arrival = PeriodicArrival(
+                period=task.spec.period_ms,
+                phase=task.spec.phase_ms,
+                jitter=0.0,
+                rng=jitter_rng,
+            )
+            arrival.drive(
+                self.simulator,
+                horizon_ms,
+                lambda event, task=task: self._on_release(task, event.time),
+            )
+
+    def run(self, horizon_ms: float) -> ScenarioMetrics:
+        """Run the scenario and return the summary metrics."""
+        self.start(horizon_ms)
+        self.simulator.run_until(horizon_ms)
+        return self.metrics.summarize(
+            horizon_ms, gpu_utilization=self.platform.average_utilization()
+        )
+
+    # -------------------------------------------------------------- releases
+
+    def _on_release(self, task: Task, release_time: float) -> None:
+        job = task.release_job(release_time)
+        self.metrics.record_release(job)
+        assign_virtual_deadlines(job)
+
+        decision = self.admission.decide(job, self._predicted_finish)
+        if not decision.admitted:
+            job.state = JobState.REJECTED
+            task.jobs_rejected += 1
+            self.metrics.record_rejection(job)
+            return
+
+        context_index = decision.context_index
+        job.state = JobState.ADMITTED
+        job.context_index = context_index
+        task.jobs_admitted += 1
+        if decision.migrated and job.priority is Priority.LOW:
+            # The paper's zero-delay migration: the LP task simply changes its
+            # current context; no state transfer is modelled because weights
+            # are resident in every context's address space under MPS.
+            task.context_index = context_index
+        self.metrics.record_admission(job)
+        self.admission.register_admission(job, context_index)
+        self._active_jobs[context_index][job.uid] = job
+
+        self._enqueue_stage(job.current_stage, context_index)
+        self._dispatch(context_index)
+
+    def _predicted_finish(self, context_index: int) -> float:
+        """Predicted finish time of a new job in ``context_index``.
+
+        The prediction adds the MRET backlog of the context's queued and
+        active stages (divided by the stream count) to the current time.
+        """
+        backlog = 0.0
+        for _, stage in self._queues[context_index]:
+            backlog += stage.job.task.timing.stage_value(stage.stage_index)
+        for job in self._active_jobs[context_index].values():
+            backlog += job.remaining_mret()
+        return self.simulator.now + backlog / self.config.streams_per_context
+
+    # ---------------------------------------------------------------- queues
+
+    def _enqueue_stage(self, stage: StageInstance, context_index: int) -> None:
+        stage.context_index = context_index
+        stage.enqueue_time = self.simulator.now
+        key = stage_queue_key(stage, self.config, next(self._sequence))
+        heapq.heappush(self._queues[context_index], (key, stage))
+
+    def _dispatch(self, context_index: int) -> None:
+        """Dispatch ready stages to idle streams of ``context_index``."""
+        queue = self._queues[context_index]
+        while queue:
+            stream_index = self.platform.idle_stream_index(context_index)
+            if stream_index is None:
+                return
+            _, stage = heapq.heappop(queue)
+            stage.dispatch_time = self.simulator.now
+            spec = stage.spec.to_kernel_spec(
+                label=f"{stage.job.task.name}#{stage.job.index}.s{stage.stage_index}"
+            )
+            self.platform.launch(
+                context_index,
+                stream_index,
+                spec,
+                on_complete=lambda kernel, stage=stage: self._on_stage_complete(stage, kernel),
+            )
+
+    # ------------------------------------------------------------ completions
+
+    def _on_stage_complete(self, stage: StageInstance, kernel: KernelInstance) -> None:
+        now = self.simulator.now
+        stage.start_time = kernel.start_time
+        stage.finish_time = kernel.finish_time
+        # The observed stage time is measured the way the paper's LibTorch
+        # implementation measures it: from the submission of the stage's
+        # kernels to the return of its synchronization point.  It therefore
+        # includes the launch gaps and any SM sharing the stage experienced,
+        # but not the time the stage spent waiting in the scheduler's ready
+        # queue.
+        dispatch_time = stage.dispatch_time if stage.dispatch_time is not None else kernel.start_time
+        execution_time = kernel.finish_time - dispatch_time
+        job = stage.job
+        task = job.task
+
+        task.timing.observe(stage.stage_index, execution_time)
+        stage.missed_virtual_deadline = stage.finish_time > stage.virtual_deadline + 1e-9
+
+        self.trace.record_stage(
+            StageTraceRecord(
+                time_ms=now,
+                task_name=task.name,
+                priority=task.priority,
+                job_index=job.index,
+                stage_index=stage.stage_index,
+                execution_time_ms=execution_time,
+                mret_prediction_ms=stage.mret_at_release,
+                virtual_deadline_ms=stage.virtual_deadline,
+                missed_virtual_deadline=stage.missed_virtual_deadline,
+                context_index=stage.context_index,
+            )
+        )
+
+        job.advance()
+        if job.is_finished:
+            self._complete_job(job, now)
+        else:
+            next_stage = job.current_stage
+            next_stage.predecessor_missed = stage.missed_virtual_deadline
+            next_context = self._next_stage_context(job, stage.context_index)
+            self._enqueue_stage(next_stage, next_context)
+            if next_context != stage.context_index:
+                self._move_active_job(job, stage.context_index, next_context)
+            self._dispatch(next_context)
+
+        # The completed stage freed a stream slot in its context.
+        self._dispatch(stage.context_index)
+
+    def _next_stage_context(self, job: Job, current_context: int) -> int:
+        """Context for the job's next stage (zero-delay stage migration for LP)."""
+        if not self.config.stage_migration or job.priority is Priority.HIGH:
+            return current_context
+        if self.platform.idle_stream_index(current_context) is not None:
+            return current_context
+        if self._queues[current_context]:
+            for candidate in range(self.config.num_contexts):
+                if candidate == current_context:
+                    continue
+                if (
+                    self.platform.idle_stream_index(candidate) is not None
+                    and not self._queues[candidate]
+                ):
+                    return candidate
+        return current_context
+
+    def _move_active_job(self, job: Job, old_context: int, new_context: int) -> None:
+        self._active_jobs[old_context].pop(job.uid, None)
+        self._active_jobs[new_context][job.uid] = job
+        self.admission.register_completion(job, old_context)
+        self.admission.register_admission(job, new_context)
+        job.context_index = new_context
+
+    def _complete_job(self, job: Job, now: float) -> None:
+        job.state = JobState.COMPLETED
+        job.completion_time = now
+        task = job.task
+        task.jobs_completed += 1
+        if job.missed_deadline:
+            task.jobs_missed += 1
+        self.metrics.record_completion(job)
+        self.admission.register_completion(job, job.context_index)
+        self._active_jobs[job.context_index].pop(job.uid, None)
+        self.trace.record_job(
+            JobTraceRecord(
+                time_ms=now,
+                task_name=task.name,
+                priority=task.priority,
+                job_index=job.index,
+                release_time_ms=job.release_time,
+                response_time_ms=job.response_time or 0.0,
+                missed_deadline=bool(job.missed_deadline),
+                context_index=job.context_index,
+            )
+        )
+
+    # ------------------------------------------------------------------ views
+
+    def queue_depth(self, context_index: int) -> int:
+        """Number of ready (not yet dispatched) stages in one context."""
+        return len(self._queues[context_index])
+
+    def context_tasks(self, context_index: int) -> List[Task]:
+        """Tasks currently assigned to a context."""
+        return [task for task in self.tasks if task.context_index == context_index]

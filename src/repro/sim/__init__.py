@@ -1,0 +1,22 @@
+"""Discrete-event simulation core used by the GPU model and the schedulers.
+
+The simulator is intentionally small: a time-ordered event queue with
+deterministic tie-breaking, a wall-clock abstraction expressed in
+milliseconds, a seeded random-number facility with named substreams, and
+periodic arrival processes for real-time workloads.
+"""
+
+from repro.sim.events import Event, EventHandle
+from repro.sim.simulator import Simulator
+from repro.sim.rng import RngFactory
+from repro.sim.workload import PeriodicArrival, PoissonArrival, ArrivalEvent
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Simulator",
+    "RngFactory",
+    "PeriodicArrival",
+    "PoissonArrival",
+    "ArrivalEvent",
+]

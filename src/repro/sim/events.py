@@ -1,0 +1,79 @@
+"""Event primitives for the discrete-event simulator.
+
+Events are ordered by (time, priority, sequence).  The sequence number makes
+ordering deterministic when two events share a timestamp, which matters for
+reproducibility of the scheduler experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: absolute simulation time in milliseconds.
+        priority: tie-breaker applied before the sequence number; lower values
+            fire first.  Used sparingly (e.g. job releases before dispatches
+            at the same instant).
+        seq: monotonically increasing sequence number for deterministic
+            ordering of otherwise equal events.
+        callback: callable invoked with the simulator as its only argument.
+        cancelled: set when the owning handle is cancelled; the simulator
+            skips cancelled events instead of removing them from the heap.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = field(default_factory=lambda: next(_sequence))
+    callback: Optional[Callable[..., Any]] = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def fire(self, simulator: "Any") -> None:
+        """Invoke the event callback unless the event was cancelled."""
+        if self.cancelled or self.callback is None:
+            return
+        self.callback(simulator)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Holding a handle allows the caller to cancel an event before it fires;
+    cancellation is O(1) (lazy deletion).
+    """
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time in milliseconds."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    @property
+    def label(self) -> str:
+        """Human-readable label attached at scheduling time."""
+        return self._event.label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, {state}, label={self.label!r})"

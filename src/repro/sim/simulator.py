@@ -1,0 +1,126 @@
+"""A minimal, deterministic discrete-event simulator.
+
+Time is expressed in milliseconds throughout the code base; the choice keeps
+the DNN stage execution times (a few hundred microseconds to a few
+milliseconds) and the task periods (tens of milliseconds) in a comfortable
+numeric range.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from repro.sim.events import Event, EventHandle
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used incorrectly (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Discrete-event simulation loop.
+
+    The simulator owns the virtual clock and an event heap.  Components
+    schedule callbacks at absolute times or after relative delays, and the
+    main loop fires them in deterministic order.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._fired = 0
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[["Simulator"], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f} ms, current time is {self._now:.6f} ms"
+            )
+        event = Event(time=max(time, self._now), priority=priority, callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[["Simulator"], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` after a relative ``delay`` in milliseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay:.6f} ms")
+        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    def run_until(self, end_time: float) -> None:
+        """Run events with timestamps strictly up to and including ``end_time``.
+
+        The clock is advanced to ``end_time`` even if the queue drains early so
+        that rate-based measurements (jobs per second) use the intended
+        horizon.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            event = self._heap[0]
+            if event.time > end_time + 1e-12:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            event.fire(self)
+            self._fired += 1
+        self._now = max(self._now, end_time)
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue is empty or ``max_events`` events have fired."""
+        self._stopped = False
+        fired_here = 0
+        while self._heap and not self._stopped:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            event.fire(self)
+            self._fired += 1
+            fired_here += 1
+            if max_events is not None and fired_here >= max_events:
+                break
+
+    def peek_next_time(self) -> Optional[float]:
+        """Return the timestamp of the next non-cancelled event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.3f} ms, pending={len(self._heap)})"

@@ -1,0 +1,130 @@
+"""Arrival processes for periodic and aperiodic real-time workloads.
+
+DARIS targets periodic soft real-time inference tasks, so the primary process
+is :class:`PeriodicArrival` (period, phase, optional bounded release jitter).
+A Poisson process is included for baseline inference-server experiments
+(e.g. the batching upper-bound study), where requests are not periodic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """A single job arrival produced by an arrival process."""
+
+    index: int
+    time: float
+
+
+class PeriodicArrival:
+    """Generates job releases every ``period`` ms starting at ``phase``.
+
+    Optional release jitter models the small variability of a real-time
+    pipeline's sensor/frame arrival; jitter is bounded to stay strictly below
+    one period so job indices remain in release order.
+    """
+
+    def __init__(
+        self,
+        period: float,
+        phase: float = 0.0,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if jitter < 0 or jitter >= period:
+            raise ValueError(f"jitter must be in [0, period), got {jitter}")
+        self.period = float(period)
+        self.phase = float(phase)
+        self.jitter = float(jitter)
+        self._rng = rng
+        self._index = 0
+
+    def nominal_release(self, index: int) -> float:
+        """Release time of job ``index`` without jitter."""
+        return self.phase + index * self.period
+
+    def next_arrival(self) -> ArrivalEvent:
+        """Produce the next arrival (with jitter applied if configured)."""
+        base = self.nominal_release(self._index)
+        offset = 0.0
+        if self.jitter > 0 and self._rng is not None:
+            offset = float(self._rng.uniform(0.0, self.jitter))
+        event = ArrivalEvent(index=self._index, time=base + offset)
+        self._index += 1
+        return event
+
+    def drive(
+        self,
+        simulator: Simulator,
+        horizon: float,
+        callback: Callable[[ArrivalEvent], None],
+    ) -> int:
+        """Schedule all arrivals up to ``horizon`` on ``simulator``.
+
+        Returns the number of arrivals scheduled.  The callback receives the
+        :class:`ArrivalEvent`; it is invoked at the arrival time.
+        """
+        count = 0
+        while True:
+            event = self.next_arrival()
+            if event.time > horizon:
+                break
+            simulator.schedule_at(
+                event.time,
+                lambda _sim, ev=event: callback(ev),
+                priority=-1,
+                label=f"release[{event.index}]",
+            )
+            count += 1
+        return count
+
+
+class PoissonArrival:
+    """Memoryless arrival process with a given mean rate (jobs per second)."""
+
+    def __init__(self, rate_jps: float, rng: np.random.Generator, start: float = 0.0):
+        if rate_jps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_jps}")
+        self.rate_jps = float(rate_jps)
+        self._rng = rng
+        self._time = float(start)
+        self._index = 0
+
+    def next_arrival(self) -> ArrivalEvent:
+        """Draw the next arrival using exponential inter-arrival times."""
+        gap_ms = float(self._rng.exponential(1000.0 / self.rate_jps))
+        self._time += gap_ms
+        event = ArrivalEvent(index=self._index, time=self._time)
+        self._index += 1
+        return event
+
+    def drive(
+        self,
+        simulator: Simulator,
+        horizon: float,
+        callback: Callable[[ArrivalEvent], None],
+    ) -> int:
+        """Schedule all arrivals up to ``horizon`` on ``simulator``."""
+        count = 0
+        while True:
+            event = self.next_arrival()
+            if event.time > horizon:
+                break
+            simulator.schedule_at(
+                event.time,
+                lambda _sim, ev=event: callback(ev),
+                priority=-1,
+                label=f"arrival[{event.index}]",
+            )
+            count += 1
+        return count

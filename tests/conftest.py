@@ -1,0 +1,37 @@
+"""Shared fixtures: calibrated models are expensive enough to build once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dnn.zoo import build_inceptionv3, build_resnet18, build_resnet50, build_unet
+
+
+@pytest.fixture(scope="session")
+def resnet18():
+    return build_resnet18()
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    return build_resnet50()
+
+
+@pytest.fixture(scope="session")
+def unet():
+    return build_unet()
+
+
+@pytest.fixture(scope="session")
+def inceptionv3():
+    return build_inceptionv3()
+
+
+@pytest.fixture(scope="session")
+def all_models(resnet18, resnet50, unet, inceptionv3):
+    return {
+        "resnet18": resnet18,
+        "resnet50": resnet50,
+        "unet": unet,
+        "inceptionv3": inceptionv3,
+    }

@@ -1,0 +1,69 @@
+"""Tests for the analysis helpers (stats, tables, ASCII plots)."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_bar_chart, ascii_series
+from repro.analysis.stats import normalize, percentile, summarize_series
+from repro.analysis.tables import format_comparison, format_table
+
+
+def test_normalize_divides_by_reference():
+    assert normalize([1.0, 2.0, 3.0], 2.0) == [0.5, 1.0, 1.5]
+    with pytest.raises(ValueError):
+        normalize([1.0], 0.0)
+
+
+def test_percentile_handles_empty_and_bounds():
+    assert percentile([], 50) == 0.0
+    assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)
+
+
+def test_summarize_series():
+    summary = summarize_series([1.0, 2.0, 3.0, 4.0])
+    assert summary["mean"] == pytest.approx(2.5)
+    assert summary["min"] == 1.0 and summary["max"] == 4.0
+    assert summarize_series([])["p95"] == 0.0
+
+
+def test_format_table_alignment_and_order():
+    rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 20.0}]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.50" in text and "20.00" in text
+    assert len(lines) == 4  # header, separator, two rows
+
+
+def test_format_table_empty_and_explicit_columns():
+    assert format_table([]) == "(no rows)"
+    rows = [{"a": 1, "b": 2}]
+    text = format_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+
+
+def test_format_comparison_adds_ratio():
+    rows = [{"system": "daris", "measured": 500.0, "paper": 498.0}]
+    text = format_comparison(rows)
+    assert "1.00" in text
+    rows = [{"system": "x", "measured": 1.0, "paper": "-"}]
+    assert "-" in format_comparison(rows)
+
+
+def test_ascii_bar_chart_scales_bars():
+    chart = ascii_bar_chart({"a": 10.0, "b": 5.0}, width=10)
+    lines = chart.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+    assert ascii_bar_chart({}) == "(no data)"
+
+
+def test_ascii_series_renders_grid():
+    points = [(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]
+    plot = ascii_series(points, height=5, width=20, title="t")
+    lines = plot.splitlines()
+    assert lines[0] == "t"
+    assert len(lines) == 7  # title + 5 rows + axis legend
+    assert plot.count("*") == 3
+    assert ascii_series([]) == "(no data)"

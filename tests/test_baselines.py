@@ -1,0 +1,111 @@
+"""Tests for the baseline executors and schedulers."""
+
+import pytest
+
+from repro.baselines.batching_server import BatchingServer, saturated_batching_jps
+from repro.baselines.clockwork import ClockworkServer
+from repro.baselines.gslice import GSliceServer
+from repro.baselines.rtgpu import RtgpuScheduler
+from repro.baselines.single import SingleTenantExecutor
+from repro.rt.taskset import make_taskset
+from repro.scheduler.config import DarisConfig
+
+HORIZON = 800.0
+
+
+def test_single_tenant_matches_table1_min_jps(resnet18):
+    executor = SingleTenantExecutor(resnet18)
+    jps = executor.run(HORIZON)
+    assert jps == pytest.approx(627.0, rel=0.05)
+    assert executor.measured_latency_ms() == pytest.approx(1.6, rel=0.1)
+
+
+def test_single_tenant_unet_and_inception(unet, inceptionv3):
+    assert SingleTenantExecutor(unet).run(HORIZON) == pytest.approx(241.0, rel=0.05)
+    assert SingleTenantExecutor(inceptionv3).run(HORIZON) == pytest.approx(142.0, rel=0.06)
+
+
+def test_single_tenant_rejects_bad_horizon(resnet18):
+    with pytest.raises(ValueError):
+        SingleTenantExecutor(resnet18).run(0.0)
+
+
+def test_batching_server_saturated_approaches_table1_max(resnet18):
+    jps = saturated_batching_jps(resnet18, batch_size=16, horizon_ms=HORIZON)
+    assert jps == pytest.approx(1025.0, rel=0.07)
+
+
+def test_batching_server_gain_ordering_across_models(unet, inceptionv3):
+    unet_gain = saturated_batching_jps(unet, 8, HORIZON) / 241.0
+    inception_gain = saturated_batching_jps(inceptionv3, 8, HORIZON) / 142.0
+    assert inception_gain > 2.0
+    assert unet_gain < 1.3
+
+
+def test_batching_server_records_batch_latencies(resnet18):
+    server = BatchingServer(resnet18, batch_size=4)
+    server.run_saturated(200.0)
+    assert server.completed_batches > 0
+    assert server.completed_jobs == server.completed_batches * 4
+    assert all(latency > 0 for latency in server.batch_latencies_ms)
+
+
+def test_batching_server_rejects_invalid_batch(resnet18):
+    with pytest.raises(ValueError):
+        BatchingServer(resnet18, batch_size=0)
+
+
+def test_batching_with_arrivals_reports_deadline_misses(resnet18):
+    server = BatchingServer(resnet18, batch_size=8)
+    # Slow arrivals with tight deadlines: waiting for the batch to fill causes misses,
+    # which is the paper's argument against batching for real-time inference.
+    summary = server.run_with_arrivals(
+        arrival_rate_jps=100.0, deadline_ms=20.0, horizon_ms=1000.0
+    )
+    assert summary["completed"] > 0
+    assert summary["deadline_miss_rate"] > 0.2
+
+
+def test_gslice_partitions_run_every_model(resnet18, unet):
+    server = GSliceServer([resnet18, unet], batch_sizes=[8, 2])
+    results = server.run_saturated(HORIZON)
+    assert results["resnet18"] > 0 and results["unet"] > 0
+    assert results["total"] == pytest.approx(results["resnet18"] + results["unet"])
+    # Isolated halves cannot beat the whole-GPU batching baseline per model.
+    assert results["resnet18"] < 1025.0
+
+
+def test_gslice_validation(resnet18):
+    with pytest.raises(ValueError):
+        GSliceServer([])
+    with pytest.raises(ValueError):
+        GSliceServer([resnet18], batch_sizes=[1, 2])
+
+
+def test_clockwork_serves_feasible_load_without_misses(resnet18):
+    taskset = make_taskset([resnet18], num_high=2, num_low=2, task_jps=20.0)
+    summary = ClockworkServer().run_taskset(taskset, HORIZON)
+    assert summary["throughput_jps"] > 0
+    assert summary["deadline_miss_rate"] <= 0.05
+    assert summary["drop_rate"] <= 0.05
+
+
+def test_clockwork_drops_when_overloaded(resnet18):
+    taskset = make_taskset([resnet18], num_high=10, num_low=30, task_jps=30.0)
+    summary = ClockworkServer().run_taskset(taskset, HORIZON)
+    # One-DNN-at-a-time throughput is bounded by the single-stream rate, and
+    # the excess demand is dropped up front rather than missed.
+    assert summary["throughput_jps"] < 700.0
+    assert summary["drop_rate"] > 0.3
+    assert summary["deadline_miss_rate"] < 0.2
+
+
+def test_rtgpu_has_no_priority_differentiation(resnet18):
+    taskset = make_taskset([resnet18], num_high=6, num_low=12, task_jps=30.0)
+    metrics = RtgpuScheduler(DarisConfig.mps_config(4, 4.0)).run_taskset(taskset, HORIZON, seed=2)
+    assert metrics.total_jps > 0
+    # Without prioritization both classes see similar treatment: HP is not
+    # shielded, so its miss/rejection behaviour is no longer strictly better.
+    hp_resp = metrics.high.response_time_stats()["mean"]
+    lp_resp = metrics.low.response_time_stats()["mean"]
+    assert hp_resp == pytest.approx(lp_resp, rel=0.5)

@@ -1,0 +1,79 @@
+"""Tests for the batching model (Figure 1 / Table I calibration)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnn.batching import (
+    batched_latency_ms,
+    batched_stage_specs,
+    batching_gain,
+    batching_target_jps,
+    batching_throughput_curve,
+    work_per_inference,
+)
+from repro.dnn.zoo import build_model
+
+
+def test_batch_size_one_returns_original_stages(resnet18):
+    assert batched_stage_specs(resnet18, 1) == list(resnet18.stages)
+
+
+def test_invalid_batch_size_rejected(resnet18):
+    with pytest.raises(ValueError):
+        batched_stage_specs(resnet18, 0)
+    with pytest.raises(ValueError):
+        work_per_inference(resnet18, 0)
+
+
+def test_batched_parallelism_widens_and_caps(resnet18):
+    stages = batched_stage_specs(resnet18, 8)
+    for original, batched in zip(resnet18.stages, stages):
+        assert batched.parallelism >= original.parallelism
+        assert batched.parallelism <= 68.0
+        assert batched.num_kernels == original.num_kernels
+
+
+def test_batched_throughput_matches_table1_gain(all_models):
+    expectations = {"resnet18": 1.63, "resnet50": 1.73, "unet": 1.08, "inceptionv3": 3.13}
+    for name, model in all_models.items():
+        gain = batching_gain(model, 16)
+        assert gain == pytest.approx(expectations[name], rel=0.05), name
+
+
+def test_batching_curve_is_monotonically_non_decreasing(all_models):
+    for name, model in all_models.items():
+        curve = batching_throughput_curve(model, [1, 2, 4, 8, 16, 32])
+        assert all(b >= a - 1e-6 for a, b in zip(curve, curve[1:])), name
+
+
+def test_inceptionv3_benefits_most_unet_least(all_models):
+    gains = {name: batching_gain(model, 8) for name, model in all_models.items()}
+    assert gains["inceptionv3"] > gains["resnet18"] > gains["unet"]
+
+
+def test_batched_latency_grows_with_batch_size(resnet18):
+    assert batched_latency_ms(resnet18, 8) > batched_latency_ms(resnet18, 2)
+
+
+def test_batch_size_one_target_equals_single_stream(resnet18):
+    assert batching_target_jps(resnet18, 1) == resnet18.profile.single_stream_jps
+
+
+def test_per_inference_work_interpolates_towards_saturation(inceptionv3):
+    w1 = work_per_inference(inceptionv3, 1)
+    w4 = work_per_inference(inceptionv3, 4)
+    w32 = work_per_inference(inceptionv3, 32)
+    # InceptionV3's big batching gain means large batches need *less* work per
+    # inference than the launch-gap-dominated single inference.
+    assert w1 == pytest.approx(inceptionv3.total_work)
+    assert w32 < w4 < w1
+
+
+@settings(deadline=None, max_examples=20)
+@given(batch=st.integers(min_value=1, max_value=64))
+def test_property_batched_work_split_preserves_fractions(batch):
+    model = build_model("resnet18")
+    stages = batched_stage_specs(model, batch)
+    total = sum(stage.work for stage in stages)
+    for original, batched in zip(model.stages, stages):
+        assert batched.work / total == pytest.approx(original.work / model.total_work, rel=1e-6)

@@ -1,0 +1,89 @@
+"""Tests for layer descriptors and calibration profiles."""
+
+import pytest
+
+from repro.dnn.layer import LayerKind, concat, conv2d, elementwise, linear, pool2d
+from repro.dnn.profiles import PROFILES, get_profile
+
+
+def test_conv2d_flops_scale_with_channels_and_spatial():
+    small = conv2d("a", 16, 16, 28)
+    big_channels = conv2d("b", 32, 32, 28)
+    big_spatial = conv2d("c", 16, 16, 56)
+    assert big_channels.flops_m == pytest.approx(small.flops_m * 4)
+    assert big_spatial.flops_m == pytest.approx(small.flops_m * 4)
+
+
+def test_conv2d_stride_reduces_output_elements():
+    stride1 = conv2d("a", 16, 32, 28, stride=1)
+    stride2 = conv2d("b", 16, 32, 28, stride=2)
+    assert stride2.output_elements == stride1.output_elements // 4
+
+
+def test_conv2d_unfused_expands_to_three_kernels():
+    assert conv2d("a", 8, 8, 14, fused_bn_relu=False).kernel_count == 3
+    assert conv2d("a", 8, 8, 14).kernel_count == 1
+
+
+def test_pool_linear_elementwise_concat_kinds():
+    assert pool2d("p", 64, 56).kind is LayerKind.POOL2D
+    assert linear("l", 512, 1000).kind is LayerKind.LINEAR
+    assert elementwise("e", 64, 56).kind is LayerKind.ELEMENTWISE
+    assert concat("c", 128, 28).kind is LayerKind.CONCAT
+
+
+def test_linear_flops_formula():
+    layer = linear("fc", 512, 1000)
+    assert layer.flops_m == pytest.approx(2 * 512 * 1000 / 1e6)
+    assert layer.output_elements == 1000
+
+
+def test_relative_width_grows_with_output_size():
+    narrow = linear("fc", 512, 10)
+    wide = conv2d("conv", 64, 64, 112)
+    assert wide.relative_width > narrow.relative_width
+
+
+def test_layer_validation():
+    with pytest.raises(ValueError):
+        conv2d("bad", 3, 0, 0)
+
+
+def test_profiles_cover_all_paper_networks():
+    assert set(PROFILES) == {"resnet18", "resnet50", "unet", "inceptionv3"}
+
+
+def test_profile_table1_anchors():
+    resnet18 = get_profile("resnet18")
+    assert resnet18.single_stream_jps == 627.0
+    assert resnet18.batched_max_jps == 1025.0
+    assert resnet18.batching_gain == pytest.approx(1.63, abs=0.02)
+    unet = get_profile("UNet")  # case-insensitive lookup
+    assert unet.batching_gain == pytest.approx(1.08, abs=0.01)
+
+
+def test_profile_isolated_latency_is_inverse_of_min_jps():
+    profile = get_profile("inceptionv3")
+    assert profile.isolated_latency_ms == pytest.approx(1000.0 / 142.0)
+
+
+def test_profile_occupancy_ordering_matches_architecture_story():
+    # UNet (wide) occupies far more of the GPU per job than InceptionV3 (narrow).
+    assert get_profile("unet").occupancy_fraction > get_profile("resnet18").occupancy_fraction
+    assert get_profile("resnet18").occupancy_fraction > get_profile("inceptionv3").occupancy_fraction
+
+
+def test_profile_colocation_roofline():
+    profile = get_profile("resnet18")
+    assert profile.colocation_roofline_jps() == pytest.approx(627.0 / 0.52)
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(KeyError):
+        get_profile("vgg16")
+
+
+def test_profile_preferred_batch_sizes_match_paper():
+    assert get_profile("resnet18").preferred_batch_size == 4
+    assert get_profile("unet").preferred_batch_size == 2
+    assert get_profile("inceptionv3").preferred_batch_size == 8

@@ -1,0 +1,123 @@
+"""Tests for model calibration, staging and the model zoo."""
+
+import pytest
+
+from repro.dnn.layer import conv2d, linear
+from repro.dnn.model import calibrate_model, launch_gap_ms
+from repro.dnn.profiles import DnnProfile, get_profile
+from repro.dnn.stage import build_stages
+from repro.dnn.zoo import available_models, build_model
+
+
+def test_zoo_lists_all_paper_networks():
+    assert available_models() == ["inceptionv3", "resnet18", "resnet50", "unet"]
+
+
+def test_unknown_model_raises():
+    with pytest.raises(KeyError):
+        build_model("mobilenet")
+
+
+def test_every_model_has_four_stages(all_models):
+    for model in all_models.values():
+        assert model.num_stages == 4
+
+
+def test_isolated_latency_matches_table1(all_models):
+    for name, model in all_models.items():
+        expected = 1000.0 / get_profile(name).single_stream_jps
+        assert model.isolated_latency_ms() == pytest.approx(expected, rel=0.01), name
+
+
+def test_mean_parallelism_reflects_occupancy_split(all_models):
+    # During kernel execution the occupancy is higher than the end-to-end
+    # occupancy fraction (gaps excluded), and never exceeds the GPU width.
+    for name, model in all_models.items():
+        profile = get_profile(name)
+        assert model.mean_parallelism() >= profile.occupancy_fraction * 68 - 1e-6, name
+        assert model.mean_parallelism() <= 68.0 + 1e-6, name
+
+
+def test_total_work_pins_colocation_roofline(all_models):
+    for name, model in all_models.items():
+        profile = get_profile(name)
+        roofline = 68000.0 / model.total_work
+        assert roofline == pytest.approx(profile.colocation_roofline_jps(), rel=0.01), name
+
+
+def test_unet_is_widest_and_inception_narrowest(all_models):
+    assert all_models["unet"].mean_parallelism() > all_models["resnet18"].mean_parallelism()
+    assert all_models["resnet18"].mean_parallelism() > all_models["inceptionv3"].mean_parallelism()
+
+
+def test_inceptionv3_has_most_kernels(all_models):
+    assert all_models["inceptionv3"].total_kernels > all_models["resnet18"].total_kernels
+
+
+def test_stage_work_fractions_sum_to_one(all_models):
+    for model in all_models.values():
+        assert sum(model.stage_work_fractions()) == pytest.approx(1.0)
+
+
+def test_merged_model_preserves_work_and_kernels(resnet18):
+    merged = resnet18.merged()
+    assert merged.num_stages == 1
+    assert merged.total_work == pytest.approx(resnet18.total_work)
+    assert merged.total_kernels == resnet18.total_kernels
+    assert merged.stages[0].parallelism <= 68.0
+
+
+def test_launch_gap_helper_matches_model_accessor(resnet18):
+    expected = launch_gap_ms(resnet18.total_kernels, resnet18.num_stages, resnet18.gpu)
+    assert resnet18.launch_gap_ms() == pytest.approx(expected)
+
+
+def test_build_stages_validates_boundaries():
+    layers = [conv2d("a", 3, 8, 32), conv2d("b", 8, 8, 32), linear("c", 8, 10)]
+    stages = build_stages("tiny", layers, [2, 3])
+    assert [len(stage) for stage in stages] == [2, 1]
+    with pytest.raises(ValueError):
+        build_stages("tiny", layers, [3, 2])
+    with pytest.raises(ValueError):
+        build_stages("tiny", layers, [2])
+    with pytest.raises(ValueError):
+        build_stages("tiny", layers, [])
+    with pytest.raises(ValueError):
+        build_stages("tiny", layers, [0, 3])
+
+
+def test_calibrate_model_rejects_wrong_stage_count():
+    profile = get_profile("resnet18")
+    with pytest.raises(ValueError):
+        calibrate_model("bad", profile, [[conv2d("a", 3, 8, 32)]])
+
+
+def test_calibrate_custom_model_hits_its_profile():
+    profile = DnnProfile(
+        name="toy",
+        single_stream_jps=1000.0,
+        batched_max_jps=1500.0,
+        occupancy_fraction=0.5,
+        batch_saturation_scale=2.0,
+        memory_intensity=0.3,
+        num_stages=2,
+        preferred_batch_size=4,
+    )
+    stage_a = [conv2d("a", 3, 32, 64), conv2d("b", 32, 32, 64)]
+    stage_b = [conv2d("c", 32, 64, 32), linear("fc", 64, 10)]
+    model = calibrate_model("toy", profile, [stage_a, stage_b])
+    assert model.isolated_latency_ms() == pytest.approx(1.0, rel=0.01)
+    assert model.total_work == pytest.approx(0.5 * 68 * 1.0, rel=0.01)
+
+
+def test_stage_to_kernel_spec_round_trip(resnet18):
+    stage = resnet18.stages[0]
+    spec = stage.to_kernel_spec()
+    assert spec.work == pytest.approx(stage.work)
+    assert spec.parallelism == pytest.approx(stage.parallelism)
+    assert spec.num_launches == stage.num_kernels
+
+
+def test_stage_isolated_duration_respects_available_sms(resnet18):
+    stage = resnet18.stages[0]
+    assert stage.isolated_duration_ms(10.0) > stage.isolated_duration_ms(68.0)

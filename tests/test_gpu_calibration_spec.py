@@ -1,0 +1,54 @@
+"""Tests for the GPU spec and the interference calibration."""
+
+import pytest
+
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.spec import GpuSpec, JETSON_XAVIER, RTX_2080_TI
+
+
+def test_rtx_2080_ti_matches_paper_platform():
+    assert RTX_2080_TI.num_sms == 68
+    assert RTX_2080_TI.mps_supported
+
+
+def test_embedded_gpu_has_no_mps():
+    assert not JETSON_XAVIER.mps_supported
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        GpuSpec(name="bad", num_sms=0)
+    with pytest.raises(ValueError):
+        GpuSpec(name="bad", num_sms=4, launch_overhead_ms=-1.0)
+
+
+def test_intra_efficiency_decreases_with_concurrency():
+    calibration = DEFAULT_CALIBRATION
+    values = [calibration.intra_efficiency(n) for n in range(1, 6)]
+    assert values[0] == pytest.approx(1.0)
+    assert all(earlier > later for earlier, later in zip(values, values[1:]))
+
+
+def test_contention_efficiency_is_one_without_pressure():
+    assert DEFAULT_CALIBRATION.contention_efficiency(1.0, 0.5) == pytest.approx(1.0)
+    assert DEFAULT_CALIBRATION.contention_efficiency(0.5, 0.5) == pytest.approx(1.0)
+
+
+def test_contention_efficiency_penalizes_memory_bound_kernels_more():
+    calibration = DEFAULT_CALIBRATION
+    compute_bound = calibration.contention_efficiency(3.0, 0.1)
+    memory_bound = calibration.contention_efficiency(3.0, 0.9)
+    assert memory_bound < compute_bound < 1.0
+
+
+def test_noise_sigma_grows_with_sharing():
+    calibration = DEFAULT_CALIBRATION
+    quiet = calibration.noise_sigma(1, 1.0)
+    shared = calibration.noise_sigma(3, 1.0)
+    contended = calibration.noise_sigma(3, 2.5)
+    assert quiet < shared < contended
+
+
+def test_custom_calibration_round_trip():
+    calibration = GpuCalibration(intra_stream_penalty=0.0)
+    assert calibration.intra_efficiency(10) == pytest.approx(1.0)

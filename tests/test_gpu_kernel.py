@@ -1,0 +1,46 @@
+"""Tests for kernel specifications and runtime instances."""
+
+import pytest
+
+from repro.gpu.kernel import KernelInstance, KernelSpec, KernelState
+
+
+def test_kernel_spec_isolated_duration():
+    spec = KernelSpec(name="k", work=40.0, parallelism=20.0)
+    assert spec.isolated_duration_ms == pytest.approx(2.0)
+
+
+def test_kernel_spec_validation():
+    with pytest.raises(ValueError):
+        KernelSpec(name="k", work=-1.0, parallelism=10.0)
+    with pytest.raises(ValueError):
+        KernelSpec(name="k", work=1.0, parallelism=0.0)
+    with pytest.raises(ValueError):
+        KernelSpec(name="k", work=1.0, parallelism=1.0, num_launches=0)
+    with pytest.raises(ValueError):
+        KernelSpec(name="k", work=1.0, parallelism=1.0, memory_intensity=1.5)
+
+
+def test_kernel_spec_scaled_caps_parallelism():
+    spec = KernelSpec(name="k", work=10.0, parallelism=30.0)
+    scaled = spec.scaled(work_scale=4.0, parallelism_scale=4.0, max_parallelism=68.0)
+    assert scaled.work == pytest.approx(40.0)
+    assert scaled.parallelism == pytest.approx(68.0)
+    assert scaled.num_launches == spec.num_launches
+
+
+def test_kernel_instance_lifecycle_fields():
+    spec = KernelSpec(name="k", work=10.0, parallelism=5.0)
+    instance = KernelInstance(spec=spec, stream_id=0, context_id=0)
+    assert instance.state is KernelState.QUEUED
+    instance.start_time = 1.0
+    instance.finish_time = 3.0
+    instance.enqueue_time = 0.5
+    assert instance.execution_time_ms == pytest.approx(2.0)
+    assert instance.service_time_ms == pytest.approx(2.5)
+
+
+def test_kernel_instance_uids_are_unique():
+    spec = KernelSpec(name="k", work=1.0, parallelism=1.0)
+    uids = {KernelInstance(spec=spec, stream_id=0, context_id=0).uid for _ in range(100)}
+    assert len(uids) == 100

@@ -1,0 +1,73 @@
+"""Tests for MPS partitioning (paper Equation 9)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.mps import ceil_even, partition_quotas, sm_quota, total_oversubscription_ratio
+
+
+def test_ceil_even_rounds_up_to_even():
+    assert ceil_even(11.2) == 12
+    assert ceil_even(12.0) == 12
+    assert ceil_even(12.1) == 14
+    assert ceil_even(1.0) == 2
+
+
+def test_ceil_even_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        ceil_even(0.0)
+
+
+def test_equation9_examples_from_paper_configurations():
+    # 6 contexts, OS = 6 -> every context sees the whole GPU.
+    assert sm_quota(68, 6, 6.0) == 68
+    # 6 contexts, OS = 1 -> ceil_even(68 / 6) = 12.
+    assert sm_quota(68, 6, 1.0) == 12
+    # 2 contexts, OS = 1 -> 34.
+    assert sm_quota(68, 2, 1.0) == 34
+    # 3 contexts, OS = 1.5 -> ceil_even(34) = 34.
+    assert sm_quota(68, 3, 1.5) == 34
+
+
+def test_quota_never_exceeds_physical_sm_count():
+    assert sm_quota(68, 2, 2.0) == 68
+    assert sm_quota(68, 1, 1.0) == 68
+
+
+def test_oversubscription_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        sm_quota(68, 4, 0.5)
+    with pytest.raises(ValueError):
+        sm_quota(68, 4, 5.0)
+    with pytest.raises(ValueError):
+        sm_quota(68, 0, 1.0)
+
+
+def test_partition_quotas_are_equal_for_all_contexts():
+    quotas = partition_quotas(68, 4, 2.0)
+    assert len(quotas) == 4
+    assert len(set(quotas)) == 1
+
+
+def test_total_oversubscription_ratio():
+    quotas = partition_quotas(68, 6, 6.0)
+    assert total_oversubscription_ratio(68, quotas) == pytest.approx(6.0)
+    quotas = partition_quotas(68, 6, 1.0)
+    assert total_oversubscription_ratio(68, quotas) == pytest.approx(72.0 / 68.0)
+
+
+@given(
+    num_sms=st.integers(min_value=2, max_value=256),
+    num_contexts=st.integers(min_value=1, max_value=16),
+    data=st.data(),
+)
+def test_property_quota_bounds(num_sms, num_contexts, data):
+    oversubscription = data.draw(
+        st.floats(min_value=1.0, max_value=float(num_contexts), allow_nan=False)
+    )
+    quota = sm_quota(num_sms, num_contexts, oversubscription)
+    # Quotas are even unless capped at an odd physical SM count.
+    assert quota % 2 == 0 or quota == num_sms
+    assert 2 <= quota <= num_sms
+    # The quota never falls below an even share of the requested oversubscription.
+    assert quota >= min(num_sms, oversubscription * num_sms / num_contexts) - 2

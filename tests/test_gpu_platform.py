@@ -1,0 +1,68 @@
+"""Tests for the GPU platform facade."""
+
+import pytest
+
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.platform import GpuPlatform, PlatformConfig
+from repro.gpu.spec import RTX_2080_TI
+from repro.sim.simulator import Simulator
+
+
+def test_platform_config_validation():
+    with pytest.raises(ValueError):
+        PlatformConfig(num_contexts=0, streams_per_context=1, oversubscription=1.0)
+    with pytest.raises(ValueError):
+        PlatformConfig(num_contexts=2, streams_per_context=0, oversubscription=1.0)
+    with pytest.raises(ValueError):
+        PlatformConfig(num_contexts=2, streams_per_context=1, oversubscription=3.0)
+
+
+def test_platform_config_labels_and_parallelism():
+    config = PlatformConfig(num_contexts=3, streams_per_context=2, oversubscription=1.5)
+    assert config.max_parallel_jobs == 6
+    assert config.label() == "3x2 OS1.5"
+    assert PlatformConfig(6, 1, 6.0).label() == "6x1 OS6"
+
+
+def test_platform_builds_requested_layout():
+    platform = GpuPlatform(Simulator(), PlatformConfig(3, 2, 3.0))
+    assert platform.num_contexts == 3
+    assert platform.streams_per_context == 2
+    assert platform.sm_quota == 68
+    assert platform.context(1).context_id == 1
+
+
+def test_platform_quota_follows_equation9():
+    platform = GpuPlatform(Simulator(), PlatformConfig(6, 1, 1.0))
+    assert platform.sm_quota == 12
+
+
+def test_idle_stream_tracking():
+    simulator = Simulator()
+    platform = GpuPlatform(simulator, PlatformConfig(1, 2, 1.0))
+    assert platform.idle_stream_index(0) == 0
+    assert platform.idle_stream_count(0) == 2
+    platform.launch(0, 0, KernelSpec("k", work=68.0, parallelism=68.0))
+    assert platform.idle_stream_index(0) == 1
+    assert platform.busy_stream_count(0) == 1
+    simulator.run_until(10.0)
+    assert platform.idle_stream_count(0) == 2
+    assert platform.is_idle()
+
+
+def test_launch_completion_callback_receives_kernel():
+    simulator = Simulator()
+    platform = GpuPlatform(simulator, PlatformConfig(2, 1, 2.0), spec=RTX_2080_TI)
+    seen = []
+    platform.launch(1, 0, KernelSpec("k", work=6.8, parallelism=68.0), seen.append)
+    simulator.run_until(10.0)
+    assert len(seen) == 1
+    assert seen[0].context_id == platform.context(1).context_id
+
+
+def test_average_utilization_reflects_load():
+    simulator = Simulator()
+    platform = GpuPlatform(simulator, PlatformConfig(1, 1, 1.0))
+    platform.launch(0, 0, KernelSpec("k", work=680.0, parallelism=68.0))
+    simulator.run_until(10.0)
+    assert platform.average_utilization() > 0.9

@@ -1,0 +1,84 @@
+"""Tests for the stream FIFO and context bookkeeping."""
+
+import pytest
+
+from repro.gpu.context import Context
+from repro.gpu.kernel import KernelInstance, KernelSpec, KernelState
+from repro.gpu.stream import Stream
+
+
+def _instance(name="k"):
+    return KernelInstance(
+        spec=KernelSpec(name=name, work=1.0, parallelism=1.0), stream_id=0, context_id=0
+    )
+
+
+def test_stream_push_reports_head_transition():
+    stream = Stream(stream_id=0, context_id=0)
+    assert stream.push(_instance("a")) is True
+    assert stream.push(_instance("b")) is False
+    assert stream.depth == 2
+
+
+def test_stream_pop_head_fifo_order():
+    stream = Stream(stream_id=0, context_id=0)
+    first, second = _instance("a"), _instance("b")
+    stream.push(first)
+    stream.push(second)
+    assert stream.pop_head() is first
+    assert stream.head is second
+
+
+def test_stream_pop_empty_raises():
+    with pytest.raises(RuntimeError):
+        Stream(stream_id=0, context_id=0).pop_head()
+
+
+def test_stream_idle_state():
+    stream = Stream(stream_id=0, context_id=0)
+    assert stream.is_idle
+    stream.push(_instance())
+    assert not stream.is_idle
+
+
+def test_context_requires_positive_quota():
+    with pytest.raises(ValueError):
+        Context(context_id=0, sm_quota=0)
+
+
+def test_context_creates_streams_with_unique_ids():
+    context = Context(context_id=0, sm_quota=34)
+    streams = [context.create_stream() for _ in range(3)]
+    assert [s.stream_id for s in streams] == [0, 1, 2]
+    assert context.stream(1) is streams[1]
+    with pytest.raises(KeyError):
+        context.stream(99)
+
+
+def test_context_busy_and_idle_stream_accounting():
+    context = Context(context_id=0, sm_quota=34)
+    s0, s1 = context.create_stream(), context.create_stream()
+    s0.push(_instance())
+    assert context.busy_stream_count() == 1
+    assert context.idle_streams() == [s1]
+    assert context.queue_depth() == 1
+
+
+def test_context_running_kernels_only_counts_running_heads():
+    context = Context(context_id=0, sm_quota=34)
+    stream = context.create_stream()
+    head, queued = _instance("head"), _instance("queued")
+    stream.push(head)
+    stream.push(queued)
+    assert context.running_kernels() == []
+    head.state = KernelState.RUNNING
+    assert context.running_kernels() == [head]
+
+
+def test_context_snapshot_contents():
+    context = Context(context_id=3, sm_quota=12)
+    context.create_stream()
+    snapshot = context.snapshot()
+    assert snapshot["context_id"] == 3
+    assert snapshot["sm_quota"] == 12
+    assert snapshot["streams"] == 1

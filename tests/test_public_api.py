@@ -1,0 +1,34 @@
+"""Tests of the top-level package surface (what the README advertises)."""
+
+import repro
+
+
+def test_version_is_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_names_are_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_pipeline_via_public_api_only():
+    model = repro.build_model("resnet18")
+    taskset = repro.table2_taskset("resnet18", model=model, scale=0.3)
+    config = repro.DarisConfig.mps_config(3, 3.0)
+    result = repro.run_daris_scenario(taskset, config, horizon_ms=600.0, seed=1)
+    assert result.total_jps > 0
+    assert result.metrics.high.deadline_miss_rate <= 1.0
+
+
+def test_available_models_lists_the_zoo():
+    assert set(repro.available_models()) == {"resnet18", "resnet50", "unet", "inceptionv3"}
+
+
+def test_platform_is_constructible_from_public_api():
+    platform = repro.GpuPlatform(
+        repro.Simulator(),
+        repro.PlatformConfig(num_contexts=2, streams_per_context=1, oversubscription=2.0),
+        spec=repro.RTX_2080_TI,
+    )
+    assert platform.num_contexts == 2

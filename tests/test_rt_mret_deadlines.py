@@ -1,0 +1,109 @@
+"""Tests for MRET estimation (Eqs. 1-2) and virtual deadlines (Eq. 8)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rt.deadlines import virtual_deadline_shares
+from repro.rt.mret import MretEstimator, TaskTimingModel
+
+
+def test_mret_empty_returns_initial_or_zero():
+    assert MretEstimator(window_size=5).value() == 0.0
+    assert MretEstimator(window_size=5, initial=3.0).value() == 3.0
+
+
+def test_mret_returns_window_maximum():
+    estimator = MretEstimator(window_size=3)
+    for value in (1.0, 5.0, 2.0):
+        estimator.observe(value)
+    assert estimator.value() == 5.0
+
+
+def test_mret_old_samples_slide_out_of_the_window():
+    estimator = MretEstimator(window_size=3)
+    for value in (9.0, 1.0, 1.0, 1.0):
+        estimator.observe(value)
+    assert estimator.value() == 1.0
+
+
+def test_mret_measurements_override_initial_even_if_smaller():
+    estimator = MretEstimator(window_size=5, initial=10.0)
+    estimator.observe(2.0)
+    assert estimator.value() == 2.0
+
+
+def test_mret_rejects_invalid_inputs():
+    with pytest.raises(ValueError):
+        MretEstimator(window_size=0)
+    estimator = MretEstimator()
+    with pytest.raises(ValueError):
+        estimator.observe(-1.0)
+    with pytest.raises(ValueError):
+        estimator.set_initial(-1.0)
+
+
+def test_mret_window_values_in_order():
+    estimator = MretEstimator(window_size=2)
+    estimator.observe(1.0)
+    estimator.observe(2.0)
+    estimator.observe(3.0)
+    assert estimator.window_values() == [2.0, 3.0]
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=30),
+       st.integers(min_value=1, max_value=10))
+def test_property_mret_equals_max_of_recent_window(samples, window_size):
+    estimator = MretEstimator(window_size=window_size)
+    for sample in samples:
+        estimator.observe(sample)
+    assert estimator.value() == pytest.approx(max(samples[-window_size:]))
+    assert estimator.observations == min(window_size, len(samples))
+
+
+def test_timing_model_total_is_sum_of_stages():
+    timing = TaskTimingModel(num_stages=3, window_size=5)
+    timing.set_afet([1.0, 2.0, 3.0])
+    assert timing.total() == pytest.approx(6.0)
+    timing.observe(1, 5.0)
+    assert timing.stage_value(1) == 5.0
+    assert timing.total() == pytest.approx(9.0)
+    assert timing.stage_values() == [1.0, 5.0, 3.0]
+
+
+def test_timing_model_validates_afet_length():
+    timing = TaskTimingModel(num_stages=2)
+    with pytest.raises(ValueError):
+        timing.set_afet([1.0])
+
+
+def test_virtual_deadline_shares_proportional_to_mret():
+    shares = virtual_deadline_shares([1.0, 3.0], relative_deadline=40.0)
+    assert shares == pytest.approx([10.0, 30.0])
+
+
+def test_virtual_deadline_zero_mret_splits_uniformly():
+    shares = virtual_deadline_shares([0.0, 0.0, 0.0, 0.0], relative_deadline=20.0)
+    assert shares == pytest.approx([5.0] * 4)
+
+
+def test_virtual_deadline_validation():
+    with pytest.raises(ValueError):
+        virtual_deadline_shares([], 10.0)
+    with pytest.raises(ValueError):
+        virtual_deadline_shares([1.0], 0.0)
+    with pytest.raises(ValueError):
+        virtual_deadline_shares([-1.0, 2.0], 10.0)
+
+
+@given(
+    mrets=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=8),
+    deadline=st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_property_shares_sum_to_relative_deadline(mrets, deadline):
+    shares = virtual_deadline_shares(mrets, deadline)
+    assert sum(shares) == pytest.approx(deadline, rel=1e-6)
+    assert all(share >= 0 for share in shares)
+    # Longer stages never receive a smaller share than shorter ones.
+    paired = sorted(zip(mrets, shares))
+    share_values = [share for _, share in paired]
+    assert all(b >= a - 1e-9 for a, b in zip(share_values, share_values[1:]))

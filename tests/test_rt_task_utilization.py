@@ -1,0 +1,107 @@
+"""Tests for the task/job/stage model and utilization accounting (Eqs. 3-7, 11-12)."""
+
+import pytest
+
+from repro.rt.task import Job, JobState, Priority, Task, TaskSpec
+from repro.rt.utilization import (
+    active_low_priority_utilization,
+    admission_test,
+    context_priority_utilization,
+    context_total_utilization,
+    remaining_utilization,
+    task_utilization,
+)
+
+
+def _task(resnet18, task_id=0, priority=Priority.HIGH, period=33.33):
+    spec = TaskSpec(task_id=task_id, model=resnet18, period_ms=period, priority=priority)
+    task = Task(spec)
+    task.timing.set_afet([1.0] * task.num_stages)
+    return task
+
+
+def test_task_spec_defaults_and_validation(resnet18):
+    spec = TaskSpec(task_id=1, model=resnet18, period_ms=40.0, priority=Priority.LOW)
+    assert spec.relative_deadline_ms == 40.0
+    assert spec.name == "resnet18/task1"
+    assert not spec.is_high_priority
+    with pytest.raises(ValueError):
+        TaskSpec(task_id=1, model=resnet18, period_ms=0.0, priority=Priority.LOW)
+    with pytest.raises(ValueError):
+        TaskSpec(task_id=1, model=resnet18, period_ms=10.0, priority=Priority.LOW, batch_size=0)
+
+
+def test_task_utilization_is_mret_over_period(resnet18):
+    task = _task(resnet18, period=20.0)
+    assert task.mret_total() == pytest.approx(4.0)
+    assert task_utilization(task) == pytest.approx(0.2)
+
+
+def test_job_release_creates_stage_instances(resnet18):
+    task = _task(resnet18)
+    job = task.release_job(release_time=100.0)
+    assert job.num_stages == task.num_stages
+    assert job.absolute_deadline == pytest.approx(100.0 + 33.33)
+    assert job.state is JobState.RELEASED
+    assert task.jobs_released == 1
+    assert job.current_stage.stage_index == 0
+    assert job.stages[-1].is_last and not job.stages[0].is_last
+
+
+def test_job_advance_and_completion_flags(resnet18):
+    task = _task(resnet18)
+    job = task.release_job(0.0)
+    for _ in range(job.num_stages):
+        assert not job.is_finished
+        job.advance()
+    assert job.is_finished
+    job.completion_time = 30.0
+    assert job.response_time == pytest.approx(30.0)
+    assert job.missed_deadline is False
+    job.completion_time = 50.0
+    assert job.missed_deadline is True
+
+
+def test_job_remaining_mret_shrinks_as_stages_complete(resnet18):
+    task = _task(resnet18)
+    job = task.release_job(0.0)
+    assert job.remaining_mret() == pytest.approx(4.0)
+    job.advance()
+    assert job.remaining_mret() == pytest.approx(3.0)
+
+
+def test_context_utilization_split_by_priority(resnet18):
+    hp = _task(resnet18, 0, Priority.HIGH, period=10.0)
+    lp = _task(resnet18, 1, Priority.LOW, period=20.0)
+    other = _task(resnet18, 2, Priority.LOW, period=20.0)
+    hp.context_index = lp.context_index = 0
+    other.context_index = 1
+    tasks = [hp, lp, other]
+    high, low = context_priority_utilization(tasks, 0)
+    assert high == pytest.approx(0.4)
+    assert low == pytest.approx(0.2)
+    assert context_total_utilization(tasks, 0) == pytest.approx(0.6)
+    assert context_total_utilization(tasks, 1) == pytest.approx(0.2)
+
+
+def test_active_low_utilization_counts_each_task_once(resnet18):
+    task = _task(resnet18, 3, Priority.LOW, period=20.0)
+    task.context_index = 0
+    first, second = task.release_job(0.0), task.release_job(20.0)
+    first.context_index = second.context_index = 0
+    assert active_low_priority_utilization([first, second], 0) == pytest.approx(0.2)
+    assert active_low_priority_utilization([first, second], 1) == 0.0
+
+
+def test_remaining_utilization_equation11():
+    assert remaining_utilization(1, 0.3) == pytest.approx(0.7)
+    assert remaining_utilization(3, 0.5) == pytest.approx(2.5)
+    with pytest.raises(ValueError):
+        remaining_utilization(0, 0.1)
+
+
+def test_admission_test_equation12():
+    assert admission_test(1, high_priority_utilization=0.4, active_low_utilization=0.3,
+                          candidate_utilization=0.2)
+    assert not admission_test(1, high_priority_utilization=0.4, active_low_utilization=0.5,
+                              candidate_utilization=0.2)

@@ -1,0 +1,111 @@
+"""Tests for task-set construction (Table II, mixed and ratio sets)."""
+
+import pytest
+
+from repro.rt.task import Priority
+from repro.rt.taskset import (
+    TABLE2,
+    demanded_load_factor,
+    make_taskset,
+    mixed_taskset,
+    ratio_taskset,
+    table2_taskset,
+)
+
+
+def test_table2_resnet18_composition(resnet18):
+    taskset = table2_taskset("resnet18", model=resnet18)
+    assert taskset.num_high == 17
+    assert taskset.num_low == 34
+    assert taskset.total_demand_jps == pytest.approx(51 * 30.0)
+
+
+def test_table2_unet_and_inception(unet, inceptionv3):
+    unet_set = table2_taskset("unet", model=unet)
+    assert (unet_set.num_high, unet_set.num_low) == (5, 10)
+    inception_set = table2_taskset("inceptionv3", model=inceptionv3)
+    assert (inception_set.num_high, inception_set.num_low) == (9, 18)
+    assert all(task.period_ms == pytest.approx(1000.0 / 24.0) for task in inception_set.tasks)
+
+
+def test_table2_demand_is_about_150_percent_of_upper_baseline(all_models):
+    for name, model in all_models.items():
+        if name == "resnet50":
+            continue
+        taskset = table2_taskset(name, model=model)
+        load = demanded_load_factor(taskset, model.profile.batched_max_jps)
+        assert 1.2 <= load <= 1.7, name
+
+
+def test_table2_unknown_name_raises():
+    with pytest.raises(KeyError):
+        table2_taskset("alexnet")
+
+
+def test_table2_scale_shrinks_the_set(resnet18):
+    taskset = table2_taskset("resnet18", model=resnet18, scale=0.25)
+    assert taskset.num_high < 17 and taskset.num_low < 34
+    assert taskset.num_high >= 1 and taskset.num_low >= 1
+
+
+def test_make_taskset_round_robin_models_and_phases(resnet18, unet):
+    taskset = make_taskset([resnet18, unet], num_high=2, num_low=2, task_jps=10.0)
+    assert [task.model.name for task in taskset.tasks] == ["resnet18", "unet", "resnet18", "unet"]
+    phases = [task.phase_ms for task in taskset.tasks]
+    assert len(set(phases)) == len(phases)
+    assert all(0 <= phase < 100.0 for phase in phases)
+    priorities = [task.priority for task in taskset.tasks]
+    assert priorities == [Priority.HIGH, Priority.HIGH, Priority.LOW, Priority.LOW]
+
+
+def test_make_taskset_validation(resnet18):
+    with pytest.raises(ValueError):
+        make_taskset([resnet18], num_high=0, num_low=0, task_jps=10.0)
+    with pytest.raises(ValueError):
+        make_taskset([], num_high=1, num_low=0, task_jps=10.0)
+    with pytest.raises(ValueError):
+        make_taskset([resnet18], num_high=1, num_low=1, task_jps=0.0)
+
+
+def test_batched_taskset_keeps_inference_demand_constant(resnet18):
+    plain = table2_taskset("resnet18", model=resnet18, batch_size=1)
+    batched = table2_taskset("resnet18", model=resnet18, batch_size=4)
+    assert batched.total_demand_jps == pytest.approx(plain.total_demand_jps)
+    assert batched.tasks[0].period_ms == pytest.approx(4 * plain.tasks[0].period_ms)
+
+
+def test_mixed_taskset_contains_all_models(all_models):
+    taskset = mixed_taskset(models={k: v for k, v in all_models.items() if k != "resnet50"})
+    names = {task.model.name for task in taskset.tasks}
+    assert names == {"resnet18", "unet", "inceptionv3"}
+    assert taskset.num_high >= 3
+    task_ids = [task.task_id for task in taskset.tasks]
+    assert len(task_ids) == len(set(task_ids))
+
+
+def test_ratio_taskset_scales_with_load_and_ratio(resnet18):
+    full = ratio_taskset("resnet18", hp_fraction=1 / 3, load_factor=1.0, model=resnet18)
+    overload = ratio_taskset("resnet18", hp_fraction=1 / 3, load_factor=1.5, model=resnet18)
+    assert overload.total_demand_jps > full.total_demand_jps
+    all_hp = ratio_taskset("resnet18", hp_fraction=1.0, load_factor=1.0, model=resnet18)
+    assert all_hp.num_low == 0
+    assert all_hp.num_high == len(all_hp.tasks)
+
+
+def test_ratio_taskset_validation(resnet18):
+    with pytest.raises(ValueError):
+        ratio_taskset("resnet18", hp_fraction=1.5, load_factor=1.0, model=resnet18)
+    with pytest.raises(ValueError):
+        ratio_taskset("resnet18", hp_fraction=0.5, load_factor=0.0, model=resnet18)
+
+
+def test_demanded_load_factor_validation(resnet18):
+    taskset = table2_taskset("resnet18", model=resnet18)
+    with pytest.raises(ValueError):
+        demanded_load_factor(taskset, 0.0)
+
+
+def test_table2_registry_matches_paper():
+    assert TABLE2["resnet18"].task_jps == 30.0
+    assert TABLE2["unet"].task_jps == 24.0
+    assert TABLE2["inceptionv3"].task_jps == 24.0

@@ -1,0 +1,115 @@
+"""Tests for the DARIS configuration space and the 8-level stage priorities."""
+
+import pytest
+
+from repro.rt.task import Priority, Task, TaskSpec
+from repro.scheduler.ablations import ABLATIONS
+from repro.scheduler.config import DarisConfig, Policy
+from repro.scheduler.priorities import NUM_PRIORITY_LEVELS, stage_priority_level, stage_queue_key
+
+
+def test_policy_constructors_enforce_layouts():
+    str_config = DarisConfig.str_config(6)
+    assert str_config.policy is Policy.STR
+    assert str_config.num_contexts == 1 and str_config.streams_per_context == 6
+    mps = DarisConfig.mps_config(6, 6.0)
+    assert mps.policy is Policy.MPS and mps.streams_per_context == 1
+    hybrid = DarisConfig.mps_str_config(3, 2, 3.0)
+    assert hybrid.policy is Policy.MPS_STR and hybrid.max_parallel_jobs == 6
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DarisConfig(policy=Policy.STR, num_contexts=2, streams_per_context=2, oversubscription=1.0)
+    with pytest.raises(ValueError):
+        DarisConfig(policy=Policy.MPS, num_contexts=2, streams_per_context=2, oversubscription=1.0)
+    with pytest.raises(ValueError):
+        DarisConfig(policy=Policy.MPS_STR, num_contexts=1, streams_per_context=2, oversubscription=1.0)
+    with pytest.raises(ValueError):
+        DarisConfig.mps_config(4, 8.0)
+    with pytest.raises(ValueError):
+        DarisConfig.mps_config(4, 2.0, window_size=0)
+    with pytest.raises(ValueError):
+        DarisConfig.mps_config(4, 2.0, afet_mode="magic")
+
+
+def test_config_labels():
+    assert DarisConfig.mps_config(6, 6.0).label() == "MPS 6x1 OS6"
+    assert DarisConfig.mps_str_config(3, 3, 1.5).label() == "MPS+STR 3x3 OS1.5"
+    assert DarisConfig.str_config(8).label() == "STR 1x8 OS1"
+
+
+def test_with_overrides_returns_modified_copy():
+    config = DarisConfig.mps_config(6, 6.0)
+    modified = config.with_overrides(staging=False, window_size=9)
+    assert not modified.staging and modified.window_size == 9
+    assert config.staging and config.window_size == 5
+
+
+def test_ablation_factories_flip_exactly_one_feature():
+    base = DarisConfig.mps_config(6, 6.0)
+    assert not ABLATIONS["No Staging"](base).staging
+    assert not ABLATIONS["No Last"](base).prioritize_last_stage
+    assert not ABLATIONS["No Prior"](base).boost_missed_predecessor
+    assert not ABLATIONS["No Fixed"](base).fixed_priority_levels
+    assert ABLATIONS["DARIS"](base) == base
+
+
+def _stage(resnet18, priority, stage_index, predecessor_missed=False, period=33.33):
+    task = Task(TaskSpec(task_id=0, model=resnet18, period_ms=period, priority=priority))
+    task.timing.set_afet([1.0] * task.num_stages)
+    job = task.release_job(0.0)
+    stage = job.stages[stage_index]
+    stage.predecessor_missed = predecessor_missed
+    stage.virtual_deadline = 10.0
+    return stage
+
+
+def test_priority_levels_follow_the_paper_hierarchy(resnet18):
+    config = DarisConfig.mps_config(6, 6.0)
+    hp_last_missed = _stage(resnet18, Priority.HIGH, 3, predecessor_missed=True)
+    hp_last = _stage(resnet18, Priority.HIGH, 3)
+    hp_missed = _stage(resnet18, Priority.HIGH, 1, predecessor_missed=True)
+    hp_plain = _stage(resnet18, Priority.HIGH, 1)
+    lp_last = _stage(resnet18, Priority.LOW, 3)
+    lp_plain = _stage(resnet18, Priority.LOW, 1)
+    levels = [
+        stage_priority_level(stage, config)
+        for stage in (hp_last_missed, hp_last, hp_missed, hp_plain, lp_last, lp_plain)
+    ]
+    assert levels == sorted(levels)
+    assert levels[0] == 0
+    # Every HP stage outranks every LP stage.
+    assert max(levels[:4]) < min(levels[4:])
+    assert max(levels) < NUM_PRIORITY_LEVELS
+
+
+def test_priority_ablations_change_levels(resnet18):
+    base = DarisConfig.mps_config(6, 6.0)
+    lp_last = _stage(resnet18, Priority.LOW, 3)
+    assert stage_priority_level(lp_last, base) == 5
+    no_last = base.with_overrides(prioritize_last_stage=False)
+    assert stage_priority_level(lp_last, no_last) == 7
+    hp_missed = _stage(resnet18, Priority.HIGH, 2, predecessor_missed=True)
+    no_prior = base.with_overrides(boost_missed_predecessor=False)
+    assert stage_priority_level(hp_missed, no_prior) == 3
+    no_fixed = base.with_overrides(fixed_priority_levels=False)
+    assert stage_priority_level(hp_missed, no_fixed) == 0
+    assert stage_priority_level(lp_last, no_fixed) == 0
+
+
+def test_queue_key_orders_by_level_then_edf_then_fifo(resnet18):
+    config = DarisConfig.mps_config(6, 6.0)
+    hp = _stage(resnet18, Priority.HIGH, 1)
+    lp_early_deadline = _stage(resnet18, Priority.LOW, 1)
+    lp_early_deadline.virtual_deadline = 1.0
+    lp_late_deadline = _stage(resnet18, Priority.LOW, 1)
+    lp_late_deadline.virtual_deadline = 5.0
+    keys = [
+        stage_queue_key(lp_late_deadline, config, 0),
+        stage_queue_key(lp_early_deadline, config, 1),
+        stage_queue_key(hp, config, 2),
+    ]
+    ordered = sorted(keys)
+    assert ordered[0] == stage_queue_key(hp, config, 2)
+    assert ordered[1] == stage_queue_key(lp_early_deadline, config, 1)

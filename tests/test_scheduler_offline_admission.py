@@ -1,0 +1,156 @@
+"""Tests for the offline phase (Algorithm 1, AFET seeding) and the admission controller."""
+
+import pytest
+
+from repro.rt.task import Priority, Task, TaskSpec
+from repro.scheduler.admission import AdmissionController
+from repro.scheduler.config import DarisConfig
+from repro.scheduler.offline import initialize_timing, populate_contexts
+
+
+def _tasks(model, num_high, num_low, period=33.33):
+    tasks = []
+    for index in range(num_high + num_low):
+        priority = Priority.HIGH if index < num_high else Priority.LOW
+        task = Task(TaskSpec(task_id=index, model=model, period_ms=period, priority=priority))
+        task.timing.set_afet([1.0] * task.num_stages)
+        tasks.append(task)
+    return tasks
+
+
+def test_populate_contexts_assigns_every_task(resnet18):
+    tasks = _tasks(resnet18, 6, 12)
+    pool = populate_contexts(tasks, num_contexts=6)
+    assert all(task.context_index in range(6) for task in tasks)
+    assert set(pool) == set(range(6))
+
+
+def test_populate_contexts_balances_utilization(resnet18):
+    tasks = _tasks(resnet18, 6, 12)
+    pool = populate_contexts(tasks, num_contexts=3)
+    values = list(pool.values())
+    assert max(values) - min(values) <= max(task.utilization() for task in tasks) + 1e-9
+    # HP tasks are spread evenly too (Algorithm 1 places them first).
+    hp_per_context = [
+        sum(1 for t in tasks if t.priority is Priority.HIGH and t.context_index == c)
+        for c in range(3)
+    ]
+    assert max(hp_per_context) - min(hp_per_context) <= 1
+
+
+def test_populate_contexts_single_context(resnet18):
+    tasks = _tasks(resnet18, 2, 2)
+    pool = populate_contexts(tasks, num_contexts=1)
+    assert all(task.context_index == 0 for task in tasks)
+    assert pool[0] == pytest.approx(sum(task.utilization() for task in tasks))
+    with pytest.raises(ValueError):
+        populate_contexts(tasks, num_contexts=0)
+
+
+def test_initialize_timing_analytic_seeds_every_stage(resnet18):
+    tasks = _tasks(resnet18, 1, 2)
+    for task in tasks:
+        task.timing = type(task.timing)(num_stages=task.num_stages)  # reset
+    config = DarisConfig.mps_config(4, 4.0)
+    initialize_timing(tasks, config)
+    for task in tasks:
+        assert task.mret_total() > 0
+        assert all(value > 0 for value in task.timing.stage_values())
+
+
+def test_initialize_timing_profile_mode(resnet18):
+    tasks = _tasks(resnet18, 1, 1)
+    for task in tasks:
+        task.timing = type(task.timing)(num_stages=task.num_stages)
+    config = DarisConfig.mps_config(2, 2.0, afet_mode="profile")
+    initialize_timing(tasks, config)
+    assert all(task.mret_total() > 0 for task in tasks)
+
+
+def _controller(model, num_contexts=2, streams=1, num_high=2, num_low=4, period=33.33):
+    config = DarisConfig.mps_config(num_contexts, float(num_contexts)) if streams == 1 else (
+        DarisConfig.mps_str_config(num_contexts, streams, float(num_contexts))
+    )
+    tasks = _tasks(model, num_high, num_low, period=period)
+    populate_contexts(tasks, num_contexts)
+    return AdmissionController(config, tasks), tasks
+
+
+def test_admission_exempts_hp_tasks_by_default(resnet18):
+    controller, tasks = _controller(resnet18)
+    hp_task = next(task for task in tasks if task.priority is Priority.HIGH)
+    job = hp_task.release_job(0.0)
+    decision = controller.decide(job, predicted_finish=lambda ctx: 0.0)
+    assert decision.admitted and decision.reason == "exempt"
+
+
+def test_admission_accepts_lp_job_with_spare_capacity(resnet18):
+    controller, tasks = _controller(resnet18)
+    lp_task = next(task for task in tasks if task.priority is Priority.LOW)
+    job = lp_task.release_job(0.0)
+    decision = controller.decide(job, predicted_finish=lambda ctx: 0.0)
+    assert decision.admitted
+    controller.register_admission(job, decision.context_index)
+    assert controller.active_low_utilization(decision.context_index) > 0
+    controller.register_completion(job, decision.context_index)
+    assert controller.active_low_utilization(decision.context_index) == pytest.approx(0.0)
+
+
+def test_admission_rejects_when_every_context_is_saturated(resnet18):
+    # Tiny periods make each task's utilization close to 1, so the second LP
+    # job in a context cannot fit and no migration candidate passes either.
+    controller, tasks = _controller(resnet18, num_contexts=2, num_high=0, num_low=6, period=4.5)
+    admitted = 0
+    rejected = 0
+    for task in (t for t in tasks if t.priority is Priority.LOW):
+        job = task.release_job(0.0)
+        decision = controller.decide(job, predicted_finish=lambda ctx: 0.0)
+        if decision.admitted:
+            controller.register_admission(job, decision.context_index)
+            admitted += 1
+        else:
+            rejected += 1
+    assert admitted >= 1
+    assert rejected >= 1
+
+
+def test_admission_migrates_to_least_loaded_context(resnet18):
+    controller, tasks = _controller(resnet18, num_contexts=2, num_high=0, num_low=4, period=8.0)
+    lp_tasks = [task for task in tasks if task.priority is Priority.LOW]
+    home = lp_tasks[0].context_index
+    # Fill the home context with active jobs until it fails the test.
+    for task in lp_tasks:
+        if task.context_index != home:
+            continue
+        job = task.release_job(0.0)
+        controller.register_admission(job, home)
+    candidate = next(task for task in lp_tasks if task.context_index == home)
+    job = candidate.release_job(1.0)
+    decision = controller.decide(job, predicted_finish=lambda ctx: float(ctx == home) * 100.0)
+    assert decision.admitted
+    assert decision.context_index != home
+    assert decision.migrated
+
+
+def test_deadline_infeasible_job_is_rejected(resnet18):
+    controller, tasks = _controller(resnet18)
+    lp_task = next(task for task in tasks if task.priority is Priority.LOW)
+    job = lp_task.release_job(0.0)
+    # Every context predicts a finish far beyond the absolute deadline.
+    decision = controller.decide(job, predicted_finish=lambda ctx: job.absolute_deadline + 100.0)
+    assert not decision.admitted
+
+
+def test_hp_admission_mode_tests_hp_jobs(resnet18):
+    config = DarisConfig.mps_config(2, 2.0, hp_admission=True)
+    tasks = _tasks(resnet18, 4, 0, period=4.5)
+    populate_contexts(tasks, 2)
+    controller = AdmissionController(config, tasks)
+    decisions = []
+    for task in tasks:
+        job = task.release_job(0.0)
+        decision = controller.decide(job, predicted_finish=lambda ctx: 0.0)
+        if decision.admitted:
+            controller.register_admission(job, decision.context_index)
+        decisions.append(decision.admitted)
+    assert any(decisions) and not all(decisions)

@@ -1,0 +1,71 @@
+"""Tests for the periodic and Poisson arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.simulator import Simulator
+from repro.sim.workload import PeriodicArrival, PoissonArrival
+
+
+def test_periodic_nominal_release_times():
+    arrival = PeriodicArrival(period=10.0, phase=3.0)
+    assert arrival.nominal_release(0) == 3.0
+    assert arrival.nominal_release(4) == 43.0
+
+
+def test_periodic_next_arrival_increments_index():
+    arrival = PeriodicArrival(period=5.0)
+    events = [arrival.next_arrival() for _ in range(3)]
+    assert [event.index for event in events] == [0, 1, 2]
+    assert [event.time for event in events] == [0.0, 5.0, 10.0]
+
+
+def test_periodic_rejects_bad_period_and_jitter():
+    with pytest.raises(ValueError):
+        PeriodicArrival(period=0.0)
+    with pytest.raises(ValueError):
+        PeriodicArrival(period=5.0, jitter=5.0)
+    with pytest.raises(ValueError):
+        PeriodicArrival(period=5.0, jitter=-1.0)
+
+
+def test_periodic_jitter_stays_below_one_period():
+    rng = np.random.default_rng(0)
+    arrival = PeriodicArrival(period=10.0, jitter=2.0, rng=rng)
+    for index in range(50):
+        event = arrival.next_arrival()
+        assert arrival.nominal_release(index) <= event.time < arrival.nominal_release(index) + 2.0
+
+
+def test_periodic_drive_schedules_until_horizon():
+    sim = Simulator()
+    arrival = PeriodicArrival(period=10.0)
+    seen = []
+    count = arrival.drive(sim, horizon=35.0, callback=lambda event: seen.append(event.time))
+    sim.run_until(35.0)
+    assert count == 4  # releases at 0, 10, 20, 30
+    assert seen == [0.0, 10.0, 20.0, 30.0]
+
+
+def test_poisson_mean_rate_is_roughly_requested():
+    rng = np.random.default_rng(1)
+    arrival = PoissonArrival(rate_jps=100.0, rng=rng)
+    times = [arrival.next_arrival().time for _ in range(2000)]
+    measured_rate = 1000.0 * len(times) / times[-1]
+    assert 85.0 <= measured_rate <= 115.0
+
+
+def test_poisson_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        PoissonArrival(rate_jps=0.0, rng=np.random.default_rng(0))
+
+
+def test_poisson_drive_counts_match_callbacks():
+    sim = Simulator()
+    rng = np.random.default_rng(2)
+    arrival = PoissonArrival(rate_jps=50.0, rng=rng)
+    seen = []
+    count = arrival.drive(sim, horizon=1000.0, callback=lambda event: seen.append(event.index))
+    sim.run_until(1000.0)
+    assert count == len(seen)
+    assert seen == sorted(seen)
