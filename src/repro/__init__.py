@@ -16,7 +16,7 @@ calibrated discrete-event GPU simulator.  The public surface most users need:
 from repro.dnn import build_model, available_models
 from repro.rt import table2_taskset, mixed_taskset, make_taskset, Priority
 from repro.scheduler import DarisConfig, DarisScheduler, Policy
-from repro.experiments import run_daris_scenario
+from repro.experiments import ScenarioRequest, run_daris_scenario, run_scenarios_parallel
 from repro.sim import Simulator, RngFactory
 from repro.gpu import GpuPlatform, PlatformConfig, RTX_2080_TI
 
@@ -33,6 +33,8 @@ __all__ = [
     "DarisScheduler",
     "Policy",
     "run_daris_scenario",
+    "ScenarioRequest",
+    "run_scenarios_parallel",
     "Simulator",
     "RngFactory",
     "GpuPlatform",

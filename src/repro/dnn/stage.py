@@ -42,9 +42,27 @@ class StageSpec:
         return self.work / min(self.parallelism, available_sms)
 
     def to_kernel_spec(self, label: str = "") -> KernelSpec:
-        """Convert to the GPU engine's kernel description (batch size 1)."""
+        """Convert to the GPU engine's kernel description (batch size 1).
+
+        The unlabeled conversion is memoized: stage specs are frozen, every
+        launch of the same stage produces an identical kernel spec, and the
+        conversion sits on the per-dispatch hot path.
+        """
+        if not label:
+            # Frozen dataclasses only block __setattr__; plain reads are fine.
+            cached = self.__dict__.get("_kernel_spec")
+            if cached is None:
+                cached = KernelSpec(
+                    name=self.name,
+                    work=self.work,
+                    parallelism=self.parallelism,
+                    num_launches=self.num_kernels,
+                    memory_intensity=self.memory_intensity,
+                )
+                object.__setattr__(self, "_kernel_spec", cached)
+            return cached
         return KernelSpec(
-            name=label or self.name,
+            name=label,
             work=self.work,
             parallelism=self.parallelism,
             num_launches=self.num_kernels,

@@ -22,6 +22,12 @@ Module                      Paper artefact
 ==========================  =======================================
 """
 
+from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
 from repro.experiments.runner import ScenarioResult, run_daris_scenario
 
-__all__ = ["ScenarioResult", "run_daris_scenario"]
+__all__ = [
+    "ScenarioRequest",
+    "ScenarioResult",
+    "run_daris_scenario",
+    "run_scenarios_parallel",
+]

@@ -14,16 +14,16 @@ compared, matching the paper:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table
 from repro.dnn.zoo import build_model
-from repro.experiments.runner import run_daris_scenario
+from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
 from repro.experiments.scenarios import best_config_for, horizon_ms
 from repro.rt.taskset import ratio_taskset
 
 
-def run(quick: bool = True, seed: int = 1) -> List[Dict[str, object]]:
+def run(quick: bool = True, seed: int = 1, processes: Optional[int] = 1) -> List[Dict[str, object]]:
     """One row per (model, HP fraction, load scenario)."""
     horizon = horizon_ms(quick)
     models = ["resnet18"] if quick else ["resnet18", "unet"]
@@ -33,7 +33,8 @@ def run(quick: bool = True, seed: int = 1) -> List[Dict[str, object]]:
         ("overload", 1.5, False),
         ("overload+HPA", 1.5, True),
     ]
-    rows: List[Dict[str, object]] = []
+    cells: List[Dict[str, object]] = []
+    requests: List[ScenarioRequest] = []
     for model_name in models:
         model = build_model(model_name)
         config = best_config_for(model_name)
@@ -42,28 +43,42 @@ def run(quick: bool = True, seed: int = 1) -> List[Dict[str, object]]:
                 taskset = ratio_taskset(
                     model_name, hp_fraction=hp_fraction, load_factor=load_factor, model=model
                 )
-                scenario_config = config.with_overrides(hp_admission=hpa)
-                result = run_daris_scenario(taskset, scenario_config, horizon, seed=seed)
-                upper = model.profile.batched_max_jps
-                rows.append(
+                requests.append(
+                    ScenarioRequest(
+                        taskset, config.with_overrides(hp_admission=hpa), horizon, seed=seed
+                    )
+                )
+                cells.append(
                     {
                         "model": model_name,
                         "hp_fraction": round(hp_fraction, 2),
                         "scenario": label,
-                        "total_jps": round(result.total_jps, 1),
-                        "normalized_jps": round(result.total_jps / upper, 3),
-                        "hp_dmr": round(result.hp_dmr, 4),
-                        "lp_dmr": round(result.lp_dmr, 4),
-                        "hp_rejection": round(result.metrics.high.rejection_rate, 3),
-                        "lp_rejection": round(result.metrics.low.rejection_rate, 3),
+                        "upper": model.profile.batched_max_jps,
                     }
                 )
+    results = run_scenarios_parallel(requests, processes=processes)
+    rows: List[Dict[str, object]] = []
+    for cell, result in zip(cells, results):
+        upper = cell["upper"]
+        rows.append(
+            {
+                "model": cell["model"],
+                "hp_fraction": cell["hp_fraction"],
+                "scenario": cell["scenario"],
+                "total_jps": round(result.total_jps, 1),
+                "normalized_jps": round(result.total_jps / upper, 3),
+                "hp_dmr": round(result.hp_dmr, 4),
+                "lp_dmr": round(result.lp_dmr, 4),
+                "hp_rejection": round(result.metrics.high.rejection_rate, 3),
+                "lp_rejection": round(result.metrics.low.rejection_rate, 3),
+            }
+        )
     return rows
 
 
 def main(quick: bool = True) -> str:
-    """Run and render the Figure 11 reproduction."""
-    table = format_table(run(quick))
+    """Run and render the Figure 11 reproduction (parallel sweep)."""
+    table = format_table(run(quick, processes=None))
     print(table)
     return table
 

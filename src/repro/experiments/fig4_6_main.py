@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table
 from repro.dnn.zoo import build_model
-from repro.experiments.runner import run_daris_scenario
+from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
 from repro.experiments.scenarios import horizon_ms, main_grid
 from repro.rt.taskset import table2_taskset
 
@@ -25,14 +25,28 @@ PAPER_HIGHLIGHTS = {
 }
 
 
-def run(model_name: str = "resnet18", quick: bool = True, seed: int = 1) -> List[Dict[str, object]]:
-    """Sweep the configuration grid for one task set; one row per configuration."""
+def run(
+    model_name: str = "resnet18",
+    quick: bool = True,
+    seed: int = 1,
+    processes: Optional[int] = 1,
+) -> List[Dict[str, object]]:
+    """Sweep the configuration grid for one task set; one row per configuration.
+
+    ``processes`` > 1 (or None for one worker per CPU) fans the grid out over
+    a process pool; each scenario keeps its fixed seed, so the rows are
+    identical to a serial sweep.
+    """
     model = build_model(model_name)
     taskset = table2_taskset(model_name, model=model)
     horizon = horizon_ms(quick)
+    configs = main_grid(quick)
+    results = run_scenarios_parallel(
+        [ScenarioRequest(taskset, config, horizon, seed=seed) for config in configs],
+        processes=processes,
+    )
     rows: List[Dict[str, object]] = []
-    for config in main_grid(quick):
-        result = run_daris_scenario(taskset, config, horizon, seed=seed)
+    for config, result in zip(configs, results):
         rows.append(
             {
                 "task_set": model_name,
@@ -58,8 +72,8 @@ def best_row(rows: List[Dict[str, object]], policy: Optional[str] = None) -> Dic
 
 
 def main(model_name: str = "resnet18", quick: bool = True) -> str:
-    """Run and render one of Figures 4-6."""
-    rows = run(model_name, quick)
+    """Run and render one of Figures 4-6 (parallel sweep, one worker per CPU)."""
+    rows = run(model_name, quick, processes=None)
     highlights = PAPER_HIGHLIGHTS[model_name]
     table = format_table(rows)
     best = best_row(rows)

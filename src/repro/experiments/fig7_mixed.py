@@ -7,21 +7,25 @@ reliable deadline behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table
-from repro.experiments.runner import run_daris_scenario
+from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
 from repro.experiments.scenarios import horizon_ms, mps_configs, str_configs
 from repro.rt.taskset import mixed_taskset
 
 
-def run(quick: bool = True, seed: int = 1) -> List[Dict[str, object]]:
+def run(quick: bool = True, seed: int = 1, processes: Optional[int] = 1) -> List[Dict[str, object]]:
     """Sweep STR and MPS configurations over the mixed task set."""
     taskset = mixed_taskset()
     horizon = horizon_ms(quick)
+    configs = str_configs(quick) + mps_configs(quick)
+    results = run_scenarios_parallel(
+        [ScenarioRequest(taskset, config, horizon, seed=seed) for config in configs],
+        processes=processes,
+    )
     rows: List[Dict[str, object]] = []
-    for config in str_configs(quick) + mps_configs(quick):
-        result = run_daris_scenario(taskset, config, horizon, seed=seed)
+    for config, result in zip(configs, results):
         rows.append(
             {
                 "task_set": "mixed",
@@ -37,8 +41,8 @@ def run(quick: bool = True, seed: int = 1) -> List[Dict[str, object]]:
 
 
 def main(quick: bool = True) -> str:
-    """Run and render the Figure 7 reproduction."""
-    rows = run(quick)
+    """Run and render the Figure 7 reproduction (parallel sweep)."""
+    rows = run(quick, processes=None)
     best_mps = max((r for r in rows if r["policy"] == "MPS"), key=lambda r: r["total_jps"])
     best_str = max((r for r in rows if r["policy"] == "STR"), key=lambda r: r["total_jps"])
     table = format_table(rows)

@@ -8,25 +8,36 @@ configuration.  The paper reports response-time ranges per priority
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table
-from repro.experiments.runner import run_daris_scenario
+from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
 from repro.experiments.scenarios import best_config_for, horizon_ms
 from repro.rt.taskset import table2_taskset
 from repro.scheduler.ablations import ABLATIONS
 
 
-def run(quick: bool = True, seed: int = 1, model_name: str = "resnet18") -> List[Dict[str, object]]:
+def run(
+    quick: bool = True,
+    seed: int = 1,
+    model_name: str = "resnet18",
+    processes: Optional[int] = 1,
+) -> List[Dict[str, object]]:
     """One row per scheduler variant."""
     taskset = table2_taskset(model_name)
     base_config = best_config_for(model_name)
     horizon = horizon_ms(quick)
+    variants = [(name, make_config(base_config)) for name, make_config in ABLATIONS.items()]
+    results = run_scenarios_parallel(
+        [
+            ScenarioRequest(taskset, config, horizon, seed=seed, label=name)
+            for name, config in variants
+        ],
+        processes=processes,
+    )
     rows: List[Dict[str, object]] = []
     baseline_jps = None
-    for name, make_config in ABLATIONS.items():
-        config = make_config(base_config)
-        result = run_daris_scenario(taskset, config, horizon, seed=seed, label=name)
+    for (name, config), result in zip(variants, results):
         if name == "DARIS":
             baseline_jps = result.total_jps
         hp_stats = result.metrics.high.response_time_stats()
@@ -51,8 +62,8 @@ def run(quick: bool = True, seed: int = 1, model_name: str = "resnet18") -> List
 
 
 def main(quick: bool = True) -> str:
-    """Run and render the Figure 8 reproduction."""
-    table = format_table(run(quick))
+    """Run and render the Figure 8 reproduction (parallel sweep)."""
+    table = format_table(run(quick, processes=None))
     print(table)
     return table
 

@@ -1,0 +1,60 @@
+"""Perf-report helper: persist substrate benchmark timings as JSON.
+
+The substrate benchmarks (``benchmarks/test_bench_substrate.py``) measure the
+simulator itself rather than a paper figure.  This module turns their timings
+into a small ``BENCH_*.json`` summary that can be committed or diffed across
+revisions, so simulator performance regressions are visible in review.
+
+The benchmark conftest calls :func:`write_bench_summary` at session end; the
+file can also be produced manually::
+
+    PYTHONPATH=src pytest benchmarks/test_bench_substrate.py --benchmark-only
+
+See ``benchmarks/README.md`` for how to read the output.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+DEFAULT_REPORT_NAME = "BENCH_substrate.json"
+
+
+def build_bench_summary(timings_s: Mapping[str, float]) -> Dict[str, object]:
+    """Build the summary dictionary for a ``{benchmark name: seconds}`` map."""
+    benchmarks: List[Dict[str, object]] = [
+        {
+            "name": name,
+            "seconds": round(float(seconds), 6),
+            "ops_per_second": round(1.0 / seconds, 3) if seconds > 0 else None,
+        }
+        for name, seconds in sorted(timings_s.items())
+    ]
+    return {
+        "report": "simulation substrate benchmarks",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "benchmarks": benchmarks,
+    }
+
+
+def write_bench_summary(
+    timings_s: Mapping[str, float],
+    path: Union[str, Path, None] = None,
+) -> Optional[Path]:
+    """Write the benchmark summary JSON; returns the path (None if no data).
+
+    Args:
+        timings_s: benchmark wall times in seconds, keyed by benchmark name.
+        path: output file; defaults to ``BENCH_substrate.json`` in the
+            current working directory.
+    """
+    if not timings_s:
+        return None
+    target = Path(path) if path is not None else Path(DEFAULT_REPORT_NAME)
+    target.write_text(json.dumps(build_bench_summary(timings_s), indent=2) + "\n")
+    return target

@@ -10,6 +10,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+# Memory-intensity weighting of the contention penalty:
+# weight = CONTENTION_WEIGHT_BASE + CONTENTION_WEIGHT_MEMORY * memory_intensity.
+# The GPU engine inlines the efficiency formulas on its replan fast paths
+# (see GpuEngine._replan); it imports these constants so the model has a
+# single source of truth.  If the formula *shape* changes here, the inlined
+# copies must change too — the equivalence tests
+# (tests/test_perf_equivalence.py) catch a divergence.
+CONTENTION_WEIGHT_BASE = 0.6
+CONTENTION_WEIGHT_MEMORY = 0.5
+
 
 @dataclass(frozen=True)
 class GpuCalibration:
@@ -55,7 +65,7 @@ class GpuCalibration:
     def contention_efficiency(self, pressure: float, memory_intensity: float) -> float:
         """Efficiency multiplier under oversubscription ``pressure`` (>= 1.0 when contended)."""
         excess = max(0.0, pressure - 1.0)
-        weight = 0.6 + 0.5 * memory_intensity
+        weight = CONTENTION_WEIGHT_BASE + CONTENTION_WEIGHT_MEMORY * memory_intensity
         return 1.0 / (1.0 + self.contention_penalty * excess * weight)
 
     def noise_sigma(self, concurrent_in_context: int, pressure: float) -> float:

@@ -5,17 +5,33 @@ whenever the set of running kernels changes, and schedules the next kernel
 completion on the simulator.  Progress is tracked continuously: each running
 kernel has a remaining amount of work (SM-milliseconds) that decreases at a
 rate equal to its current SM allocation times its efficiency.
+
+Replanning is incremental: the engine maintains per-context running lists and
+caches each context's water-filled allocation, so an event only re-runs the
+water-filling for the context it touched.  When the device is under-subscribed
+(total demand fits in the physical SMs) the cross-context scale factor and the
+contention pressure are constant, and the rates of kernels in untouched
+contexts are provably unchanged — the fast path skips recomputing them
+entirely.  All arithmetic follows the exact operation order of the original
+from-scratch :func:`repro.gpu.allocation.allocate_sms` plan so that optimized
+runs are bit-identical to unoptimized ones (see
+``tests/test_perf_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.gpu.allocation import allocate_sms
-from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.allocation import water_fill
+from repro.gpu.calibration import (
+    CONTENTION_WEIGHT_BASE,
+    CONTENTION_WEIGHT_MEMORY,
+    DEFAULT_CALIBRATION,
+    GpuCalibration,
+)
 from repro.gpu.context import Context
 from repro.gpu.kernel import KernelInstance, KernelSpec, KernelState
 from repro.gpu.spec import GpuSpec
@@ -29,6 +45,10 @@ _EPSILON_TIME = 1e-9
 class GpuEngine:
     """Simulated GPU shared by all contexts of one experiment."""
 
+    # Class-level switch for the under-subscription fast path; the equivalence
+    # test disables it to force the reference (full) replan on every event.
+    fast_path_enabled: bool = True
+
     def __init__(
         self,
         simulator: Simulator,
@@ -41,6 +61,10 @@ class GpuEngine:
         self.calibration = calibration
         self._noise_rng = noise_rng
         self._contexts: Dict[int, Context] = {}
+        # Quota lookup used by every replan path.  Context.sm_quota is treated
+        # as immutable after create_context(); all allocation code reads this
+        # dict so there is a single source of truth at plan time.
+        self._quotas: Dict[int, float] = {}
         self._streams: Dict[int, Dict[int, Stream]] = {}
         self._running: Dict[int, KernelInstance] = {}
         self._last_update: float = simulator.now
@@ -52,6 +76,24 @@ class GpuEngine:
         self._busy_time_start: Optional[float] = None
         self._total_busy_time = 0.0
         self.completed_kernels = 0
+        # Incremental replanning state ------------------------------------
+        # Per-context running kernels, in global start order (mirrors the
+        # grouping the from-scratch plan derives from ``_running``).
+        self._ctx_running: Dict[int, List[KernelInstance]] = {}
+        # Per-context cached water-fill: (allocations, demand_sum).  Valid
+        # until the context's running list changes.
+        self._ctx_alloc: Dict[int, Tuple[List[float], float]] = {}
+        self._dirty_contexts: set = set()
+        self._last_scale = 1.0
+        self._last_pressure_eff = 0.0  # pressure last used for kernel rates
+        # Observability: how often the fast path skipped rate recomputation.
+        self.fast_path_hits = 0
+        self.full_replans = 0
+        # Invoked as ``callback(context_id, stream_id)`` whenever a stream
+        # drains to empty; the platform uses it for O(1) idle-stream tracking.
+        self.stream_idle_callback: Optional[Callable[[int, int], None]] = None
+        # One reusable closure instead of a fresh lambda per replan.
+        self._completion_callback = lambda _sim: self._on_completion()
 
     # ------------------------------------------------------------------ setup
 
@@ -61,6 +103,7 @@ class GpuEngine:
         self._next_context_id += 1
         self._contexts[context.context_id] = context
         self._streams[context.context_id] = {}
+        self._quotas[context.context_id] = context.sm_quota
         return context
 
     def create_stream(self, context: Context) -> Stream:
@@ -90,15 +133,34 @@ class GpuEngine:
         """Most recent fraction of physical SMs allocated."""
         return self._current_utilization
 
-    def average_utilization(self, since: float = 0.0) -> float:
-        """Time-weighted mean SM utilization since ``since`` (defaults to t=0)."""
+    def utilization_integral(self) -> float:
+        """Time integral of SM utilization from t=0 to now (SM-fraction · ms).
+
+        Unlike :meth:`average_utilization`, the integral is additive: capture
+        it at the start of a measurement window and subtract to get the
+        utilization of that window alone.
+        """
+        elapsed = self.simulator.now - self._last_update
+        integral = self._utilization_time_integral
+        if elapsed > 0:
+            integral += self._current_utilization * elapsed
+        return integral
+
+    def average_utilization(self, since: float = 0.0, integral_at_since: float = 0.0) -> float:
+        """Time-weighted mean SM utilization over ``[since, now]``.
+
+        Args:
+            since: window start time in milliseconds (defaults to t=0).
+            integral_at_since: value of :meth:`utilization_integral` captured
+                at time ``since``; required for a correct windowed average
+                (with the default 0.0 the whole since-t=0 integral would be
+                divided by the truncated horizon, overstating utilization).
+        """
         horizon = self.simulator.now - since
         if horizon <= 0:
             return 0.0
-        self._accumulate_utilization()
-        return min(1.0, self._utilization_time_integral / (self.simulator.now * 1.0)) if since == 0.0 else min(
-            1.0, self._utilization_time_integral / horizon
-        )
+        integral = self.utilization_integral() - integral_at_since
+        return min(1.0, integral / horizon)
 
     def busy_time(self) -> float:
         """Total time during which at least one kernel was running (ms)."""
@@ -142,15 +204,17 @@ class GpuEngine:
             self.calibration.dispatch_overhead_ms
             + kernel.spec.num_launches * self.spec.launch_overhead_ms
         )
-        start_at = max(self.simulator.now, context.dispatcher_free_at)
-        ready_at = start_at + launch_cost
+        simulator = self.simulator
+        now = simulator.now
+        free_at = context.dispatcher_free_at
+        ready_at = (now if now > free_at else free_at) + launch_cost
         context.dispatcher_free_at = ready_at
         kernel.state = KernelState.DISPATCHING
         kernel.dispatch_ready_time = ready_at
-        self.simulator.schedule_at(
+        simulator.schedule_callback(
             ready_at,
             lambda _sim, k=kernel: self._kernel_ready(k),
-            label=f"dispatch:{kernel.spec.name}",
+            label="dispatch",
         )
 
     def _kernel_ready(self, kernel: KernelInstance) -> None:
@@ -160,13 +224,30 @@ class GpuEngine:
         self._advance_progress()
         kernel.state = KernelState.RUNNING
         kernel.start_time = self.simulator.now
-        context = self._contexts[kernel.context_id]
-        concurrent = len(context.running_kernels()) + 1
-        sigma = self.calibration.noise_sigma(concurrent, self._current_pressure or 1.0)
-        kernel.noise_factor = self._sample_noise(sigma)
-        kernel.effective_work = kernel.spec.work * kernel.noise_factor
-        kernel.remaining_work = kernel.effective_work
+        context_id = kernel.context_id
+        ctx_list = self._ctx_running.get(context_id)
+        if self._noise_rng is None:
+            # Without an RNG the noise factor is exactly 1.0 and the effective
+            # work equals the nominal work bitwise; skip the sigma computation.
+            kernel.noise_factor = 1.0
+            kernel.effective_work = kernel.spec.work
+            kernel.remaining_work = kernel.spec.work
+        else:
+            # The kernel itself is already a RUNNING stream head at this
+            # point, so the historical concurrency count includes it *plus*
+            # one: noise grows with (existing runners + 2).  Preserved exactly
+            # for reproducibility.
+            concurrent = (len(ctx_list) if ctx_list else 0) + 2
+            sigma = self.calibration.noise_sigma(concurrent, self._current_pressure or 1.0)
+            kernel.noise_factor = self._sample_noise(sigma)
+            kernel.effective_work = kernel.spec.work * kernel.noise_factor
+            kernel.remaining_work = kernel.effective_work
         self._running[kernel.uid] = kernel
+        if ctx_list is None:
+            self._ctx_running[context_id] = [kernel]
+        else:
+            ctx_list.append(kernel)
+        self._dirty_contexts.add(context_id)
         self._replan()
 
     def _sample_noise(self, sigma: float) -> float:
@@ -182,69 +263,292 @@ class GpuEngine:
         """Decrease remaining work of running kernels for time elapsed since last update."""
         now = self.simulator.now
         elapsed = now - self._last_update
-        self._accumulate_utilization()
-        if elapsed > _EPSILON_TIME:
-            for kernel in self._running.values():
-                kernel.remaining_work = max(
-                    0.0, kernel.remaining_work - kernel.current_rate * elapsed
-                )
-        self._last_update = now
-
-    def _accumulate_utilization(self) -> None:
-        elapsed = self.simulator.now - self._last_update
         if elapsed > 0:
             self._utilization_time_integral += self._current_utilization * elapsed
+        if elapsed > _EPSILON_TIME:
+            for kernel in self._running.values():
+                remaining = kernel.remaining_work - kernel.current_rate * elapsed
+                kernel.remaining_work = remaining if remaining > 0.0 else 0.0
+        self._last_update = now
 
     def _replan(self) -> None:
-        """Recompute SM allocation and schedule the next completion event."""
+        """Recompute SM allocation and schedule the next completion event.
+
+        The computation reproduces, operation for operation, what
+        :func:`repro.gpu.allocation.allocate_sms` would return for the current
+        running set; it merely avoids redoing work whose inputs are unchanged.
+        """
         if self._completion_handle is not None:
             self._completion_handle.cancel()
             self._completion_handle = None
 
+        running = self._running
         # Track busy time for utilization-style reporting.
-        if self._running and self._busy_time_start is None:
+        if running and self._busy_time_start is None:
             self._busy_time_start = self.simulator.now
-        elif not self._running and self._busy_time_start is not None:
+        elif not running and self._busy_time_start is not None:
             self._total_busy_time += self.simulator.now - self._busy_time_start
             self._busy_time_start = None
 
-        if not self._running:
+        # Drop contexts whose running set emptied; afterwards every entry of
+        # ``_ctx_running`` is non-empty and every dirty context needs only a
+        # water-fill refresh.
+        dirty = self._dirty_contexts
+        ctx_running = self._ctx_running
+        if dirty:
+            stale = [cid for cid in dirty if not ctx_running.get(cid)]
+            for cid in stale:
+                ctx_running.pop(cid, None)
+                self._ctx_alloc.pop(cid, None)
+                dirty.remove(cid)
+
+        if not running:
             self._current_utilization = 0.0
             self._current_pressure = 0.0
             return
 
-        running_by_context: Dict[int, List] = {}
-        for kernel in self._running.values():
-            running_by_context.setdefault(kernel.context_id, []).append(
-                (kernel.uid, kernel.spec.parallelism)
+        # Single running kernel: the whole plan collapses to a handful of
+        # float operations (same operations as the general path, in the same
+        # order, so the results stay bitwise identical).
+        if len(running) == 1 and GpuEngine.fast_path_enabled:
+            self.fast_path_hits += 1
+            kernel = next(iter(running.values()))
+            cid = kernel.context_id
+            if dirty:
+                quota = self._quotas[cid]
+                demand = kernel.spec.parallelism
+                if demand > quota:
+                    demand = quota
+                self._ctx_alloc[cid] = ([demand], demand)
+                dirty.clear()
+            allocation = self._ctx_alloc[cid][1]
+            num_sms = self.spec.num_sms
+            pressure = allocation / num_sms
+            if allocation > num_sms:
+                scale = num_sms / allocation
+                grant = allocation * scale
+            else:
+                scale = 1.0
+                grant = allocation
+            self._current_pressure = pressure = max(pressure, 1.0) if allocation > 0 else 0.0
+            self._current_utilization = min(1.0, grant / num_sms) if num_sms else 0.0
+            # Recompute the rate unconditionally: with concurrency 1 the intra
+            # efficiency is exactly 1.0 and the whole expression is a handful
+            # of operations, cheaper than tracking staleness.
+            calibration = self.calibration
+            min_rate = calibration.min_rate_sms
+            allocated = grant if grant > min_rate else min_rate
+            contention_factor = calibration.contention_penalty * (
+                pressure - 1.0 if pressure > 1.0 else 0.0
             )
-        quotas = {cid: ctx.sm_quota for cid, ctx in self._contexts.items()}
-        result = allocate_sms(self.spec.num_sms, quotas, running_by_context)
-        self._current_pressure = result.pressure
-        self._current_utilization = result.utilization
+            efficiency = 1.0 / (
+                1.0
+                    + contention_factor
+                    * (
+                        CONTENTION_WEIGHT_BASE
+                        + CONTENTION_WEIGHT_MEMORY * kernel.spec.memory_intensity
+                    )
+            )
+            kernel.allocated_sms = allocated
+            rate = allocated * efficiency
+            kernel.current_rate = rate
+            self._last_scale = scale
+            self._last_pressure_eff = pressure
+            if rate > 0:
+                soonest = kernel.remaining_work / rate
+                simulator = self.simulator
+                fire_at = simulator.now + (soonest if soonest > 0.0 else 0.0)
+                self._completion_handle = simulator.schedule_at(
+                    fire_at, self._completion_callback, label="gpu-completion"
+                )
+            return
+
+        # Every context runs exactly one kernel (the MPS-policy shape, one
+        # stream per context): water-filling degenerates to the clipped demand
+        # and the intra efficiency is exactly 1.0, so the whole plan is a
+        # single pass over the running kernels.  Operation order matches the
+        # general path (context order == kernel start order here), keeping
+        # results bitwise identical.
+        if GpuEngine.fast_path_enabled and len(ctx_running) == len(running):
+            self.fast_path_hits += 1
+            ctx_alloc = self._ctx_alloc
+            quotas = self._quotas
+            if dirty:
+                for cid in dirty:
+                    quota = quotas[cid]
+                    demand = ctx_running[cid][0].spec.parallelism
+                    if demand > quota:
+                        demand = quota
+                    ctx_alloc[cid] = ([demand], demand)
+                dirty.clear()
+            num_sms = self.spec.num_sms
+            demands = []
+            append = demands.append
+            total_demand = 0.0
+            for kernel in running.values():
+                quota = quotas[kernel.context_id]
+                demand = kernel.spec.parallelism
+                if demand > quota:
+                    demand = quota
+                append(demand)
+                total_demand += demand
+            pressure = total_demand / num_sms
+            scale = 1.0 if total_demand <= num_sms else num_sms / total_demand
+            self._current_pressure = pressure = (
+                max(pressure, 1.0) if total_demand > 0 else 0.0
+            )
+            calibration = self.calibration
+            min_rate = calibration.min_rate_sms
+            contention_factor = calibration.contention_penalty * (
+                pressure - 1.0 if pressure > 1.0 else 0.0
+            )
+            granted = 0.0
+            soonest = None
+            for kernel, demand in zip(running.values(), demands):
+                grant = demand if scale == 1.0 else demand * scale
+                granted += grant
+                allocated = grant if grant > min_rate else min_rate
+                efficiency = 1.0 / (
+                    1.0
+                    + contention_factor
+                    * (
+                        CONTENTION_WEIGHT_BASE
+                        + CONTENTION_WEIGHT_MEMORY * kernel.spec.memory_intensity
+                    )
+                )
+                kernel.allocated_sms = allocated
+                rate = allocated * efficiency
+                kernel.current_rate = rate
+                if rate > 0:
+                    eta = kernel.remaining_work / rate
+                    if soonest is None or eta < soonest:
+                        soonest = eta
+            self._current_utilization = min(1.0, granted / num_sms) if num_sms else 0.0
+            self._last_scale = scale
+            self._last_pressure_eff = pressure
+            if soonest is None:  # pragma: no cover - defensive
+                return
+            simulator = self.simulator
+            fire_at = simulator.now + (soonest if soonest > 0.0 else 0.0)
+            self._completion_handle = simulator.schedule_at(
+                fire_at, self._completion_callback, label="gpu-completion"
+            )
+            return
+
+        # Context order of the reference plan: order of each context's first
+        # running kernel within ``_running`` (global start order).
+        if len(self._ctx_running) == 1:
+            order = list(self._ctx_running)
+        else:
+            order = []
+            seen = set()
+            for kernel in running.values():
+                cid = kernel.context_id
+                if cid not in seen:
+                    seen.add(cid)
+                    order.append(cid)
+
+        # Refresh the water-fill of every touched context.
+        dirty = self._dirty_contexts
+        ctx_alloc = self._ctx_alloc
+        for cid in dirty:
+            kernels = self._ctx_running.get(cid)
+            if not kernels:
+                self._ctx_running.pop(cid, None)
+                ctx_alloc.pop(cid, None)
+                continue
+            quota = self._quotas[cid]
+            if len(kernels) == 1:
+                # Water-filling one demand degenerates to min(demand, quota),
+                # and the demand is already clipped to the quota.
+                demand = kernels[0].spec.parallelism
+                if demand > quota:
+                    demand = quota
+                ctx_alloc[cid] = ([demand], demand)
+                continue
+            demands = [min(k.spec.parallelism, quota) for k in kernels]
+            allocations = water_fill(quota, demands)
+            ctx_alloc[cid] = (allocations, sum(allocations))
+
+        num_sms = self.spec.num_sms
+        total_demand = 0.0
+        for cid in order:
+            total_demand += ctx_alloc[cid][1]
+        pressure = total_demand / num_sms
+        scale = 1.0 if total_demand <= num_sms else num_sms / total_demand
+
+        granted = 0.0
+        if scale == 1.0:
+            for cid in order:
+                for allocation in ctx_alloc[cid][0]:
+                    granted += allocation
+        else:
+            for cid in order:
+                for allocation in ctx_alloc[cid][0]:
+                    granted += allocation * scale
+
+        self._current_pressure = pressure = max(pressure, 1.0) if total_demand > 0 else 0.0
+        self._current_utilization = min(1.0, granted / num_sms) if num_sms else 0.0
+
+        # Kernel rates.  A context's rates only change when its own membership
+        # changed (water-fill + concurrency) or when a global input changed
+        # (scale, pressure): every input to the pure float rate expression is
+        # otherwise identical, so reusing the stored ``current_rate`` is
+        # bitwise what a full recompute would produce.
+        globals_changed = (
+            scale != self._last_scale
+            or pressure != self._last_pressure_eff
+            or not GpuEngine.fast_path_enabled
+        )
+        self._last_scale = scale
+        self._last_pressure_eff = pressure
+        calibration = self.calibration
+        min_rate = calibration.min_rate_sms
+        intra_penalty = calibration.intra_stream_penalty
+        # contention_efficiency(pressure, mi) inlined with its pressure-only
+        # part hoisted: 1 / (1 + penalty * excess * (base + memory_weight * mi)).
+        contention_factor = calibration.contention_penalty * (
+            pressure - 1.0 if pressure > 1.0 else 0.0
+        )
+        ctx_running = self._ctx_running
+        for cid in order:
+            if not globals_changed and cid not in dirty:
+                self.fast_path_hits += 1
+                continue
+            self.full_replans += 1
+            kernels = ctx_running[cid]
+            allocations = ctx_alloc[cid][0]
+            # intra_efficiency inlined; len(kernels) >= 1 so max(0, n-1) == n-1.
+            intra = 1.0 / (1.0 + intra_penalty * (len(kernels) - 1))
+            for kernel, allocation in zip(kernels, allocations):
+                grant = allocation * scale
+                allocated = grant if grant > min_rate else min_rate
+                efficiency = intra * (
+                    1.0 / (1.0
+                    + contention_factor
+                    * (
+                        CONTENTION_WEIGHT_BASE
+                        + CONTENTION_WEIGHT_MEMORY * kernel.spec.memory_intensity
+                    ))
+                )
+                kernel.allocated_sms = allocated
+                kernel.current_rate = allocated * efficiency
+        dirty.clear()
 
         soonest: Optional[float] = None
-        for kernel in self._running.values():
-            allocation = max(
-                result.kernel_sms.get(kernel.uid, 0.0), self.calibration.min_rate_sms
-            )
-            concurrency = result.context_concurrency.get(kernel.context_id, 1)
-            efficiency = self.calibration.intra_efficiency(concurrency)
-            efficiency *= self.calibration.contention_efficiency(
-                result.pressure, kernel.spec.memory_intensity
-            )
-            kernel.allocated_sms = allocation
-            kernel.current_rate = allocation * efficiency
-            if kernel.current_rate > 0:
-                eta = kernel.remaining_work / kernel.current_rate
+        for kernel in running.values():
+            rate = kernel.current_rate
+            if rate > 0:
+                eta = kernel.remaining_work / rate
                 if soonest is None or eta < soonest:
                     soonest = eta
 
         if soonest is None:  # pragma: no cover - defensive
             return
-        fire_at = self.simulator.now + max(soonest, 0.0)
-        self._completion_handle = self.simulator.schedule_at(
-            fire_at, lambda _sim: self._on_completion(), label="gpu-completion"
+        simulator = self.simulator
+        fire_at = simulator.now + (soonest if soonest > 0.0 else 0.0)
+        self._completion_handle = simulator.schedule_at(
+            fire_at, self._completion_callback, label="gpu-completion"
         )
 
     def _on_completion(self) -> None:
@@ -259,19 +563,29 @@ class GpuEngine:
         if not finished:
             self._replan()
             return
+        notify_idle = self.stream_idle_callback
         for kernel in finished:
             del self._running[kernel.uid]
+            context_id = kernel.context_id
+            ctx_list = self._ctx_running[context_id]
+            for index, candidate in enumerate(ctx_list):
+                if candidate is kernel:
+                    del ctx_list[index]
+                    break
+            self._dirty_contexts.add(context_id)
             kernel.state = KernelState.COMPLETED
             kernel.finish_time = self.simulator.now
             kernel.remaining_work = 0.0
             self.completed_kernels += 1
-            stream = self._streams[kernel.context_id][kernel.stream_id]
+            stream = self._streams[context_id][kernel.stream_id]
             popped = stream.pop_head()
             if popped.uid != kernel.uid:  # pragma: no cover - defensive
                 raise RuntimeError("stream head does not match completed kernel")
             next_kernel = stream.head
             if next_kernel is not None:
                 self._begin_dispatch(next_kernel)
+            elif notify_idle is not None:
+                notify_idle(context_id, kernel.stream_id)
         self._replan()
         for kernel in finished:
             if kernel.on_complete is not None:

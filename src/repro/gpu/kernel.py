@@ -80,27 +80,56 @@ class KernelSpec:
 _instance_counter = itertools.count()
 
 
-@dataclass
 class KernelInstance:
-    """Runtime state of one launched kernel."""
+    """Runtime state of one launched kernel.
 
-    spec: KernelSpec
-    stream_id: int
-    context_id: int
-    on_complete: Optional[Callable[["KernelInstance"], None]] = None
-    uid: int = field(default_factory=lambda: next(_instance_counter))
-    state: KernelState = KernelState.QUEUED
+    A ``__slots__`` class rather than a dataclass: one instance is created per
+    dispatched DNN stage and the engine touches its fields on every replan, so
+    both the construction cost and the attribute access latency matter.
+    """
 
-    enqueue_time: float = 0.0
-    dispatch_ready_time: float = 0.0
-    start_time: float = 0.0
-    finish_time: float = 0.0
+    __slots__ = (
+        "spec",
+        "stream_id",
+        "context_id",
+        "on_complete",
+        "uid",
+        "state",
+        "enqueue_time",
+        "dispatch_ready_time",
+        "start_time",
+        "finish_time",
+        "effective_work",
+        "remaining_work",
+        "noise_factor",
+        "allocated_sms",
+        "current_rate",
+    )
 
-    effective_work: float = 0.0
-    remaining_work: float = 0.0
-    noise_factor: float = 1.0
-    allocated_sms: float = 0.0
-    current_rate: float = 0.0
+    def __init__(
+        self,
+        spec: KernelSpec,
+        stream_id: int,
+        context_id: int,
+        on_complete: Optional[Callable[["KernelInstance"], None]] = None,
+        uid: Optional[int] = None,
+        state: KernelState = KernelState.QUEUED,
+    ):
+        self.spec = spec
+        self.stream_id = stream_id
+        self.context_id = context_id
+        self.on_complete = on_complete
+        self.uid = next(_instance_counter) if uid is None else uid
+        self.state = state
+        self.enqueue_time = 0.0
+        self.dispatch_ready_time = 0.0
+        self.start_time = 0.0
+        self.finish_time = 0.0
+        self.effective_work = 0.0
+        self.remaining_work = 0.0
+        self.noise_factor = 1.0
+        self.allocated_sms = 0.0
+        self.current_rate = 0.0
 
     @property
     def execution_time_ms(self) -> float:

@@ -8,6 +8,7 @@ slots, which keeps their code independent of the engine internals.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -92,6 +93,28 @@ class GpuPlatform:
             ]
             self._contexts.append(context)
             self._streams.append(streams)
+        # O(1) idle-stream tracking: per context, a min-heap of idle stream
+        # indices (so the lowest idle index is returned, matching a linear
+        # scan) plus a validity bitmap for lazy deletion.  The engine reports
+        # drained streams through ``stream_idle_callback``; ``launch`` marks
+        # streams busy.
+        self._idle_heaps: List[List[int]] = [
+            list(range(config.streams_per_context)) for _ in self._contexts
+        ]
+        self._idle_flags: List[List[bool]] = [
+            [True] * config.streams_per_context for _ in self._contexts
+        ]
+        self.engine.stream_idle_callback = self._on_stream_idle
+
+    def _on_stream_idle(self, context_id: int, stream_id: int) -> None:
+        """Engine callback: a stream drained to empty."""
+        # Context/stream ids coincide with platform indices by construction;
+        # ignore contexts created on the shared engine outside this platform.
+        if context_id >= len(self._idle_flags):
+            return
+        if not self._idle_flags[context_id][stream_id]:
+            self._idle_flags[context_id][stream_id] = True
+            heapq.heappush(self._idle_heaps[context_id], stream_id)
 
     # ----------------------------------------------------------------- layout
 
@@ -121,15 +144,19 @@ class GpuPlatform:
     # ------------------------------------------------------------------ slots
 
     def idle_stream_index(self, context_index: int) -> Optional[int]:
-        """Index of an idle stream in the context, or None if all are busy."""
-        for stream_index, stream in enumerate(self._streams[context_index]):
-            if stream.is_idle:
-                return stream_index
+        """Lowest index of an idle stream in the context, or None if all are busy."""
+        heap = self._idle_heaps[context_index]
+        flags = self._idle_flags[context_index]
+        while heap:
+            candidate = heap[0]
+            if flags[candidate]:
+                return candidate
+            heapq.heappop(heap)  # stale lazy-deleted entry
         return None
 
     def idle_stream_count(self, context_index: int) -> int:
         """Number of idle streams in the context."""
-        return sum(1 for stream in self._streams[context_index] if stream.is_idle)
+        return sum(1 for idle in self._idle_flags[context_index] if idle)
 
     def busy_stream_count(self, context_index: int) -> int:
         """Number of busy streams in the context."""
@@ -146,6 +173,7 @@ class GpuPlatform:
     ) -> KernelInstance:
         """Launch a kernel (usually an aggregated DNN stage) on a slot."""
         stream = self._streams[context_index][stream_index]
+        self._idle_flags[context_index][stream_index] = False
         return self.engine.launch(stream, spec, on_complete=on_complete)
 
     # ---------------------------------------------------------------- metrics
@@ -157,3 +185,7 @@ class GpuPlatform:
     def average_utilization(self) -> float:
         """Time-averaged SM utilization since simulation start."""
         return self.engine.average_utilization()
+
+    def utilization_integral(self) -> float:
+        """Utilization time-integral for windowed measurements (see engine)."""
+        return self.engine.utilization_integral()

@@ -19,6 +19,13 @@ def virtual_deadline_shares(mret_per_stage: Sequence[float], relative_deadline: 
 
     When all MRETs are zero (no timing information at all) the deadline is
     split uniformly so that the shares still sum to the relative deadline.
+
+    The shares sum *exactly* to ``relative_deadline``: each share is computed
+    from the well-scaled ratio ``value / total`` (avoiding subnormal
+    intermediates for very small MRETs) and the final share is normalized to
+    absorb the residual rounding error, clamped at zero.  Without the
+    normalization the last stage's virtual deadline could drift off the job's
+    actual deadline by accumulated rounding error.
     """
     if relative_deadline <= 0:
         raise ValueError("relative_deadline must be positive")
@@ -29,8 +36,11 @@ def virtual_deadline_shares(mret_per_stage: Sequence[float], relative_deadline: 
     total = sum(mret_per_stage)
     count = len(mret_per_stage)
     if total <= 0:
-        return [relative_deadline / count] * count
-    return [relative_deadline * value / total for value in mret_per_stage]
+        shares = [relative_deadline / count] * count
+    else:
+        shares = [relative_deadline * (value / total) for value in mret_per_stage]
+    shares[-1] = max(0.0, relative_deadline - sum(shares[:-1]))
+    return shares
 
 
 def assign_virtual_deadlines(job: Job) -> None:

@@ -22,6 +22,7 @@ class MretEstimator:
         self.window_size = window_size
         self.initial = initial
         self._window: Deque[float] = deque(maxlen=window_size)
+        self._cached_value: Optional[float] = None
 
     @property
     def observations(self) -> int:
@@ -33,20 +34,34 @@ class MretEstimator:
         if execution_time < 0:
             raise ValueError(f"execution_time must be non-negative, got {execution_time}")
         self._window.append(execution_time)
+        self._cached_value = None
 
     def value(self) -> float:
-        """Current MRET: window maximum, or the AFET fallback when empty."""
+        """Current MRET: window maximum, or the AFET fallback when empty.
+
+        The window maximum is cached between observations: ``value`` is called
+        on every admission test and virtual-deadline assignment, far more
+        often than the window changes.
+        """
+        cached = self._cached_value
+        if cached is not None:
+            return cached
         if self._window:
-            return max(self._window)
-        if self.initial is not None:
-            return self.initial
-        return 0.0
+            result = max(self._window)
+        elif self.initial is not None:
+            result = self.initial
+        else:
+            result = 0.0
+        self._cached_value = result
+        return result
 
     def set_initial(self, afet: float) -> None:
         """Install the offline AFET fallback used before any measurement exists."""
         if afet < 0:
             raise ValueError("afet must be non-negative")
         self.initial = afet
+        if not self._window:
+            self._cached_value = None
 
     def window_values(self) -> List[float]:
         """Copy of the current window contents (oldest first)."""
@@ -64,6 +79,10 @@ class TaskTimingModel:
             raise ValueError("num_stages must be >= 1")
         self.window_size = window_size
         self._estimators = [MretEstimator(window_size=window_size) for _ in range(num_stages)]
+        self._cached_total: Optional[float] = None
+        # Bumped on every mutation; lets consumers cache derived quantities
+        # (e.g. the scheduler's per-context MRET backlog contributions).
+        self.version = 0
 
     @property
     def num_stages(self) -> int:
@@ -82,10 +101,14 @@ class TaskTimingModel:
             )
         for estimator, afet in zip(self._estimators, afet_per_stage):
             estimator.set_initial(afet)
+        self._cached_total = None
+        self.version += 1
 
     def observe(self, stage_index: int, execution_time: float) -> None:
         """Record a measurement for one stage."""
         self._estimators[stage_index].observe(execution_time)
+        self._cached_total = None
+        self.version += 1
 
     def stage_value(self, stage_index: int) -> float:
         """MRET of one stage (Equation 1)."""
@@ -96,5 +119,9 @@ class TaskTimingModel:
         return [estimator.value() for estimator in self._estimators]
 
     def total(self) -> float:
-        """Task-level MRET (Equation 2)."""
-        return sum(estimator.value() for estimator in self._estimators)
+        """Task-level MRET (Equation 2), cached between observations."""
+        cached = self._cached_total
+        if cached is None:
+            cached = sum(estimator.value() for estimator in self._estimators)
+            self._cached_total = cached
+        return cached

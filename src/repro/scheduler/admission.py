@@ -47,6 +47,17 @@ class AdmissionController:
             {} for _ in range(config.num_contexts)
         ]
         self._task_by_id = {task.task_id: task for task in self._tasks}
+        # HP tasks never migrate, so their context assignment is fixed once
+        # the offline phase ran; cache the per-context HP task lists instead
+        # of filtering the whole task list on every admission probe.
+        self._hp_tasks_by_context: List[List[Task]] = [
+            [
+                task
+                for task in self._tasks
+                if task.priority is Priority.HIGH and task.context_index == index
+            ]
+            for index in range(config.num_contexts)
+        ]
 
     # ----------------------------------------------------------- bookkeeping
 
@@ -71,11 +82,7 @@ class AdmissionController:
 
     def high_priority_utilization(self, context_index: int) -> float:
         """Equation 4: total utilization of HP tasks assigned to the context."""
-        return sum(
-            task.utilization()
-            for task in self._tasks
-            if task.priority is Priority.HIGH and task.context_index == context_index
-        )
+        return sum(task.utilization() for task in self._hp_tasks_by_context[context_index])
 
     def active_low_utilization(self, context_index: int) -> float:
         """Equation 7's LP component: utilization of LP tasks with an active job."""

@@ -4,6 +4,12 @@ Time is expressed in milliseconds throughout the code base; the choice keeps
 the DNN stage execution times (a few hundred microseconds to a few
 milliseconds) and the task periods (tens of milliseconds) in a comfortable
 numeric range.
+
+Cancellation is lazy (cancelled events stay in the heap and are skipped when
+popped), but the simulator counts live versus cancelled events and compacts
+the heap when cancelled entries dominate: the GPU engine cancels and
+reschedules its completion event on every replan, which would otherwise grow
+the heap linearly with the number of replans.
 """
 
 from __future__ import annotations
@@ -12,6 +18,10 @@ import heapq
 from typing import Callable, List, Optional
 
 from repro.sim.events import Event, EventHandle
+
+# Compact only once this many cancelled events have accumulated *and* they
+# outnumber the live events: both conditions keep compaction amortized O(1).
+_COMPACTION_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
@@ -28,9 +38,15 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: List[Event] = []
+        # Heap items are ``(key, event)`` pairs: comparing the precomputed
+        # key tuples stays entirely in C, avoiding an Event.__lt__ call per
+        # sift step.  Keys are unique (the sequence number is), so the
+        # event itself is never compared.
+        self._heap: List[tuple] = []
         self._fired = 0
         self._stopped = False
+        self._cancelled_in_heap = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -47,6 +63,16 @@ class Simulator:
         """Number of events still in the queue (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def live_events(self) -> int:
+        """Number of non-cancelled events still in the queue."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compaction passes performed so far."""
+        return self._compactions
+
     def schedule_at(
         self,
         time: float,
@@ -55,13 +81,39 @@ class Simulator:
         label: str = "",
     ) -> EventHandle:
         """Schedule ``callback`` at absolute simulation time ``time``."""
-        if time < self._now - 1e-9:
-            raise SimulationError(
-                f"cannot schedule event at {time:.6f} ms, current time is {self._now:.6f} ms"
-            )
-        event = Event(time=max(time, self._now), priority=priority, callback=callback, label=label)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        now = self._now
+        if time < now:
+            if time < now - 1e-9:
+                raise SimulationError(
+                    f"cannot schedule event at {time:.6f} ms, current time is {now:.6f} ms"
+                )
+            time = now
+        event = Event(time=time, priority=priority, callback=callback, label=label)
+        event.in_heap = True
+        heapq.heappush(self._heap, (event._key, event))
+        return EventHandle(event, self)
+
+    def schedule_callback(
+        self,
+        time: float,
+        callback: Callable[["Simulator"], None],
+        label: str = "",
+    ) -> None:
+        """Schedule a fire-and-forget callback (no :class:`EventHandle`).
+
+        Identical to :meth:`schedule_at` except that no handle is created:
+        use it on hot paths where the caller never cancels the event.
+        """
+        now = self._now
+        if time < now:
+            if time < now - 1e-9:
+                raise SimulationError(
+                    f"cannot schedule event at {time:.6f} ms, current time is {now:.6f} ms"
+                )
+            time = now
+        event = Event(time=time, callback=callback, label=label)
+        event.in_heap = True
+        heapq.heappush(self._heap, (event._key, event))
 
     def schedule_after(
         self,
@@ -79,6 +131,37 @@ class Simulator:
         """Request the run loop to stop after the current event."""
         self._stopped = True
 
+    # ------------------------------------------------------------- compaction
+
+    def _note_cancelled(self) -> None:
+        """Called by :class:`EventHandle` when an in-heap event is cancelled."""
+        self._cancelled_in_heap += 1
+        cancelled = self._cancelled_in_heap
+        if cancelled >= _COMPACTION_MIN_CANCELLED and cancelled > len(self._heap) - cancelled:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify.
+
+        Pop order is unaffected: events are totally ordered by
+        ``(time, priority, seq)`` with a unique sequence number, so any heap
+        holding the same live events pops them in the same order.
+        """
+        live = [item for item in self._heap if not item[1].cancelled]
+        self._heap = live
+        heapq.heapify(live)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
+
+    def _pop(self) -> Event:
+        event = heapq.heappop(self._heap)[1]
+        event.in_heap = False
+        if event.cancelled:
+            self._cancelled_in_heap -= 1
+        return event
+
+    # ------------------------------------------------------------------- run
+
     def run_until(self, end_time: float) -> None:
         """Run events with timestamps strictly up to and including ``end_time``.
 
@@ -87,28 +170,45 @@ class Simulator:
         horizon.
         """
         self._stopped = False
-        while self._heap and not self._stopped:
-            event = self._heap[0]
-            if event.time > end_time + 1e-12:
+        limit = end_time + 1e-12
+        pop = heapq.heappop
+        while True:
+            heap = self._heap  # compaction may replace the list between events
+            if not heap or self._stopped:
                 break
-            heapq.heappop(self._heap)
+            event = heap[0][1]
+            if event.time > limit:
+                break
+            pop(heap)
+            event.in_heap = False
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
-            self._now = max(self._now, event.time)
-            event.fire(self)
+            if event.time > self._now:
+                self._now = event.time
+            callback = event.callback
+            if callback is not None:
+                callback(self)
             self._fired += 1
-        self._now = max(self._now, end_time)
+        if end_time > self._now:
+            self._now = end_time
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the queue is empty or ``max_events`` events have fired."""
         self._stopped = False
         fired_here = 0
+        pop = heapq.heappop
         while self._heap and not self._stopped:
-            event = heapq.heappop(self._heap)
+            event = pop(self._heap)[1]
+            event.in_heap = False
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
-            self._now = max(self._now, event.time)
-            event.fire(self)
+            if event.time > self._now:
+                self._now = event.time
+            callback = event.callback
+            if callback is not None:
+                callback(self)
             self._fired += 1
             fired_here += 1
             if max_events is not None and fired_here >= max_events:
@@ -116,11 +216,11 @@ class Simulator:
 
     def peek_next_time(self) -> Optional[float]:
         """Return the timestamp of the next non-cancelled event, if any."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        while self._heap and self._heap[0][1].cancelled:
+            self._pop()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][1].time
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self._now:.3f} ms, pending={len(self._heap)})"

@@ -1,0 +1,231 @@
+"""Equivalence and infrastructure tests for the simulation fast paths.
+
+The GPU engine's incremental replanning, the scheduler's incremental MRET
+backlog and the simulator's heap compaction are pure optimizations: for a
+fixed seed they must not change a single trace record.  These tests pin that
+guarantee by running the same scenario with the fast paths enabled (default)
+and disabled (reference behavior) and comparing the complete
+``StageTraceRecord`` / ``JobTraceRecord`` streams and the final
+``ScenarioMetrics``.
+
+Scope of the guarantee: the engine and simulator fast paths replicate the
+reference floating-point operations exactly (bitwise).  The incremental MRET
+backlog sums the same terms in a different order, so its prediction can
+differ from the reference scan in the last ulp (see ``_ContextBacklog``); a
+trace divergence would additionally require that rounding error to flip an
+admission comparison that carries an explicit 1e-9 slack.  The trace-identity
+test below pins representative scenarios end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
+from repro.experiments.runner import run_daris_scenario
+from repro.gpu.engine import GpuEngine
+from repro.rt.taskset import table2_taskset
+from repro.scheduler.config import DarisConfig
+from repro.scheduler.daris import DarisScheduler
+from repro.sim.rng import RngFactory
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def reference_mode():
+    """Disable every fast path, restoring the unoptimized reference behavior."""
+    GpuEngine.fast_path_enabled = False
+    DarisScheduler.incremental_backlog_enabled = False
+    yield
+    GpuEngine.fast_path_enabled = True
+    DarisScheduler.incremental_backlog_enabled = True
+
+
+def _run_traced(seed: int = 1, horizon: float = 1000.0):
+    return run_daris_scenario(
+        table2_taskset("resnet18"),
+        DarisConfig.mps_config(6, 6.0),
+        horizon,
+        seed=seed,
+        with_trace=True,
+    )
+
+
+# --------------------------------------------------------------- equivalence
+
+
+def test_fast_path_produces_identical_traces(reference_mode):
+    """Optimized and reference schedulers emit bit-identical trace streams."""
+    reference = _run_traced()
+
+    GpuEngine.fast_path_enabled = True
+    DarisScheduler.incremental_backlog_enabled = True
+    optimized = _run_traced()
+
+    assert len(optimized.trace.stage_records) == len(reference.trace.stage_records)
+    assert optimized.trace.stage_records == reference.trace.stage_records
+    assert optimized.trace.job_records == reference.trace.job_records
+    assert optimized.metrics == reference.metrics
+
+
+def test_fast_path_actually_engages():
+    """The specialized replan paths fire during a normal scheduling run."""
+    # MPS 6x1: every context runs at most one kernel, so replans collapse to
+    # the single-pass fast paths and the generic plan never runs.
+    simulator = Simulator()
+    scheduler = DarisScheduler(
+        simulator,
+        table2_taskset("resnet18"),
+        DarisConfig.mps_config(6, 1.0),
+        rng=RngFactory(1),
+    )
+    scheduler.run(800.0)
+    engine = scheduler.platform.engine
+    assert engine.fast_path_hits > 0
+    assert engine.full_replans == 0
+
+    # MPS+STR 2x2: contexts run several kernels concurrently, exercising the
+    # generic incremental plan (cached water-fills + per-context recompute).
+    simulator = Simulator()
+    scheduler = DarisScheduler(
+        simulator,
+        table2_taskset("resnet18"),
+        DarisConfig.mps_str_config(2, 2, 2.0),
+        rng=RngFactory(1),
+    )
+    scheduler.run(800.0)
+    engine = scheduler.platform.engine
+    assert engine.full_replans > 0
+
+
+def test_incremental_backlog_matches_reference_scan():
+    """The O(tasks x stages) backlog equals the O(queue) reference scan."""
+    simulator = Simulator()
+    scheduler = DarisScheduler(
+        simulator,
+        table2_taskset("resnet18"),
+        DarisConfig.mps_config(6, 6.0),
+        rng=RngFactory(3),
+    )
+    scheduler.start(700.0)
+    checked = 0
+    while True:
+        next_time = simulator.peek_next_time()
+        if next_time is None or next_time > 700.0:
+            break
+        simulator.run(max_events=50)
+        for context in range(scheduler.config.num_contexts):
+            incremental = scheduler._predicted_finish(context)
+            reference = scheduler._predicted_finish_reference(context)
+            assert incremental == pytest.approx(reference, rel=1e-9, abs=1e-9)
+            checked += 1
+    assert checked > 0
+
+
+# ---------------------------------------------------------- heap compaction
+
+
+def test_simulator_compacts_cancelled_events():
+    """Cancelled events are physically removed once they dominate the heap."""
+    simulator = Simulator()
+    handles = [simulator.schedule_at(float(i + 1), lambda _sim: None) for i in range(300)]
+    assert simulator.pending_events == 300
+    assert simulator.live_events == 300
+
+    for handle in handles[:299]:
+        handle.cancel()
+
+    assert simulator.live_events == 1
+    assert simulator.compactions >= 1
+    # Compaction physically dropped the cancelled entries.
+    assert simulator.pending_events < 300
+
+
+def test_compaction_preserves_firing_order_and_counts():
+    """A compacting run fires the same events, in the same order, as a naive one."""
+    fired = []
+    simulator = Simulator()
+    keep = []
+    for i in range(200):
+        handle = simulator.schedule_at(float(i), lambda _sim, i=i: fired.append(i))
+        if i % 3 == 0:
+            keep.append(i)
+        else:
+            handle.cancel()
+    simulator.run_until(500.0)
+    assert fired == keep
+    assert simulator.live_events == 0
+
+
+def test_engine_replanning_does_not_bloat_heap():
+    """Replan churn (cancel + reschedule per event) stays bounded via compaction."""
+    result = _run_traced(seed=2, horizon=600.0)
+    assert result.metrics.total_jps > 0
+
+
+def test_live_events_counter_tracks_cancellations():
+    simulator = Simulator()
+    a = simulator.schedule_at(1.0, lambda _sim: None)
+    simulator.schedule_at(2.0, lambda _sim: None)
+    assert simulator.live_events == 2
+    a.cancel()
+    a.cancel()  # idempotent
+    assert simulator.live_events == 1
+    simulator.run_until(3.0)
+    assert simulator.live_events == 0
+
+
+# ------------------------------------------------------ windowed utilization
+
+
+def test_average_utilization_windowed_measurement():
+    """The windowed average uses the integral captured at the window start."""
+    from repro.gpu.kernel import KernelSpec
+    from repro.gpu.spec import RTX_2080_TI
+
+    simulator = Simulator()
+    engine = GpuEngine(simulator, RTX_2080_TI)
+    context = engine.create_context(sm_quota=float(RTX_2080_TI.num_sms))
+    stream = engine.create_stream(context)
+
+    # Idle until t=100, then one full-width kernel for ~100 ms.
+    simulator.run_until(100.0)
+    mark = engine.utilization_integral()
+    assert mark == pytest.approx(0.0)
+    work = 100.0 * RTX_2080_TI.num_sms
+    engine.launch(stream, KernelSpec("k", work=work, parallelism=float(RTX_2080_TI.num_sms)))
+    simulator.run_until(250.0)
+
+    windowed = engine.average_utilization(since=100.0, integral_at_since=mark)
+    overall = engine.average_utilization()
+    # The kernel ran at full width for ~100 of the 150 ms window...
+    assert windowed == pytest.approx(100.0 / 150.0, rel=0.05)
+    # ...but only ~100 of the 250 ms total horizon: the old truncated-horizon
+    # formula would have reported the windowed value as ~1.67x too high.
+    assert overall == pytest.approx(100.0 / 250.0, rel=0.05)
+    assert windowed < 1.0
+
+
+# ------------------------------------------------------------ parallel runner
+
+
+def test_parallel_runner_matches_serial_results():
+    """Fan-out over processes returns ordered, seed-stable, identical results."""
+    taskset = table2_taskset("resnet18")
+    requests = [
+        ScenarioRequest(taskset, DarisConfig.mps_config(2, 2.0), 600.0, seed=5, label="a"),
+        ScenarioRequest(taskset, DarisConfig.mps_config(6, 6.0), 600.0, seed=5, label="b"),
+    ]
+    serial = run_scenarios_parallel(requests, processes=1)
+    parallel = run_scenarios_parallel(requests, processes=2)
+    assert [r.label for r in parallel] == ["a", "b"]
+    for left, right in zip(serial, parallel):
+        assert left.metrics == right.metrics
+
+
+def test_parallel_runner_empty_and_single():
+    assert run_scenarios_parallel([]) == []
+    taskset = table2_taskset("resnet18")
+    request = ScenarioRequest(taskset, DarisConfig.mps_config(2, 2.0), 600.0, seed=9)
+    (result,) = run_scenarios_parallel([request], processes=8)
+    assert result.total_jps > 0
