@@ -8,7 +8,7 @@ prints throughput and deadline behaviour, illustrating the paper's conclusion:
 MPS for throughput, STR for the most reliable deadlines.
 """
 
-from repro import DarisConfig, ScenarioRequest, run_scenarios_parallel, table2_taskset
+from repro import DarisConfig, ResultCache, ScenarioRequest, run_cached_scenarios, table2_taskset
 from repro.analysis import ascii_bar_chart, format_table
 
 
@@ -24,9 +24,13 @@ def main() -> None:
     ]
 
     # One worker per CPU; each scenario keeps its fixed seed, so the rows are
-    # identical to running the sweep serially.
-    results = run_scenarios_parallel(
-        [ScenarioRequest(taskset, config, horizon_ms=3000.0, seed=3) for config in configs]
+    # identical to running the sweep serially.  Completed scenarios are
+    # memoized in the shared experiment cache, so re-running the example is
+    # free (delete .cache/experiments to force re-simulation).
+    cache = ResultCache(".cache/experiments")
+    results = run_cached_scenarios(
+        [ScenarioRequest(taskset, config, horizon_ms=3000.0, seed=3) for config in configs],
+        cache=cache,
     )
 
     rows = []
@@ -44,6 +48,7 @@ def main() -> None:
         throughputs[config.label()] = result.total_jps
 
     print(format_table(rows))
+    print(f"(result cache: {cache.hits} hit(s), {cache.misses} simulated)")
     print()
     print(ascii_bar_chart(throughputs, title="InceptionV3 throughput by configuration (JPS)"))
     print(

@@ -16,7 +16,14 @@ calibrated discrete-event GPU simulator.  The public surface most users need:
 from repro.dnn import build_model, available_models
 from repro.rt import table2_taskset, mixed_taskset, make_taskset, Priority
 from repro.scheduler import DarisConfig, DarisScheduler, Policy
-from repro.experiments import ScenarioRequest, run_daris_scenario, run_scenarios_parallel
+from repro.experiments import (
+    ResultCache,
+    ScenarioRequest,
+    run_cached_scenarios,
+    run_daris_scenario,
+    run_experiment,
+    run_scenarios_parallel,
+)
 from repro.sim import Simulator, RngFactory
 from repro.gpu import GpuPlatform, PlatformConfig, RTX_2080_TI
 
@@ -34,6 +41,9 @@ __all__ = [
     "Policy",
     "run_daris_scenario",
     "ScenarioRequest",
+    "ResultCache",
+    "run_cached_scenarios",
+    "run_experiment",
     "run_scenarios_parallel",
     "Simulator",
     "RngFactory",

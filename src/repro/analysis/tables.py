@@ -23,6 +23,45 @@ def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] = 
     return f"{header}\n{separator}\n{body}"
 
 
+#: Column-name suffixes the seed-replication engine appends to varying metrics.
+STD_SUFFIX = "_std"
+CI_SUFFIX = "_ci95"
+
+
+def format_replicated_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] = (),
+    show_std: bool = False,
+) -> str:
+    """Render seed-replicated rows, folding CI columns into ``mean ±ci`` cells.
+
+    The experiment engine annotates every seed-varying metric column ``x``
+    with companions ``x_std`` and ``x_ci95``.  This renderer collapses each
+    such triple into a single ``mean ±ci95`` cell (optionally ``mean ±ci95
+    (σ=std)`` with ``show_std``), leaving non-replicated columns untouched —
+    so single-seed and replicated reports read the same way.
+    """
+    if not rows:
+        return "(no rows)"
+    display_rows: List[Dict[str, object]] = []
+    for row in rows:
+        display: Dict[str, object] = {}
+        for column, value in row.items():
+            if column.endswith(STD_SUFFIX) or column.endswith(CI_SUFFIX):
+                continue
+            ci = row.get(f"{column}{CI_SUFFIX}")
+            if isinstance(value, (int, float)) and isinstance(ci, (int, float)):
+                cell = f"{_cell(value)} ±{_cell(float(ci))}"
+                if show_std:
+                    std = row.get(f"{column}{STD_SUFFIX}", 0.0)
+                    cell += f" (σ={_cell(float(std))})"
+                display[column] = cell
+            else:
+                display[column] = value
+        display_rows.append(display)
+    return format_table(display_rows, columns)
+
+
 def format_comparison(
     rows: Sequence[Mapping[str, object]],
     measured_key: str = "measured",

@@ -30,8 +30,8 @@ stage is wide) remains faithful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.dnn.layer import LayerSpec
 from repro.dnn.profiles import DnnProfile
@@ -56,17 +56,41 @@ def launch_gap_ms(
 
 @dataclass(frozen=True)
 class DnnModel:
-    """A DNN ready to be scheduled: calibrated stages plus its profile."""
+    """A DNN ready to be scheduled: calibrated stages plus its profile.
+
+    The stage sequence is stored as a tuple so the model is hashable and
+    compares by value — two independently calibrated copies of the same
+    network are equal, which is what gives :class:`ScenarioRequest` its
+    stable identity (and cache key).
+    """
 
     name: str
     profile: DnnProfile
-    stages: List[StageSpec] = field(default_factory=list)
+    stages: Tuple[StageSpec, ...] = ()
     gpu: GpuSpec = RTX_2080_TI
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.stages, tuple):
+            object.__setattr__(self, "stages", tuple(self.stages))
 
     @property
     def num_stages(self) -> int:
         """Number of DARIS stages."""
         return len(self.stages)
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Canonical nested dictionary describing the calibrated model.
+
+        Every quantity that influences simulated behaviour is included, so
+        two models with the same fingerprint are interchangeable in a
+        scenario.  Used by the experiment result cache.
+        """
+        return {
+            "name": self.name,
+            "profile": self.profile.to_dict(),
+            "stages": [stage.to_dict() for stage in self.stages],
+            "gpu": self.gpu.to_dict(),
+        }
 
     @property
     def total_work(self) -> float:

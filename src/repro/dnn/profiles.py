@@ -62,6 +62,20 @@ class DnnProfile:
         if self.num_stages < 1:
             raise ValueError("num_stages must be >= 1")
 
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical field dictionary (stable key order; used for cache keys)."""
+        return {
+            "name": self.name,
+            "single_stream_jps": self.single_stream_jps,
+            "batched_max_jps": self.batched_max_jps,
+            "occupancy_fraction": self.occupancy_fraction,
+            "batch_saturation_scale": self.batch_saturation_scale,
+            "memory_intensity": self.memory_intensity,
+            "num_stages": self.num_stages,
+            "preferred_batch_size": self.preferred_batch_size,
+            "reference_input": list(self.reference_input),
+        }
+
     @property
     def isolated_latency_ms(self) -> float:
         """Latency of one un-batched inference alone on the GPU."""

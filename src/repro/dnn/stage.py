@@ -41,6 +41,17 @@ class StageSpec:
         """Execution time when the stage runs alone on ``available_sms`` SMs."""
         return self.work / min(self.parallelism, available_sms)
 
+    def to_dict(self) -> dict:
+        """Canonical field dictionary (stable key order; used for cache keys)."""
+        return {
+            "name": self.name,
+            "index": self.index,
+            "work": self.work,
+            "parallelism": self.parallelism,
+            "num_kernels": self.num_kernels,
+            "memory_intensity": self.memory_intensity,
+        }
+
     def to_kernel_spec(self, label: str = "") -> KernelSpec:
         """Convert to the GPU engine's kernel description (batch size 1).
 

@@ -1,33 +1,67 @@
 """Experiment harness: one module per table / figure of the paper's evaluation.
 
-Every module exposes ``run(quick=True)`` returning a list of result rows
-(dictionaries) and a ``main()`` that prints the rows as a text table.  The
+Every module declares an :class:`ExperimentSpec` (its scenario grid plus row
+aggregator) in the shared registry; the shared engine executes any spec with
+parallel fan-out, ``--seeds N`` replication (mean / stdev / 95 %-CI columns)
+and a disk-backed result cache.  ``python -m repro.experiments`` is the CLI
+front end (``list`` / ``run`` / ``cache``).
+
+Each module still exposes the historical ``run(quick=True)`` returning its
+result rows and a ``main()`` that prints them — both now thin wrappers over
+``run_experiment`` — so existing callers and notebooks keep working.  The
 ``quick`` flag selects a reduced configuration grid and shorter simulation
-horizon so the benchmark suite finishes in minutes; ``quick=False`` runs the
-full grids used for EXPERIMENTS.md.
+horizon; ``quick=False`` runs the full grids used for EXPERIMENTS.md.
 
 ==========================  =======================================
-Module                      Paper artefact
+Module (registry name)      Paper artefact
 ==========================  =======================================
-``fig1_table1_batching``    Figure 1 and Table I (batching gains)
-``table2_tasksets``         Table II (task-set composition)
-``fig2_staging``            Figure 2 (staging + virtual deadlines)
-``fig4_6_main``             Figures 4-6 (main scheduling results)
-``fig7_mixed``              Figure 7 (mixed task set)
-``fig8_ablations``          Figure 8 (module contributions)
-``fig9_mret``               Figure 9 (execution time vs MRET)
-``fig10_batched``           Figure 10 (DARIS + batching)
-``fig11_overload``          Figure 11 (overload and HP:LP ratios)
-``sota_comparison``         Section VI-B (ResNet50 vs GSlice/batching)
+``fig1_table1_batching``    Figure 1 and Table I (``fig1_table1``)
+``table2_tasksets``         Table II (``table2``)
+``fig2_staging``            Figure 2 (``fig2``)
+``fig4_6_main``             Figures 4-6 (``fig4_6``)
+``fig7_mixed``              Figure 7 (``fig7``)
+``fig8_ablations``          Figure 8 (``fig8``)
+``fig9_mret``               Figure 9 (``fig9``)
+``fig10_batched``           Figure 10 (``fig10``)
+``fig11_overload``          Figure 11 (``fig11``)
+``sota_comparison``         Section VI-B (``sota``)
 ==========================  =======================================
 """
 
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import (
+    ExperimentReport,
+    run_cached_scenarios,
+    run_experiment,
+)
 from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
+from repro.experiments.registry import (
+    BuildContext,
+    ExperimentPlan,
+    ExperimentSpec,
+    RowContext,
+    all_experiments,
+    get_experiment,
+    load_all_experiments,
+    register,
+)
 from repro.experiments.runner import ScenarioResult, run_daris_scenario
 
 __all__ = [
+    "BuildContext",
+    "ExperimentPlan",
+    "ExperimentReport",
+    "ExperimentSpec",
+    "ResultCache",
+    "RowContext",
     "ScenarioRequest",
     "ScenarioResult",
+    "all_experiments",
+    "get_experiment",
+    "load_all_experiments",
+    "register",
+    "run_cached_scenarios",
     "run_daris_scenario",
+    "run_experiment",
     "run_scenarios_parallel",
 ]

@@ -1,0 +1,185 @@
+"""Disk-backed, content-addressed cache of completed scenario results.
+
+Every figure of the paper re-runs scenarios that earlier sweeps (or earlier
+seeds of the same sweep) already simulated.  The cache memoizes each completed
+:class:`~repro.experiments.runner.ScenarioResult` under the SHA-256 of its
+request's canonical fingerprint (task set + configuration + horizon + seed +
+GPU + calibration + label), so a repeated sweep is served entirely from disk
+and is bit-identical to a fresh one: metrics round-trip losslessly through
+JSON (see ``ScenarioMetrics.to_dict``).
+
+Layout::
+
+    <cache_dir>/
+        <key[:2]>/<key>.json     one entry per scenario (atomic writes)
+
+Sharding by the first two hex digits keeps directories small even with
+hundreds of thousands of entries.  Entries are self-describing (they embed
+the full request fingerprint), so ``prune`` / external tooling can inspect
+them without the originating code.
+
+Traced requests (``with_trace=True``) are **never** cached: a
+``TraceRecorder`` holds references to live ``Job``/``Task`` objects and is
+not serializable, and trace consumers (Figure 9) need the live objects
+anyway.  The engine skips the cache for those requests and :meth:`put`
+refuses them defensively.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.experiments.parallel import ScenarioRequest
+from repro.experiments.runner import ScenarioResult
+
+_ENTRY_SCHEMA = 1
+
+
+class ResultCache:
+    """Content-addressed scenario result store under one directory.
+
+    Attributes:
+        hits: number of :meth:`get` calls served from disk.
+        misses: number of :meth:`get` calls that found nothing (or an
+            unreadable / stale entry, which is treated as a miss).
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ keys
+
+    @staticmethod
+    def key_for(request: ScenarioRequest) -> str:
+        """The content-addressed key of a request (SHA-256 hex digest)."""
+        return request.cache_key()
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem location of the entry with the given key."""
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    # ---------------------------------------------------------------- access
+
+    def get(self, request: ScenarioRequest) -> Optional[ScenarioResult]:
+        """Return the cached result for ``request``, or ``None`` on a miss.
+
+        Corrupt, unreadable or schema-stale entries count as misses (and are
+        left for :meth:`prune` / a later overwrite), so a damaged cache can
+        never poison an experiment — it only costs a re-simulation.
+        """
+        path = self.path_for(self.key_for(request))
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("entry_schema") != _ENTRY_SCHEMA:
+                raise ValueError("stale cache entry schema")
+            result = ScenarioResult.from_dict(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, request: ScenarioRequest, result: ScenarioResult) -> bool:
+        """Store a completed result; returns whether it was written.
+
+        Traced requests/results are refused (see module docstring).  Writes
+        are atomic (tempfile + ``os.replace``) so concurrent experiment
+        processes sharing one cache directory can never observe a torn entry.
+        """
+        if request.with_trace or result.trace is not None:
+            return False
+        key = self.key_for(request)
+        path = self.path_for(key)
+        entry = {
+            "entry_schema": _ENTRY_SCHEMA,
+            "key": key,
+            "fingerprint": request.fingerprint(),
+            "result": result.to_dict(),
+        }
+        # Any filesystem failure (unwritable/read-only dir, disk full, ...)
+        # degrades to "not cached" — a broken cache must never abort a sweep
+        # whose scenarios already simulated successfully.
+        temp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_name = tempfile.mkstemp(
+                prefix=f".{key[:8]}.", suffix=".tmp", dir=path.parent
+            )
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, separators=(",", ":"))
+            os.replace(temp_name, path)
+        except OSError:
+            if temp_name is not None:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+            return False
+        return True
+
+    # ------------------------------------------------------------ management
+
+    def _entry_paths(self) -> Iterator[Path]:
+        yield from self.cache_dir.glob("??/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def size_bytes(self) -> int:
+        """Total size of all entries on disk."""
+        return sum(path.stat().st_size for path in self._entry_paths())
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_days: Optional[float] = None,
+    ) -> int:
+        """Evict entries, oldest (by mtime) first; returns the number removed.
+
+        Args:
+            max_entries: keep at most this many of the most recently written
+                entries.
+            max_age_days: additionally drop entries older than this many days.
+        """
+        import time
+
+        entries: List[tuple] = sorted(
+            (path.stat().st_mtime, path) for path in self._entry_paths()
+        )
+        doomed: List[Path] = []
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            doomed.extend(path for mtime, path in entries if mtime < cutoff)
+        if max_entries is not None:
+            doomed_set = set(doomed)
+            survivors = [path for _, path in entries if path not in doomed_set]
+            excess = len(survivors) - max_entries
+            if excess > 0:
+                doomed.extend(survivors[:excess])
+        removed = 0
+        for path in doomed:  # age pass and entry pass are disjoint by construction
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

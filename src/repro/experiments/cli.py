@@ -1,0 +1,230 @@
+"""One command-line entry point for every experiment of the paper.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig4_6 --quick --seeds 5 --jobs 8 --cache-dir .cache
+    python -m repro.experiments run --all --quick
+    python -m repro.experiments cache --cache-dir .cache [--prune-max-entries N] [--clear]
+
+``run`` executes one or more registered experiments through the shared
+engine: scenario grids are fanned out over worker processes, replicated
+across seeds, served from / written back to the disk cache, and rendered as
+text tables (with ``mean ±ci95`` cells when ``--seeds > 1``).
+
+``--expect-cached`` turns the run into an assertion that *zero* scenarios
+had to be simulated — CI uses it to verify that a repeated invocation is
+served entirely from cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import format_replicated_table, format_table
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import ExperimentReport, run_experiment
+from repro.experiments.registry import (
+    all_experiments,
+    get_experiment,
+    load_all_experiments,
+)
+
+EXIT_OK = 0
+EXIT_UNKNOWN_EXPERIMENT = 2
+EXIT_NOT_CACHED = 3
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's experiments through the shared registry/engine.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list registered experiments")
+    list_parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("experiments", nargs="*", help="registry names (e.g. fig4_6 sota)")
+    run_parser.add_argument("--all", action="store_true", help="run every registered experiment")
+    grid = run_parser.add_mutually_exclusive_group()
+    grid.add_argument(
+        "--quick",
+        dest="quick",
+        action="store_true",
+        default=True,
+        help="reduced grid / shorter horizon (default)",
+    )
+    grid.add_argument(
+        "--full", dest="quick", action="store_false", help="the paper's full grids"
+    )
+    run_parser.add_argument("--seeds", type=int, default=1, help="replication count (default 1)")
+    run_parser.add_argument("--base-seed", type=int, default=1, help="first seed (default 1)")
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: one per CPU; 1 = serial)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=".cache/experiments",
+        help="result cache directory (default .cache/experiments)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache entirely"
+    )
+    run_parser.add_argument(
+        "--model",
+        default=None,
+        help="model parameter for model-parameterized specs (fig4_6, fig8, fig10)",
+    )
+    run_parser.add_argument(
+        "--expect-cached",
+        action="store_true",
+        help=(
+            f"exit {EXIT_NOT_CACHED} if any cacheable scenario had to be simulated"
+            " (traced scenarios are exempt: they bypass the cache by design)"
+        ),
+    )
+    run_parser.add_argument("--json", action="store_true", help="emit rows as JSON lines")
+
+    cache_parser = subparsers.add_parser("cache", help="inspect or trim the result cache")
+    cache_parser.add_argument(
+        "--cache-dir", default=".cache/experiments", help="cache directory to manage"
+    )
+    cache_parser.add_argument("--clear", action="store_true", help="remove every entry")
+    cache_parser.add_argument(
+        "--prune-max-entries", type=int, default=None, help="keep only the newest N entries"
+    )
+    cache_parser.add_argument(
+        "--prune-max-age-days", type=float, default=None, help="drop entries older than N days"
+    )
+    return parser
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    specs = all_experiments()
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {"name": spec.name, "title": spec.title, "replicable": spec.replicable}
+                    for spec in specs
+                ]
+            )
+        )
+        return EXIT_OK
+    rows = [
+        {
+            "name": spec.name,
+            "seeds_axis": "yes" if spec.replicable else "no (deterministic)",
+            "title": spec.title,
+        }
+        for spec in specs
+    ]
+    print(format_table(rows))
+    return EXIT_OK
+
+
+def _print_report(report: ExperimentReport, as_json: bool) -> None:
+    spec = report.spec
+    if as_json:
+        for row in report.rows:
+            print(json.dumps({"experiment": spec.name, **row}))
+        return
+    seeds_note = (
+        f"seeds {report.seeds[0]}..{report.seeds[-1]}" if report.replicated else f"seed {report.seeds[0]}"
+    )
+    print(f"== {spec.name} — {spec.title} [{'quick' if report.quick else 'full'}, {seeds_note}] ==")
+    renderer = format_replicated_table if report.replicated else format_table
+    print(renderer(report.rows))
+    if spec.highlights:
+        print(f"paper highlights: {json.dumps(spec.highlights)}")
+    print(
+        f"scenarios: {report.cache_hits} cached, {report.simulated} simulated"
+        f" ({report.uncached} uncacheable)"
+    )
+    print()
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    load_all_experiments()
+    if args.all and args.experiments:
+        print("pass either experiment names or --all, not both", file=sys.stderr)
+        return EXIT_UNKNOWN_EXPERIMENT
+    if args.all:
+        specs = all_experiments()
+    elif args.experiments:
+        try:
+            specs = [get_experiment(name) for name in args.experiments]
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return EXIT_UNKNOWN_EXPERIMENT
+    else:
+        print("nothing to run: name experiments or pass --all", file=sys.stderr)
+        return EXIT_UNKNOWN_EXPERIMENT
+
+    cache: Optional[ResultCache] = None if args.no_cache else ResultCache(args.cache_dir)
+    params = {"model_name": args.model} if args.model else None
+    total_simulated = total_hits = total_misses = 0
+    for spec in specs:
+        report = run_experiment(
+            spec,
+            quick=args.quick,
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            processes=args.jobs,
+            cache=cache,
+            params=params,
+        )
+        _print_report(report, args.json)
+        total_simulated += report.simulated
+        total_hits += report.cache_hits
+        total_misses += report.cache_misses
+
+    if not args.json:
+        print(
+            f"total: {len(specs)} experiment(s), {total_hits} scenario(s) from cache,"
+            f" {total_simulated} simulated"
+        )
+    # Cache misses == cacheable scenarios that had to run; traced scenarios
+    # (report.uncached) bypass the cache by design and don't fail the check.
+    if args.expect_cached and (total_misses > 0 or args.no_cache):
+        print(
+            f"--expect-cached: {total_misses} cacheable scenario(s) had to be simulated",
+            file=sys.stderr,
+        )
+        return EXIT_NOT_CACHED
+    return EXIT_OK
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+        return EXIT_OK
+    if args.prune_max_entries is not None or args.prune_max_age_days is not None:
+        removed = cache.prune(
+            max_entries=args.prune_max_entries, max_age_days=args.prune_max_age_days
+        )
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'}")
+    entries = len(cache)
+    print(f"{cache.cache_dir}: {entries} entr{'y' if entries == 1 else 'ies'},"
+          f" {cache.size_bytes() / 1024.0:.1f} KiB")
+    return EXIT_OK
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.command == "list":
+        return _command_list(args)
+    if args.command == "run":
+        return _command_run(args)
+    return _command_cache(args)

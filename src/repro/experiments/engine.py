@@ -1,0 +1,286 @@
+"""Shared experiment execution engine.
+
+One code path executes every registered experiment:
+
+1. **Expand** — the spec's ``build`` produces the per-seed request grid,
+   which is crossed with the ``--seeds N`` replication axis by shifting each
+   request's seed (seed structure within a grid is preserved).
+2. **Serve or simulate** — each request is first looked up in the optional
+   :class:`~repro.experiments.cache.ResultCache`; misses are fanned out
+   through :func:`run_scenarios_parallel`, and completed scenarios are
+   written back to the cache *as they stream in* (``imap``), not after the
+   whole sweep — an interrupted sweep therefore resumes from what already
+   finished.  Traced requests bypass the cache (see ``cache.py``).
+3. **Aggregate** — the spec's ``make_rows`` folds each seed's results into
+   that seed's report rows; with several seeds the engine aggregates the
+   per-seed rows column-wise into mean / stdev / 95 %-CI columns.  With one
+   seed the rows pass through untouched, bit-identical to the pre-registry
+   modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.stats import replication_summary
+from repro.analysis.tables import CI_SUFFIX, STD_SUFFIX
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
+from repro.experiments.registry import (
+    BuildContext,
+    ExperimentSpec,
+    RowContext,
+    get_experiment,
+)
+from repro.experiments.runner import ScenarioResult
+
+Row = Dict[str, object]
+
+
+@dataclass
+class _ExecutionStats:
+    """Cache / simulation accounting for one batch of requests."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    uncached: int = 0
+    simulated: int = 0
+
+
+def _serve_or_simulate(
+    requests: Sequence[ScenarioRequest],
+    processes: Optional[int],
+    cache: Optional[ResultCache],
+) -> Tuple[List[ScenarioResult], _ExecutionStats]:
+    """Serve each request from the cache or simulate it; results in order.
+
+    This is the single cache-consistency-critical path shared by
+    :func:`run_experiment` and :func:`run_cached_scenarios`: traced requests
+    bypass the cache in both directions, and misses are written back as they
+    stream off the pool (``on_result``), not after the sweep completes.
+    """
+    stats = _ExecutionStats()
+    results: List[Optional[ScenarioResult]] = [None] * len(requests)
+    pending: List[Tuple[int, ScenarioRequest]] = []
+    for index, request in enumerate(requests):
+        if request.with_trace:
+            # Traces are inherently uncacheable (live simulator objects).
+            stats.uncached += 1
+            pending.append((index, request))
+            continue
+        if cache is None:
+            # Cache disabled: plain simulation, no hit/miss/uncached accounting.
+            pending.append((index, request))
+            continue
+        cached = cache.get(request)
+        if cached is not None:
+            results[index] = cached
+            stats.cache_hits += 1
+        else:
+            stats.cache_misses += 1
+            pending.append((index, request))
+    if pending:
+
+        def _store(pending_index: int, result: ScenarioResult) -> None:
+            index, request = pending[pending_index]
+            results[index] = result
+            if cache is not None and not request.with_trace:
+                cache.put(request, result)
+
+        run_scenarios_parallel(
+            [request for _, request in pending], processes=processes, on_result=_store
+        )
+        stats.simulated = len(pending)
+    return results, stats  # type: ignore[return-value]
+
+
+@dataclass
+class ExperimentReport:
+    """Everything the CLI (or a caller) needs from one experiment run.
+
+    Attributes:
+        spec: the executed experiment.
+        quick: whether the reduced grid was used.
+        seeds: the seed values actually run (length 1 for non-replicable
+            specs regardless of the requested count).
+        rows: the report rows — the spec's own rows for a single seed, or
+            the CI-aggregated rows for a replicated run.
+        rows_by_seed: the raw per-seed rows behind ``rows``.
+        cache_hits / cache_misses: cache outcomes for cacheable requests.
+        simulated: scenarios that actually ran through the simulator.
+        uncached: scenarios executed outside the cache (traced requests).
+    """
+
+    spec: ExperimentSpec
+    quick: bool
+    seeds: List[int]
+    rows: List[Row]
+    rows_by_seed: List[List[Row]] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulated: int = 0
+    uncached: int = 0
+
+    @property
+    def replicated(self) -> bool:
+        """True when the rows aggregate more than one seed."""
+        return len(self.seeds) > 1
+
+
+def _resolve_cache(cache: Union[ResultCache, str, None]) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def run_experiment(
+    spec: Union[ExperimentSpec, str],
+    quick: bool = True,
+    seeds: int = 1,
+    base_seed: int = 1,
+    processes: Optional[int] = 1,
+    cache: Union[ResultCache, str, None] = None,
+    params: Optional[Mapping[str, object]] = None,
+) -> ExperimentReport:
+    """Execute one registered experiment end to end.
+
+    Args:
+        spec: an :class:`ExperimentSpec` or its registry name.
+        quick: reduced grid / shorter horizon (the default everywhere).
+        seeds: replication count; seeds ``base_seed .. base_seed+seeds-1``
+            are run and aggregated.  Ignored for non-replicable specs.
+        base_seed: first (and reference) seed.
+        processes: worker processes for the scenario fan-out (``None`` = one
+            per CPU, ``1`` = serial in-process).
+        cache: a :class:`ResultCache`, a cache directory path, or ``None``
+            to disable caching.
+        params: spec parameters (e.g. ``{"model_name": "unet"}``), overlaid
+            on the spec's defaults.
+    """
+    if isinstance(spec, str):
+        spec = get_experiment(spec)
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1")
+    result_cache = _resolve_cache(cache)
+    merged_params = spec.merged_params(params)
+
+    plan = spec.build(BuildContext(quick=quick, seed=base_seed, params=merged_params))
+    seed_values = (
+        [base_seed + offset for offset in range(seeds)] if spec.replicable else [base_seed]
+    )
+
+    # ------------------------- expand: request grid x seed replication axis
+    num_requests = len(plan.requests)
+    flat_requests: List[ScenarioRequest] = []
+    for seed_value in seed_values:
+        offset = seed_value - base_seed
+        for request in plan.requests:
+            flat_requests.append(
+                replace(request, seed=request.seed + offset) if offset else request
+            )
+
+    # ----------------------------------------------------- serve or simulate
+    flat_results, stats = _serve_or_simulate(flat_requests, processes, result_cache)
+    report = ExperimentReport(
+        spec=spec,
+        quick=quick,
+        seeds=seed_values,
+        rows=[],
+        cache_hits=stats.cache_hits,
+        cache_misses=stats.cache_misses,
+        simulated=stats.simulated,
+        uncached=stats.uncached,
+    )
+
+    # ------------------------------------------------------------- aggregate
+    for seed_index, seed_value in enumerate(seed_values):
+        row_ctx = RowContext(
+            quick=quick,
+            seed=seed_value,
+            results=flat_results[seed_index * num_requests : (seed_index + 1) * num_requests],
+            params=merged_params,
+        )
+        report.rows_by_seed.append(plan.make_rows(row_ctx))
+    if len(seed_values) == 1:
+        report.rows = report.rows_by_seed[0]
+    else:
+        report.rows = aggregate_replicated_rows(report.rows_by_seed)
+    return report
+
+
+def aggregate_replicated_rows(rows_by_seed: Sequence[Sequence[Row]]) -> List[Row]:
+    """Column-wise aggregation of per-seed rows into mean / stdev / CI rows.
+
+    A column is treated as a replicated metric when at least one of its rows
+    is numeric across every seed *and* varies across seeds; in such a column
+    every numeric row ``x`` becomes its across-seed mean plus companions
+    ``x_std`` / ``x_ci95`` (Student-t 95 % half-width), while non-numeric
+    cells (e.g. a baseline's ``"-"`` placeholder) pass through with ``"-"``
+    companions so the row schema stays uniform.  Fully constant and fully
+    non-numeric columns (labels, configuration echo columns, paper reference
+    values) pass through from the first seed untouched.
+
+    The inputs are the modules' *display* rows, so the statistics are
+    computed over display-rounded values (jps to 0.1, rates to 1e-4).  That
+    is deliberate — it keeps single-seed rows bit-identical to the
+    pre-registry modules — but it means dispersion below a column's display
+    precision is reported as zero.
+    """
+    first = list(rows_by_seed[0])
+    for seed_rows in rows_by_seed[1:]:
+        if len(seed_rows) != len(first):
+            raise ValueError("per-seed row lists must have identical lengths")
+
+    def _is_number(value: object) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    def _numeric_row(row_index: int, column: str) -> bool:
+        return all(
+            _is_number(seed_rows[row_index].get(column)) for seed_rows in rows_by_seed
+        )
+
+    replicated_columns = set()
+    for column in first[0].keys() if first else ():
+        for row_index in range(len(first)):
+            if _numeric_row(row_index, column) and (
+                len({seed_rows[row_index][column] for seed_rows in rows_by_seed}) > 1
+            ):
+                replicated_columns.add(column)
+                break
+
+    aggregated: List[Row] = []
+    for row_index, base_row in enumerate(first):
+        row: Row = {}
+        for column, base_value in base_row.items():
+            if column not in replicated_columns:
+                row[column] = base_value
+            elif _numeric_row(row_index, column):
+                summary = replication_summary(
+                    [seed_rows[row_index][column] for seed_rows in rows_by_seed]
+                )
+                row[column] = round(summary["mean"], 4)
+                row[f"{column}{STD_SUFFIX}"] = round(summary["std"], 4)
+                row[f"{column}{CI_SUFFIX}"] = round(summary["ci95"], 4)
+            else:
+                row[column] = base_value
+                row[f"{column}{STD_SUFFIX}"] = "-"
+                row[f"{column}{CI_SUFFIX}"] = "-"
+        aggregated.append(row)
+    return aggregated
+
+
+def run_cached_scenarios(
+    requests: Sequence[ScenarioRequest],
+    processes: Optional[int] = None,
+    cache: Union[ResultCache, str, None] = None,
+) -> List[ScenarioResult]:
+    """Cache-aware drop-in for :func:`run_scenarios_parallel` (request order).
+
+    Used by ad-hoc sweeps (the ``examples/`` scripts) that want memoization
+    without defining a registry spec: cached scenarios are served from disk,
+    the rest are simulated in parallel and written back as they complete.
+    Traced requests always simulate.
+    """
+    results, _ = _serve_or_simulate(list(requests), processes, _resolve_cache(cache))
+    return results

@@ -14,20 +14,28 @@ compared, matching the paper:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.tables import format_table
 from repro.dnn.zoo import build_model
-from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import run_experiment
+from repro.experiments.parallel import ScenarioRequest
+from repro.experiments.registry import (
+    BuildContext,
+    ExperimentPlan,
+    ExperimentSpec,
+    RowContext,
+    register,
+)
 from repro.experiments.scenarios import best_config_for, horizon_ms
 from repro.rt.taskset import ratio_taskset
 
 
-def run(quick: bool = True, seed: int = 1, processes: Optional[int] = 1) -> List[Dict[str, object]]:
-    """One row per (model, HP fraction, load scenario)."""
-    horizon = horizon_ms(quick)
-    models = ["resnet18"] if quick else ["resnet18", "unet"]
-    hp_fractions = [1.0 / 3.0, 2.0 / 3.0] if quick else [1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0]
+def _build(ctx: BuildContext) -> ExperimentPlan:
+    horizon = horizon_ms(ctx.quick)
+    models = ["resnet18"] if ctx.quick else ["resnet18", "unet"]
+    hp_fractions = [1.0 / 3.0, 2.0 / 3.0] if ctx.quick else [1.0 / 3.0, 0.5, 2.0 / 3.0, 1.0]
     scenarios = [
         ("full load", 1.0, False),
         ("overload", 1.5, False),
@@ -45,7 +53,7 @@ def run(quick: bool = True, seed: int = 1, processes: Optional[int] = 1) -> List
                 )
                 requests.append(
                     ScenarioRequest(
-                        taskset, config.with_overrides(hp_admission=hpa), horizon, seed=seed
+                        taskset, config.with_overrides(hp_admission=hpa), horizon, seed=ctx.seed
                     )
                 )
                 cells.append(
@@ -56,24 +64,50 @@ def run(quick: bool = True, seed: int = 1, processes: Optional[int] = 1) -> List
                         "upper": model.profile.batched_max_jps,
                     }
                 )
-    results = run_scenarios_parallel(requests, processes=processes)
-    rows: List[Dict[str, object]] = []
-    for cell, result in zip(cells, results):
-        upper = cell["upper"]
-        rows.append(
-            {
-                "model": cell["model"],
-                "hp_fraction": cell["hp_fraction"],
-                "scenario": cell["scenario"],
-                "total_jps": round(result.total_jps, 1),
-                "normalized_jps": round(result.total_jps / upper, 3),
-                "hp_dmr": round(result.hp_dmr, 4),
-                "lp_dmr": round(result.lp_dmr, 4),
-                "hp_rejection": round(result.metrics.high.rejection_rate, 3),
-                "lp_rejection": round(result.metrics.low.rejection_rate, 3),
-            }
-        )
-    return rows
+
+    def make_rows(row_ctx: RowContext) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for cell, result in zip(cells, row_ctx.results):
+            upper = cell["upper"]
+            rows.append(
+                {
+                    "model": cell["model"],
+                    "hp_fraction": cell["hp_fraction"],
+                    "scenario": cell["scenario"],
+                    "total_jps": round(result.total_jps, 1),
+                    "normalized_jps": round(result.total_jps / upper, 3),
+                    "hp_dmr": round(result.hp_dmr, 4),
+                    "lp_dmr": round(result.lp_dmr, 4),
+                    "hp_rejection": round(result.metrics.high.rejection_rate, 3),
+                    "lp_rejection": round(result.metrics.low.rejection_rate, 3),
+                }
+            )
+        return rows
+
+    return ExperimentPlan(requests=requests, make_rows=make_rows)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig11",
+        title="Figure 11: overload and HP:LP ratio study",
+        build=_build,
+    )
+)
+
+
+def run(
+    quick: bool = True,
+    seed: int = 1,
+    processes: Optional[int] = 1,
+    seeds: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+) -> List[Dict[str, object]]:
+    """One row per (model, HP fraction, load scenario)."""
+    report = run_experiment(
+        SPEC, quick=quick, seeds=seeds, base_seed=seed, processes=processes, cache=cache
+    )
+    return report.rows
 
 
 def main(quick: bool = True) -> str:

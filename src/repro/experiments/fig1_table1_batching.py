@@ -4,16 +4,28 @@ For every benchmark network the single-stream throughput (Table I ``min``),
 the saturated batched throughput across batch sizes (Figure 1) and the
 resulting batching gain (Table I ``gain``) are measured on the simulated GPU
 using the lower / upper baseline executors.
+
+The baseline executors are deterministic (no scheduling noise), so the
+experiment registers as non-replicable: the ``--seeds`` axis does not apply.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Union
 
 from repro.analysis.tables import format_table
 from repro.baselines.batching_server import saturated_batching_jps
 from repro.baselines.single import SingleTenantExecutor
 from repro.dnn.zoo import available_models, build_model
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import run_experiment
+from repro.experiments.registry import (
+    BuildContext,
+    ExperimentPlan,
+    ExperimentSpec,
+    RowContext,
+    register,
+)
 
 PAPER_TABLE1 = {
     "resnet18": {"min_jps": 627.0, "max_jps": 1025.0, "gain": 1.63},
@@ -25,10 +37,9 @@ PAPER_TABLE1 = {
 BATCH_SIZES = [1, 2, 4, 8, 16, 32]
 
 
-def run(quick: bool = True) -> List[Dict[str, object]]:
-    """Measure the batching curve of every model; one row per (model, batch size)."""
-    horizon = 1000.0 if quick else 3000.0
-    batch_sizes = [1, 4, 16] if quick else BATCH_SIZES
+def _make_rows(row_ctx: RowContext) -> List[Dict[str, object]]:
+    horizon = 1000.0 if row_ctx.quick else 3000.0
+    batch_sizes = [1, 4, 16] if row_ctx.quick else BATCH_SIZES
     rows: List[Dict[str, object]] = []
     for name in available_models():
         model = build_model(name)
@@ -61,6 +72,27 @@ def run(quick: bool = True) -> List[Dict[str, object]]:
             }
         )
     return rows
+
+
+def _build(ctx: BuildContext) -> ExperimentPlan:
+    del ctx  # the batching curves use no scenario requests
+    return ExperimentPlan(requests=[], make_rows=_make_rows)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig1_table1",
+        title="Figure 1 / Table I: batching throughput curves and gains",
+        build=_build,
+        highlights=PAPER_TABLE1,
+        replicable=False,
+    )
+)
+
+
+def run(quick: bool = True, cache: Union[ResultCache, str, None] = None) -> List[Dict[str, object]]:
+    """Measure the batching curve of every model; one row per (model, batch size)."""
+    return run_experiment(SPEC, quick=quick, cache=cache).rows
 
 
 def main(quick: bool = True) -> str:

@@ -3,21 +3,32 @@
 The figure in the paper is illustrative; this experiment reproduces its
 content quantitatively: for each network it reports the per-stage MRET shares
 and the resulting virtual relative deadlines for a job of the Table II period.
+
+The computation is closed-form (no simulation), so the experiment registers
+as non-replicable: the ``--seeds`` axis does not apply.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Union
 
 from repro.analysis.tables import format_table
 from repro.dnn.zoo import available_models, build_model
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import run_experiment
+from repro.experiments.registry import (
+    BuildContext,
+    ExperimentPlan,
+    ExperimentSpec,
+    RowContext,
+    register,
+)
 from repro.rt.deadlines import virtual_deadline_shares
 from repro.rt.taskset import TABLE2
 
 
-def run(quick: bool = True) -> List[Dict[str, object]]:
-    """One row per (model, stage) with its deadline share."""
-    del quick
+def _make_rows(row_ctx: RowContext) -> List[Dict[str, object]]:
+    del row_ctx  # one deterministic row set regardless of seed / quick
     rows: List[Dict[str, object]] = []
     for name in available_models():
         model = build_model(name)
@@ -35,6 +46,26 @@ def run(quick: bool = True) -> List[Dict[str, object]]:
                 }
             )
     return rows
+
+
+def _build(ctx: BuildContext) -> ExperimentPlan:
+    del ctx  # closed-form; no scenario requests
+    return ExperimentPlan(requests=[], make_rows=_make_rows)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig2",
+        title="Figure 2: staging and MRET-proportional virtual deadlines",
+        build=_build,
+        replicable=False,
+    )
+)
+
+
+def run(quick: bool = True, cache: Union[ResultCache, str, None] = None) -> List[Dict[str, object]]:
+    """One row per (model, stage) with its deadline share."""
+    return run_experiment(SPEC, quick=quick, cache=cache).rows
 
 
 def main(quick: bool = True) -> str:

@@ -10,11 +10,20 @@ upper (pure batching) baselines from Table I.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.tables import format_table
 from repro.dnn.zoo import build_model
-from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import run_experiment
+from repro.experiments.parallel import ScenarioRequest
+from repro.experiments.registry import (
+    BuildContext,
+    ExperimentPlan,
+    ExperimentSpec,
+    RowContext,
+    register,
+)
 from repro.experiments.scenarios import horizon_ms, main_grid
 from repro.rt.taskset import table2_taskset
 
@@ -25,42 +34,71 @@ PAPER_HIGHLIGHTS = {
 }
 
 
+def _build(ctx: BuildContext) -> ExperimentPlan:
+    model_name = str(ctx.param("model_name", "resnet18"))
+    model = build_model(model_name)
+    taskset = table2_taskset(model_name, model=model)
+    horizon = horizon_ms(ctx.quick)
+    configs = main_grid(ctx.quick)
+    requests = [ScenarioRequest(taskset, config, horizon, seed=ctx.seed) for config in configs]
+
+    def make_rows(row_ctx: RowContext) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for config, result in zip(configs, row_ctx.results):
+            rows.append(
+                {
+                    "task_set": model_name,
+                    "policy": config.policy.value,
+                    "config": f"{config.num_contexts}x{config.streams_per_context}",
+                    "oversubscription": config.oversubscription,
+                    "parallel_dnns": config.max_parallel_jobs,
+                    "total_jps": round(result.total_jps, 1),
+                    "hp_dmr": round(result.hp_dmr, 4),
+                    "lp_dmr": round(result.lp_dmr, 4),
+                    "lp_rejection": round(result.metrics.low.rejection_rate, 3),
+                }
+            )
+        return rows
+
+    return ExperimentPlan(requests=requests, make_rows=make_rows)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig4_6",
+        title="Figures 4-6: main scheduling results (policy x configuration grid)",
+        build=_build,
+        highlights=PAPER_HIGHLIGHTS,
+        defaults={"model_name": "resnet18"},
+    )
+)
+
+
 def run(
     model_name: str = "resnet18",
     quick: bool = True,
     seed: int = 1,
     processes: Optional[int] = 1,
+    seeds: int = 1,
+    cache: Union[ResultCache, str, None] = None,
 ) -> List[Dict[str, object]]:
     """Sweep the configuration grid for one task set; one row per configuration.
 
     ``processes`` > 1 (or None for one worker per CPU) fans the grid out over
     a process pool; each scenario keeps its fixed seed, so the rows are
-    identical to a serial sweep.
+    identical to a serial sweep.  ``seeds`` > 1 replicates the sweep across
+    consecutive seeds and aggregates mean / stdev / 95 %-CI columns.
     """
-    model = build_model(model_name)
-    taskset = table2_taskset(model_name, model=model)
-    horizon = horizon_ms(quick)
-    configs = main_grid(quick)
-    results = run_scenarios_parallel(
-        [ScenarioRequest(taskset, config, horizon, seed=seed) for config in configs],
+    report = run_experiment(
+        SPEC,
+        quick=quick,
+        seeds=seeds,
+        base_seed=seed,
         processes=processes,
+        cache=cache,
+        params={"model_name": model_name},
     )
-    rows: List[Dict[str, object]] = []
-    for config, result in zip(configs, results):
-        rows.append(
-            {
-                "task_set": model_name,
-                "policy": config.policy.value,
-                "config": f"{config.num_contexts}x{config.streams_per_context}",
-                "oversubscription": config.oversubscription,
-                "parallel_dnns": config.max_parallel_jobs,
-                "total_jps": round(result.total_jps, 1),
-                "hp_dmr": round(result.hp_dmr, 4),
-                "lp_dmr": round(result.lp_dmr, 4),
-                "lp_rejection": round(result.metrics.low.rejection_rate, 3),
-            }
-        )
-    return rows
+    return report.rows
 
 
 def best_row(rows: List[Dict[str, object]], policy: Optional[str] = None) -> Dict[str, object]:

@@ -7,37 +7,69 @@ reliable deadline behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.tables import format_table
-from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import run_experiment
+from repro.experiments.parallel import ScenarioRequest
+from repro.experiments.registry import (
+    BuildContext,
+    ExperimentPlan,
+    ExperimentSpec,
+    RowContext,
+    register,
+)
 from repro.experiments.scenarios import horizon_ms, mps_configs, str_configs
 from repro.rt.taskset import mixed_taskset
 
 
-def run(quick: bool = True, seed: int = 1, processes: Optional[int] = 1) -> List[Dict[str, object]]:
-    """Sweep STR and MPS configurations over the mixed task set."""
+def _build(ctx: BuildContext) -> ExperimentPlan:
     taskset = mixed_taskset()
-    horizon = horizon_ms(quick)
-    configs = str_configs(quick) + mps_configs(quick)
-    results = run_scenarios_parallel(
-        [ScenarioRequest(taskset, config, horizon, seed=seed) for config in configs],
-        processes=processes,
+    horizon = horizon_ms(ctx.quick)
+    configs = str_configs(ctx.quick) + mps_configs(ctx.quick)
+    requests = [ScenarioRequest(taskset, config, horizon, seed=ctx.seed) for config in configs]
+
+    def make_rows(row_ctx: RowContext) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for config, result in zip(configs, row_ctx.results):
+            rows.append(
+                {
+                    "task_set": "mixed",
+                    "policy": config.policy.value,
+                    "config": f"{config.num_contexts}x{config.streams_per_context}",
+                    "oversubscription": config.oversubscription,
+                    "total_jps": round(result.total_jps, 1),
+                    "hp_dmr": round(result.hp_dmr, 4),
+                    "lp_dmr": round(result.lp_dmr, 4),
+                }
+            )
+        return rows
+
+    return ExperimentPlan(requests=requests, make_rows=make_rows)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig7",
+        title="Figure 7: mixed task set (STR and MPS policies)",
+        build=_build,
     )
-    rows: List[Dict[str, object]] = []
-    for config, result in zip(configs, results):
-        rows.append(
-            {
-                "task_set": "mixed",
-                "policy": config.policy.value,
-                "config": f"{config.num_contexts}x{config.streams_per_context}",
-                "oversubscription": config.oversubscription,
-                "total_jps": round(result.total_jps, 1),
-                "hp_dmr": round(result.hp_dmr, 4),
-                "lp_dmr": round(result.lp_dmr, 4),
-            }
-        )
-    return rows
+)
+
+
+def run(
+    quick: bool = True,
+    seed: int = 1,
+    processes: Optional[int] = 1,
+    seeds: int = 1,
+    cache: Union[ResultCache, str, None] = None,
+) -> List[Dict[str, object]]:
+    """Sweep STR and MPS configurations over the mixed task set."""
+    report = run_experiment(
+        SPEC, quick=quick, seeds=seeds, base_seed=seed, processes=processes, cache=cache
+    )
+    return report.rows
 
 
 def main(quick: bool = True) -> str:

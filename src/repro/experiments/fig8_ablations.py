@@ -8,13 +8,72 @@ configuration.  The paper reports response-time ranges per priority
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.tables import format_table
-from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import run_experiment
+from repro.experiments.parallel import ScenarioRequest
+from repro.experiments.registry import (
+    BuildContext,
+    ExperimentPlan,
+    ExperimentSpec,
+    RowContext,
+    register,
+)
 from repro.experiments.scenarios import best_config_for, horizon_ms
 from repro.rt.taskset import table2_taskset
 from repro.scheduler.ablations import ABLATIONS
+
+
+def _build(ctx: BuildContext) -> ExperimentPlan:
+    model_name = str(ctx.param("model_name", "resnet18"))
+    taskset = table2_taskset(model_name)
+    base_config = best_config_for(model_name)
+    horizon = horizon_ms(ctx.quick)
+    variants = [(name, make_config(base_config)) for name, make_config in ABLATIONS.items()]
+    requests = [
+        ScenarioRequest(taskset, config, horizon, seed=ctx.seed, label=name)
+        for name, config in variants
+    ]
+
+    def make_rows(row_ctx: RowContext) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        baseline_jps = None
+        for (name, config), result in zip(variants, row_ctx.results):
+            if name == "DARIS":
+                baseline_jps = result.total_jps
+            hp_stats = result.metrics.high.response_time_stats()
+            lp_stats = result.metrics.low.response_time_stats()
+            rows.append(
+                {
+                    "variant": name,
+                    "total_jps": round(result.total_jps, 1),
+                    "normalized_jps": 0.0,
+                    "hp_dmr": round(result.hp_dmr, 4),
+                    "lp_dmr": round(result.lp_dmr, 4),
+                    "hp_resp_mean_ms": round(hp_stats["mean"], 2),
+                    "hp_resp_max_ms": round(hp_stats["max"], 2),
+                    "lp_resp_mean_ms": round(lp_stats["mean"], 2),
+                    "lp_resp_max_ms": round(lp_stats["max"], 2),
+                }
+            )
+        reference = baseline_jps or 1.0
+        for row in rows:
+            row["normalized_jps"] = round(row["total_jps"] / reference, 3)
+        return rows
+
+    return ExperimentPlan(requests=requests, make_rows=make_rows)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="fig8",
+        title="Figure 8: DARIS module ablations (No Staging / Last / Prior / Fixed)",
+        build=_build,
+        defaults={"model_name": "resnet18"},
+    )
+)
 
 
 def run(
@@ -22,43 +81,20 @@ def run(
     seed: int = 1,
     model_name: str = "resnet18",
     processes: Optional[int] = 1,
+    seeds: int = 1,
+    cache: Union[ResultCache, str, None] = None,
 ) -> List[Dict[str, object]]:
     """One row per scheduler variant."""
-    taskset = table2_taskset(model_name)
-    base_config = best_config_for(model_name)
-    horizon = horizon_ms(quick)
-    variants = [(name, make_config(base_config)) for name, make_config in ABLATIONS.items()]
-    results = run_scenarios_parallel(
-        [
-            ScenarioRequest(taskset, config, horizon, seed=seed, label=name)
-            for name, config in variants
-        ],
+    report = run_experiment(
+        SPEC,
+        quick=quick,
+        seeds=seeds,
+        base_seed=seed,
         processes=processes,
+        cache=cache,
+        params={"model_name": model_name},
     )
-    rows: List[Dict[str, object]] = []
-    baseline_jps = None
-    for (name, config), result in zip(variants, results):
-        if name == "DARIS":
-            baseline_jps = result.total_jps
-        hp_stats = result.metrics.high.response_time_stats()
-        lp_stats = result.metrics.low.response_time_stats()
-        rows.append(
-            {
-                "variant": name,
-                "total_jps": round(result.total_jps, 1),
-                "normalized_jps": 0.0,
-                "hp_dmr": round(result.hp_dmr, 4),
-                "lp_dmr": round(result.lp_dmr, 4),
-                "hp_resp_mean_ms": round(hp_stats["mean"], 2),
-                "hp_resp_max_ms": round(hp_stats["max"], 2),
-                "lp_resp_mean_ms": round(lp_stats["mean"], 2),
-                "lp_resp_max_ms": round(lp_stats["max"], 2),
-            }
-        )
-    reference = baseline_jps or 1.0
-    for row in rows:
-        row["normalized_jps"] = round(row["total_jps"] / reference, 3)
-    return rows
+    return report.rows
 
 
 def main(quick: bool = True) -> str:

@@ -16,13 +16,24 @@ Usage::
 ``processes=1`` (or a single request) runs serially in-process, which keeps
 unit tests deterministic-cheap and avoids pool overhead for tiny sweeps.
 ``processes=None`` uses one worker per CPU, capped by the number of requests.
+
+Results are *streamed*: the pool is consumed with ``imap`` (not ``map``), so
+the optional ``on_result`` callback fires as each scenario completes, in
+request order.  The experiment engine uses this to persist cache entries
+while later scenarios are still running — a crash or interrupt loses only
+the in-flight scenarios, not the whole sweep.  Note that this function still
+*returns* the full ordered result list (its callers need every result to
+build report rows); a consumer that wants bounded memory can do its own
+fold/discard inside ``on_result`` and ignore the return value.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.runner import ScenarioResult, run_daris_scenario
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
@@ -30,10 +41,23 @@ from repro.gpu.spec import GpuSpec, RTX_2080_TI
 from repro.rt.taskset import TaskSetSpec
 from repro.scheduler.config import DarisConfig
 
+# Bump when the fingerprint layout (or anything that changes simulated
+# behaviour without changing the fingerprint) is modified, so stale cache
+# entries can never be mistaken for current ones.
+FINGERPRINT_SCHEMA = 1
+
 
 @dataclass(frozen=True)
 class ScenarioRequest:
-    """One scenario to run: the full argument set of ``run_daris_scenario``."""
+    """One scenario to run: the full argument set of ``run_daris_scenario``.
+
+    Requests compare (and hash) by value: every field is an immutable
+    value-comparable object — ``TaskSetSpec`` and ``DnnModel`` store their
+    sequences as tuples, and the default calibration is the shared
+    ``DEFAULT_CALIBRATION`` constant rather than a per-instance factory — so
+    two independently built but identical requests are equal, land in the
+    same set/dict slot, and produce the same :meth:`cache_key`.
+    """
 
     taskset: TaskSetSpec
     config: DarisConfig
@@ -42,7 +66,37 @@ class ScenarioRequest:
     with_trace: bool = False
     label: Optional[str] = None
     gpu: GpuSpec = RTX_2080_TI
-    calibration: GpuCalibration = field(default_factory=lambda: DEFAULT_CALIBRATION)
+    calibration: GpuCalibration = DEFAULT_CALIBRATION
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Canonical nested dictionary of everything that shapes the result.
+
+        Covers the task set (down to per-stage calibrated work), the DARIS
+        configuration, the horizon, the seed, the GPU spec, the interference
+        calibration and the result label — mutate any of them and the
+        fingerprint (hence the cache key) changes.
+        """
+        return {
+            "schema": FINGERPRINT_SCHEMA,
+            "taskset": self.taskset.fingerprint(),
+            "config": self.config.to_dict(),
+            "horizon_ms": self.horizon_ms,
+            "seed": self.seed,
+            "with_trace": self.with_trace,
+            "label": self.label,
+            "gpu": self.gpu.to_dict(),
+            "calibration": self.calibration.to_dict(),
+        }
+
+    def cache_key(self) -> str:
+        """Stable content-addressed key: SHA-256 of the canonical fingerprint.
+
+        The fingerprint is serialized with sorted keys and no whitespace;
+        floats use Python's shortest-repr JSON form, which is deterministic
+        and round-trips exactly.
+        """
+        canonical = json.dumps(self.fingerprint(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _run_request(request: ScenarioRequest) -> ScenarioResult:
@@ -67,6 +121,7 @@ def default_process_count(num_requests: int) -> int:
 def run_scenarios_parallel(
     requests: Sequence[ScenarioRequest],
     processes: Optional[int] = None,
+    on_result: Optional[Callable[[int, ScenarioResult], None]] = None,
 ) -> List[ScenarioResult]:
     """Run scenarios across worker processes; results come back in order.
 
@@ -75,6 +130,10 @@ def run_scenarios_parallel(
             result stream is reproducible regardless of worker scheduling.
         processes: worker process count.  ``None`` chooses one per CPU
             (capped by the request count); ``1`` runs serially in-process.
+        on_result: optional ``(index, result)`` callback invoked as each
+            scenario completes, in request order — results are streamed off
+            the pool with ``imap``, so callers can persist or aggregate them
+            incrementally instead of waiting for the slowest scenario.
 
     Returns:
         One :class:`ScenarioResult` per request, in request order.
@@ -85,10 +144,21 @@ def run_scenarios_parallel(
     if processes is None:
         processes = default_process_count(len(requests))
     if processes <= 1 or len(requests) == 1:
-        return [_run_request(request) for request in requests]
+        results: List[ScenarioResult] = []
+        for index, request in enumerate(requests):
+            result = _run_request(request)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
 
     import multiprocessing
 
     context = multiprocessing.get_context()
+    results = []
     with context.Pool(min(processes, len(requests))) as pool:
-        return pool.map(_run_request, requests, chunksize=1)
+        for index, result in enumerate(pool.imap(_run_request, requests, chunksize=1)):
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+    return results

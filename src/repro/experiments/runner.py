@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
@@ -39,6 +39,31 @@ class ScenarioResult:
     def hp_dmr(self) -> float:
         """High-priority deadline miss rate."""
         return self.metrics.high.deadline_miss_rate
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-safe form of the result — *minus the trace*.
+
+        A :class:`TraceRecorder` holds references to live ``Job`` / ``Task``
+        objects and is deliberately not serializable; traced results are
+        therefore never written to the result cache (the cache refuses them).
+        """
+        if self.trace is not None:
+            raise ValueError("traced ScenarioResults cannot be serialized (TraceRecorder)")
+        return {
+            "label": self.label,
+            "config": self.config.to_dict(),
+            "metrics": self.metrics.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioResult":
+        """Rebuild a (trace-less) result from :meth:`to_dict` output."""
+        return cls(
+            label=str(data["label"]),
+            config=DarisConfig.from_dict(data["config"]),
+            metrics=ScenarioMetrics.from_dict(data["metrics"]),
+            trace=None,
+        )
 
 
 def run_daris_scenario(

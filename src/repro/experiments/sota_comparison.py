@@ -5,11 +5,15 @@ The paper reports, for ResNet50 on its hardware: 433 JPS with pure batching,
 and 374 JPS for DARIS without SM oversubscription (8 % below batching).  This
 experiment reproduces those four points on the simulated GPU, plus the
 Clockwork-like and RTGPU-like baselines for context.
+
+Only the two DARIS runs go through the scenario engine (and hence the result
+cache); the batching / GSlice / Clockwork baselines are deterministic servers
+and the RTGPU baseline reseeds per replicate inside the row aggregator.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Union
 
 from repro.analysis.tables import format_table
 from repro.baselines.batching_server import saturated_batching_jps
@@ -17,7 +21,16 @@ from repro.baselines.clockwork import ClockworkServer
 from repro.baselines.gslice import GSliceServer
 from repro.baselines.rtgpu import RtgpuScheduler
 from repro.dnn.zoo import build_model
-from repro.experiments.runner import run_daris_scenario
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import run_experiment
+from repro.experiments.parallel import ScenarioRequest
+from repro.experiments.registry import (
+    BuildContext,
+    ExperimentPlan,
+    ExperimentSpec,
+    RowContext,
+    register,
+)
 from repro.experiments.scenarios import horizon_ms
 from repro.rt.taskset import make_taskset
 from repro.scheduler.config import DarisConfig
@@ -44,62 +57,93 @@ def _resnet50_taskset(model, load_factor: float = 1.5):
     )
 
 
-def run(quick: bool = True, seed: int = 1) -> List[Dict[str, object]]:
-    """One row per system (batching, GSlice, DARIS, DARIS w/o OS, Clockwork, RTGPU)."""
+def _build(ctx: BuildContext) -> ExperimentPlan:
     model = build_model("resnet50")
-    horizon = 1500.0 if quick else horizon_ms(False)
+    horizon = 1500.0 if ctx.quick else horizon_ms(False)
     taskset = _resnet50_taskset(model)
-
-    batching_jps = saturated_batching_jps(model, batch_size=16, horizon_ms=horizon)
-    gslice_jps = GSliceServer([model], batch_sizes=[16]).run_saturated(horizon)["total"]
 
     best_config = DarisConfig.mps_config(6, 6.0)
     no_oversub_config = DarisConfig.mps_config(6, 1.0)
-    daris = run_daris_scenario(taskset, best_config, horizon, seed=seed)
-    daris_no_os = run_daris_scenario(taskset, no_oversub_config, horizon, seed=seed)
-
-    clockwork = ClockworkServer().run_taskset(taskset, horizon)
-    rtgpu = RtgpuScheduler(best_config).run_taskset(taskset, horizon, seed=seed)
-
-    rows: List[Dict[str, object]] = [
-        {
-            "system": "pure batching (upper baseline)",
-            "measured_jps": round(batching_jps, 1),
-            "paper_jps": PAPER_VALUES["batching"],
-            "lp_dmr": "-",
-        },
-        {
-            "system": "GSlice-like (spatial sharing + batching)",
-            "measured_jps": round(gslice_jps, 1),
-            "paper_jps": round(PAPER_VALUES["gslice"], 1),
-            "lp_dmr": "-",
-        },
-        {
-            "system": "DARIS (MPS 6x1 OS6)",
-            "measured_jps": round(daris.total_jps, 1),
-            "paper_jps": PAPER_VALUES["daris"],
-            "lp_dmr": round(daris.lp_dmr, 4),
-        },
-        {
-            "system": "DARIS without oversubscription (OS1)",
-            "measured_jps": round(daris_no_os.total_jps, 1),
-            "paper_jps": PAPER_VALUES["daris_no_oversubscription"],
-            "lp_dmr": round(daris_no_os.lp_dmr, 4),
-        },
-        {
-            "system": "Clockwork-like (one DNN at a time)",
-            "measured_jps": round(clockwork["throughput_jps"], 1),
-            "paper_jps": "-",
-            "lp_dmr": round(clockwork["deadline_miss_rate"], 4),
-        },
-        {
-            "system": "RTGPU-like (EDF, no priorities)",
-            "measured_jps": round(rtgpu.total_jps, 1),
-            "paper_jps": "-",
-            "lp_dmr": round(rtgpu.low.deadline_miss_rate, 4),
-        },
+    requests = [
+        ScenarioRequest(taskset, best_config, horizon, seed=ctx.seed),
+        ScenarioRequest(taskset, no_oversub_config, horizon, seed=ctx.seed),
     ]
-    return rows
+
+    # The batching / GSlice / Clockwork baselines are deterministic and
+    # seed-independent: compute them once per run, not once per replicate.
+    batching_jps = saturated_batching_jps(model, batch_size=16, horizon_ms=horizon)
+    gslice_jps = GSliceServer([model], batch_sizes=[16]).run_saturated(horizon)["total"]
+    clockwork = ClockworkServer().run_taskset(taskset, horizon)
+
+    def make_rows(row_ctx: RowContext) -> List[Dict[str, object]]:
+        daris, daris_no_os = row_ctx.results
+        rtgpu = RtgpuScheduler(best_config).run_taskset(taskset, horizon, seed=row_ctx.seed)
+
+        rows: List[Dict[str, object]] = [
+            {
+                "system": "pure batching (upper baseline)",
+                "measured_jps": round(batching_jps, 1),
+                "paper_jps": PAPER_VALUES["batching"],
+                "lp_dmr": "-",
+            },
+            {
+                "system": "GSlice-like (spatial sharing + batching)",
+                "measured_jps": round(gslice_jps, 1),
+                "paper_jps": round(PAPER_VALUES["gslice"], 1),
+                "lp_dmr": "-",
+            },
+            {
+                "system": "DARIS (MPS 6x1 OS6)",
+                "measured_jps": round(daris.total_jps, 1),
+                "paper_jps": PAPER_VALUES["daris"],
+                "lp_dmr": round(daris.lp_dmr, 4),
+            },
+            {
+                "system": "DARIS without oversubscription (OS1)",
+                "measured_jps": round(daris_no_os.total_jps, 1),
+                "paper_jps": PAPER_VALUES["daris_no_oversubscription"],
+                "lp_dmr": round(daris_no_os.lp_dmr, 4),
+            },
+            {
+                "system": "Clockwork-like (one DNN at a time)",
+                "measured_jps": round(clockwork["throughput_jps"], 1),
+                "paper_jps": "-",
+                "lp_dmr": round(clockwork["deadline_miss_rate"], 4),
+            },
+            {
+                "system": "RTGPU-like (EDF, no priorities)",
+                "measured_jps": round(rtgpu.total_jps, 1),
+                "paper_jps": "-",
+                "lp_dmr": round(rtgpu.low.deadline_miss_rate, 4),
+            },
+        ]
+        return rows
+
+    return ExperimentPlan(requests=requests, make_rows=make_rows)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="sota",
+        title="Section VI-B: ResNet50 vs batching / GSlice / Clockwork / RTGPU",
+        build=_build,
+        highlights=PAPER_VALUES,
+    )
+)
+
+
+def run(
+    quick: bool = True,
+    seed: int = 1,
+    seeds: int = 1,
+    processes: Optional[int] = 1,
+    cache: Union[ResultCache, str, None] = None,
+) -> List[Dict[str, object]]:
+    """One row per system (batching, GSlice, DARIS, DARIS w/o OS, Clockwork, RTGPU)."""
+    report = run_experiment(
+        SPEC, quick=quick, seeds=seeds, base_seed=seed, processes=processes, cache=cache
+    )
+    return report.rows
 
 
 def main(quick: bool = True) -> str:

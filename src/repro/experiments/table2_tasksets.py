@@ -1,17 +1,29 @@
-"""Table II: the evaluated task sets and their demanded load."""
+"""Table II: the evaluated task sets and their demanded load.
+
+Purely declarative (no simulation), so the experiment registers as
+non-replicable: the ``--seeds`` axis does not apply.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Union
 
 from repro.analysis.tables import format_table
 from repro.dnn.zoo import build_model
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import run_experiment
+from repro.experiments.registry import (
+    BuildContext,
+    ExperimentPlan,
+    ExperimentSpec,
+    RowContext,
+    register,
+)
 from repro.rt.taskset import TABLE2, demanded_load_factor, table2_taskset
 
 
-def run(quick: bool = True) -> List[Dict[str, object]]:
-    """One row per Table II task set, including the implied overload factor."""
-    del quick  # the table is cheap to build either way
+def _make_rows(row_ctx: RowContext) -> List[Dict[str, object]]:
+    del row_ctx  # the table is cheap to build either way
     rows: List[Dict[str, object]] = []
     for name, paper_row in TABLE2.items():
         model = build_model(name)
@@ -31,6 +43,26 @@ def run(quick: bool = True) -> List[Dict[str, object]]:
             }
         )
     return rows
+
+
+def _build(ctx: BuildContext) -> ExperimentPlan:
+    del ctx  # declarative; no scenario requests
+    return ExperimentPlan(requests=[], make_rows=_make_rows)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="table2",
+        title="Table II: task-set composition and demanded load",
+        build=_build,
+        replicable=False,
+    )
+)
+
+
+def run(quick: bool = True, cache: Union[ResultCache, str, None] = None) -> List[Dict[str, object]]:
+    """One row per Table II task set, including the implied overload factor."""
+    return run_experiment(SPEC, quick=quick, cache=cache).rows
 
 
 def main(quick: bool = True) -> str:

@@ -8,7 +8,8 @@ headline qualitative results of the paper hold (see DESIGN.md section 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping
 
 # Memory-intensity weighting of the contention penalty:
 # weight = CONTENTION_WEIGHT_BASE + CONTENTION_WEIGHT_MEMORY * memory_intensity.
@@ -56,6 +57,15 @@ class GpuCalibration:
     noise_sigma_contention: float = 0.040
     dispatch_overhead_ms: float = 0.020
     min_rate_sms: float = 0.25
+
+    def to_dict(self) -> Dict[str, float]:
+        """Canonical field dictionary (stable key order; used for cache keys)."""
+        return {cal_field.name: getattr(self, cal_field.name) for cal_field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "GpuCalibration":
+        """Rebuild a calibration from :meth:`to_dict` output."""
+        return cls(**{cal_field.name: data[cal_field.name] for cal_field in fields(cls)})
 
     def intra_efficiency(self, concurrent_in_context: int) -> float:
         """Efficiency multiplier for ``concurrent_in_context`` running kernels."""

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,15 @@ class GpuSpec:
             raise ValueError(f"num_sms must be positive, got {self.num_sms}")
         if self.launch_overhead_ms < 0:
             raise ValueError("launch_overhead_ms must be non-negative")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical field dictionary (stable key order; used for cache keys)."""
+        return {spec_field.name: getattr(self, spec_field.name) for spec_field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "GpuSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(**{spec_field.name: data[spec_field.name] for spec_field in fields(cls)})
 
 
 RTX_2080_TI = GpuSpec(name="NVIDIA GeForce RTX 2080 Ti", num_sms=68)

@@ -10,7 +10,7 @@ The evaluation uses three headline metrics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -55,6 +55,35 @@ class PriorityMetrics:
             "min": float(values.min()),
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless dictionary form (JSON-safe).
+
+        ``response_times`` is preserved sample by sample rather than as
+        summary statistics: Python floats survive a JSON round-trip exactly
+        (shortest-repr serialization), so a cached scenario reproduces every
+        derived statistic bit for bit.
+        """
+        return {
+            "released": self.released,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "missed": self.missed,
+            "response_times": list(self.response_times),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PriorityMetrics":
+        """Rebuild metrics from :meth:`to_dict` output."""
+        return cls(
+            released=int(data["released"]),
+            admitted=int(data["admitted"]),
+            rejected=int(data["rejected"]),
+            completed=int(data["completed"]),
+            missed=int(data["missed"]),
+            response_times=list(data["response_times"]),
+        )
+
 
 @dataclass(frozen=True)
 class ScenarioMetrics:
@@ -79,6 +108,29 @@ class ScenarioMetrics:
         if admitted == 0:
             return 0.0
         return (self.high.missed + self.low.missed) / admitted
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless dictionary form (JSON-safe); inverse of :meth:`from_dict`."""
+        return {
+            "horizon_ms": self.horizon_ms,
+            "total_jps": self.total_jps,
+            "high": self.high.to_dict(),
+            "low": self.low.to_dict(),
+            "per_task_completed": dict(self.per_task_completed),
+            "average_gpu_utilization": self.average_gpu_utilization,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioMetrics":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        return cls(
+            horizon_ms=float(data["horizon_ms"]),
+            total_jps=float(data["total_jps"]),
+            high=PriorityMetrics.from_dict(data["high"]),
+            low=PriorityMetrics.from_dict(data["low"]),
+            per_task_completed={str(k): int(v) for k, v in dict(data["per_task_completed"]).items()},
+            average_gpu_utilization=float(data["average_gpu_utilization"]),
+        )
 
 
 class MetricsCollector:

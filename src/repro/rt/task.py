@@ -77,6 +77,23 @@ class TaskSpec:
         """Relative deadline ``D_i`` (defaults to the period)."""
         return self.deadline_ms if self.deadline_ms is not None else self.period_ms
 
+    def to_dict(self) -> dict:
+        """Canonical field dictionary (stable key order; used for cache keys).
+
+        The model is flattened through :meth:`DnnModel.fingerprint` so the
+        dictionary captures everything that influences simulated behaviour.
+        """
+        return {
+            "task_id": self.task_id,
+            "name": self.name,
+            "model": self.model.fingerprint(),
+            "period_ms": self.period_ms,
+            "deadline_ms": self.deadline_ms,
+            "priority": int(self.priority),
+            "batch_size": self.batch_size,
+            "phase_ms": self.phase_ms,
+        }
+
     @property
     def is_high_priority(self) -> bool:
         """True for HP tasks."""

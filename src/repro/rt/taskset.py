@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dnn.model import DnnModel
 from repro.dnn.zoo import build_model
@@ -47,10 +47,27 @@ TABLE2: Dict[str, Table2Row] = {
 
 @dataclass(frozen=True)
 class TaskSetSpec:
-    """A fully specified task set ready to be instantiated by a scheduler."""
+    """A fully specified task set ready to be instantiated by a scheduler.
+
+    The task sequence is stored as a tuple so the spec is hashable and
+    compares by value: two independently built but identical task sets are
+    equal, which gives :class:`~repro.experiments.parallel.ScenarioRequest`
+    a stable identity (and cache key).
+    """
 
     name: str
-    tasks: List[TaskSpec]
+    tasks: Tuple[TaskSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tasks, tuple):
+            object.__setattr__(self, "tasks", tuple(self.tasks))
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Canonical nested dictionary of the full task set (for cache keys)."""
+        return {
+            "name": self.name,
+            "tasks": [task.to_dict() for task in self.tasks],
+        }
 
     @property
     def num_high(self) -> int:

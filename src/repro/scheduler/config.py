@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Mapping
 
 
 class Policy(enum.Enum):
@@ -106,6 +107,27 @@ class DarisConfig:
     def with_overrides(self, **kwargs) -> "DarisConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical field dictionary (stable key order, JSON-safe values).
+
+        The policy enum is flattened to its value string so the dictionary can
+        round-trip through JSON; :meth:`from_dict` restores the enum.  Used by
+        the experiment result cache both as part of the cache key and to
+        rebuild configurations from cached entries.
+        """
+        data: Dict[str, object] = {}
+        for config_field in fields(self):
+            value = getattr(self, config_field.name)
+            data[config_field.name] = value.value if isinstance(value, Policy) else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DarisConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        kwargs = {config_field.name: data[config_field.name] for config_field in fields(cls)}
+        kwargs["policy"] = Policy(kwargs["policy"])
+        return cls(**kwargs)
 
     # ------------------------------------------------------------ constructors
 

@@ -1,0 +1,382 @@
+"""Tests for the declarative experiment pipeline.
+
+Covers the registry/engine/cache stack: request value identity and cache-key
+invalidation, lossless metric round-trips, cache hit/miss behaviour with
+bit-identical cached rows, seed replication against a hand-rolled serial
+loop, traced-request cache bypass, and the CLI round-trip (second invocation
+served entirely from cache, zero simulator runs).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.stats import replication_summary, t_critical_95
+from repro.analysis.tables import format_replicated_table
+from repro.experiments import cli
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import (
+    aggregate_replicated_rows,
+    run_cached_scenarios,
+    run_experiment,
+)
+from repro.experiments.parallel import ScenarioRequest
+from repro.experiments.registry import (
+    ExperimentPlan,
+    ExperimentSpec,
+    all_experiments,
+    get_experiment,
+)
+from repro.experiments.runner import ScenarioResult, run_daris_scenario
+from repro.gpu.calibration import GpuCalibration
+from repro.gpu.spec import JETSON_XAVIER
+from repro.rt.taskset import table2_taskset
+from repro.scheduler.config import DarisConfig
+
+TINY_HORIZON = 600.0
+TINY_CONFIGS = [DarisConfig.mps_config(2, 2.0), DarisConfig.str_config(2)]
+
+
+def _tiny_taskset(scale: float = 0.25):
+    return table2_taskset("resnet18", scale=scale)
+
+
+def _tiny_row(config: DarisConfig, result: ScenarioResult) -> dict:
+    return {
+        "config": config.label(),
+        "total_jps": round(result.total_jps, 1),
+        "lp_dmr": round(result.lp_dmr, 4),
+        "hp_resp_p95": round(result.metrics.high.response_time_stats()["p95"], 3),
+    }
+
+
+def _tiny_spec(with_trace: bool = False) -> ExperimentSpec:
+    def build(ctx):
+        taskset = _tiny_taskset()
+        requests = [
+            ScenarioRequest(taskset, config, TINY_HORIZON, seed=ctx.seed, with_trace=with_trace)
+            for config in TINY_CONFIGS
+        ]
+
+        def make_rows(row_ctx):
+            rows = [
+                _tiny_row(config, result)
+                for config, result in zip(TINY_CONFIGS, row_ctx.results)
+            ]
+            if with_trace:
+                for result, row in zip(row_ctx.results, rows):
+                    assert result.trace is not None and result.trace.stage_records
+            return rows
+
+        return ExperimentPlan(requests=requests, make_rows=make_rows)
+
+    return ExperimentSpec(name="tiny", title="tiny test spec", build=build)
+
+
+# --------------------------------------------------------------------- identity
+
+
+def test_scenario_request_value_identity():
+    first = ScenarioRequest(_tiny_taskset(), TINY_CONFIGS[0], TINY_HORIZON, seed=3)
+    second = ScenarioRequest(_tiny_taskset(), TINY_CONFIGS[0], TINY_HORIZON, seed=3)
+    assert first == second
+    assert hash(first) == hash(second)
+    assert first.cache_key() == second.cache_key()
+    assert len({first, second}) == 1
+
+
+def test_cache_key_changes_when_any_request_field_changes():
+    base = ScenarioRequest(_tiny_taskset(), TINY_CONFIGS[0], TINY_HORIZON, seed=3)
+    variants = [
+        base,
+        ScenarioRequest(_tiny_taskset(0.3), TINY_CONFIGS[0], TINY_HORIZON, seed=3),
+        ScenarioRequest(
+            _tiny_taskset(), TINY_CONFIGS[0].with_overrides(window_size=7), TINY_HORIZON, seed=3
+        ),
+        ScenarioRequest(_tiny_taskset(), TINY_CONFIGS[0], TINY_HORIZON + 100.0, seed=3),
+        ScenarioRequest(_tiny_taskset(), TINY_CONFIGS[0], TINY_HORIZON, seed=4),
+        ScenarioRequest(_tiny_taskset(), TINY_CONFIGS[0], TINY_HORIZON, seed=3, with_trace=True),
+        ScenarioRequest(_tiny_taskset(), TINY_CONFIGS[0], TINY_HORIZON, seed=3, label="renamed"),
+        ScenarioRequest(
+            _tiny_taskset(), TINY_CONFIGS[0], TINY_HORIZON, seed=3, gpu=JETSON_XAVIER
+        ),
+        ScenarioRequest(
+            _tiny_taskset(),
+            TINY_CONFIGS[0],
+            TINY_HORIZON,
+            seed=3,
+            calibration=GpuCalibration(intra_stream_penalty=0.06),
+        ),
+    ]
+    keys = [request.cache_key() for request in variants]
+    assert len(set(keys)) == len(variants)
+
+
+# ------------------------------------------------------------------ round-trips
+
+
+def test_metrics_round_trip_is_lossless(resnet18):
+    taskset = table2_taskset("resnet18", model=resnet18, scale=0.3)
+    result = run_daris_scenario(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=2)
+    restored = ScenarioResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert restored == result  # dataclass equality: every field, every float, bit-exact
+    assert restored.metrics.high.response_time_stats() == result.metrics.high.response_time_stats()
+    assert restored.config.label() == result.config.label()
+
+
+def test_traced_results_refuse_serialization(resnet18):
+    taskset = table2_taskset("resnet18", model=resnet18, scale=0.3)
+    result = run_daris_scenario(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=2, with_trace=True)
+    with pytest.raises(ValueError):
+        result.to_dict()
+
+
+# ------------------------------------------------------------------------ cache
+
+
+def test_cache_hit_miss_and_traced_refusal(tmp_path, resnet18):
+    cache = ResultCache(tmp_path / "cache")
+    taskset = table2_taskset("resnet18", model=resnet18, scale=0.3)
+    request = ScenarioRequest(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=2)
+    assert cache.get(request) is None  # cold miss
+    result = run_daris_scenario(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=2)
+    assert cache.put(request, result)
+    cached = cache.get(request)
+    assert cached == result
+    # mutating any field invalidates: a different seed misses
+    assert cache.get(ScenarioRequest(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=3)) is None
+    # traced requests are refused outright
+    traced_request = ScenarioRequest(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=2, with_trace=True)
+    traced_result = run_daris_scenario(
+        taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=2, with_trace=True
+    )
+    assert not cache.put(traced_request, traced_result)
+    assert len(cache) == 1
+
+
+def test_unwritable_cache_degrades_to_uncached(tmp_path, resnet18, monkeypatch):
+    """A broken cache (read-only dir, disk full) must return False, not raise —
+    an exception here would abort a sweep whose scenarios already simulated."""
+    import repro.experiments.cache as cache_module
+
+    cache = ResultCache(tmp_path / "cache")
+    taskset = table2_taskset("resnet18", model=resnet18, scale=0.3)
+    request = ScenarioRequest(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=2)
+    result = run_daris_scenario(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=2)
+
+    def _unwritable(*args, **kwargs):
+        raise PermissionError("read-only cache directory")
+
+    monkeypatch.setattr(cache_module.tempfile, "mkstemp", _unwritable)
+    assert cache.put(request, result) is False
+    assert cache.get(request) is None
+    monkeypatch.undo()
+    assert cache.put(request, result) is True  # healthy path still works
+
+
+def test_cache_prune_and_clear(tmp_path, resnet18):
+    cache = ResultCache(tmp_path / "cache")
+    taskset = table2_taskset("resnet18", model=resnet18, scale=0.3)
+    result = run_daris_scenario(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=2)
+    for seed in (1, 2, 3, 4):
+        cache.put(ScenarioRequest(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=seed), result)
+    assert len(cache) == 4
+    assert cache.prune(max_entries=2) == 2
+    assert len(cache) == 2
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_cached_rows_are_bit_identical_to_fresh(tmp_path):
+    spec = _tiny_spec()
+    cache = ResultCache(tmp_path / "cache")
+    fresh = run_experiment(spec, quick=True, processes=1, cache=cache)
+    assert fresh.simulated == len(TINY_CONFIGS) and fresh.cache_hits == 0
+    cached = run_experiment(spec, quick=True, processes=1, cache=cache)
+    assert cached.simulated == 0
+    assert cached.cache_hits == len(TINY_CONFIGS)
+    assert cached.rows == fresh.rows  # bit-identical, not approximately equal
+
+
+def test_run_cached_scenarios_round_trip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    taskset = _tiny_taskset()
+    requests = [
+        ScenarioRequest(taskset, config, TINY_HORIZON, seed=5) for config in TINY_CONFIGS
+    ]
+    first = run_cached_scenarios(requests, processes=1, cache=cache)
+    assert cache.misses == len(requests)
+    second = run_cached_scenarios(requests, processes=1, cache=cache)
+    assert cache.hits == len(requests)
+    assert first == second
+
+
+def test_traced_requests_bypass_cache_in_engine(tmp_path):
+    spec = _tiny_spec(with_trace=True)
+    cache = ResultCache(tmp_path / "cache")
+    first = run_experiment(spec, quick=True, processes=1, cache=cache)
+    second = run_experiment(spec, quick=True, processes=1, cache=cache)
+    for report in (first, second):
+        assert report.simulated == len(TINY_CONFIGS)
+        assert report.uncached == len(TINY_CONFIGS)
+        assert report.cache_hits == 0
+    assert len(cache) == 0
+
+
+# -------------------------------------------------------------------- replication
+
+
+def test_seed_replication_matches_hand_rolled_serial_loop(tmp_path):
+    spec = _tiny_spec()
+    cache = ResultCache(tmp_path / "cache")
+    base_seed, seeds = 5, 3
+    report = run_experiment(
+        spec, quick=True, seeds=seeds, base_seed=base_seed, processes=1, cache=cache
+    )
+    assert report.seeds == [5, 6, 7]
+
+    # Hand-rolled reference: serial scenarios, per-seed rows, column stats.
+    taskset = _tiny_taskset()
+    rows_by_seed = []
+    for seed in range(base_seed, base_seed + seeds):
+        rows_by_seed.append(
+            [
+                _tiny_row(config, run_daris_scenario(taskset, config, TINY_HORIZON, seed=seed))
+                for config in TINY_CONFIGS
+            ]
+        )
+    assert report.rows_by_seed == rows_by_seed
+    for row_index, row in enumerate(report.rows):
+        for column in ("total_jps", "lp_dmr", "hp_resp_p95"):
+            values = [rows[row_index][column] for rows in rows_by_seed]
+            if len(set(values)) == 1:  # constant columns pass through un-annotated
+                assert row[column] == values[0]
+                assert f"{column}_ci95" not in row or row[f"{column}_ci95"] == 0.0
+                continue
+            summary = replication_summary(values)
+            assert row[column] == pytest.approx(round(summary["mean"], 4))
+            assert row[f"{column}_std"] == pytest.approx(round(summary["std"], 4))
+            assert row[f"{column}_ci95"] == pytest.approx(round(summary["ci95"], 4))
+
+
+def test_aggregate_replicated_rows_mixed_type_columns():
+    # sota-style column: numeric for some rows, "-" placeholder for others
+    rows_by_seed = [
+        [{"system": "baseline", "lp_dmr": "-"}, {"system": "daris", "lp_dmr": 0.01}],
+        [{"system": "baseline", "lp_dmr": "-"}, {"system": "daris", "lp_dmr": 0.03}],
+    ]
+    aggregated = aggregate_replicated_rows(rows_by_seed)
+    assert aggregated[0]["lp_dmr"] == "-"
+    assert aggregated[0]["lp_dmr_ci95"] == "-"  # uniform schema, non-numeric cell
+    assert aggregated[1]["lp_dmr"] == pytest.approx(0.02)  # numeric cells aggregate
+    assert aggregated[1]["lp_dmr_std"] == pytest.approx(
+        round(replication_summary([0.01, 0.03])["std"], 4)
+    )
+
+
+def test_aggregate_replicated_rows_column_rules():
+    rows_by_seed = [
+        [{"name": "a", "metric": 1.0, "constant": 7, "flag": True}],
+        [{"name": "a", "metric": 3.0, "constant": 7, "flag": True}],
+    ]
+    aggregated = aggregate_replicated_rows(rows_by_seed)
+    row = aggregated[0]
+    assert row["metric"] == 2.0
+    expected_std = replication_summary([1.0, 3.0])["std"]
+    assert row["metric_std"] == pytest.approx(round(expected_std, 4))
+    assert row["metric_ci95"] == pytest.approx(
+        round(t_critical_95(1) * expected_std / (2 ** 0.5), 4)
+    )
+    # constants, strings and booleans pass through without companions
+    assert row["constant"] == 7 and "constant_std" not in row
+    assert row["name"] == "a" and row["flag"] is True
+    rendered = format_replicated_table(aggregated)
+    assert "±" in rendered and "metric_std" not in rendered
+
+
+def test_non_replicable_specs_ignore_the_seed_axis():
+    report = run_experiment("table2", quick=True, seeds=3)
+    assert report.seeds == [1]
+    assert len(report.rows_by_seed) == 1 and report.rows
+
+
+def test_single_seed_rows_pass_through_unchanged(tmp_path):
+    spec = _tiny_spec()
+    report = run_experiment(spec, quick=True, seeds=1, processes=1)
+    for row in report.rows:
+        assert set(row) == {"config", "total_jps", "lp_dmr", "hp_resp_p95"}
+
+
+# --------------------------------------------------------------------- registry
+
+
+def test_registry_lists_every_paper_artefact():
+    names = [spec.name for spec in all_experiments()]
+    assert names == [
+        "fig1_table1",
+        "table2",
+        "fig2",
+        "fig4_6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "sota",
+    ]
+    with pytest.raises(KeyError):
+        get_experiment("fig99")
+
+
+def test_module_run_wrappers_delegate_to_the_engine():
+    from repro.experiments import table2_tasksets
+
+    assert table2_tasksets.run() == run_experiment("table2").rows
+
+
+# -------------------------------------------------------------------------- CLI
+
+
+def test_cli_list_and_unknown_experiment(capsys):
+    assert cli.main(["list"]) == cli.EXIT_OK
+    assert "fig4_6" in capsys.readouterr().out
+    assert cli.main(["run", "fig99", "--no-cache"]) == cli.EXIT_UNKNOWN_EXPERIMENT
+    # naming experiments and passing --all is a conflict, not a silent override
+    assert cli.main(["run", "fig2", "--all", "--no-cache"]) == cli.EXIT_UNKNOWN_EXPERIMENT
+
+
+def test_cli_run_analytic_experiment(capsys):
+    assert cli.main(["run", "fig2", "--quick", "--no-cache"]) == cli.EXIT_OK
+    out = capsys.readouterr().out
+    assert "fig2" in out and "0 simulated" in out
+
+
+def test_cli_repeat_invocation_served_from_cache(tmp_path, capsys):
+    """Acceptance: a repeated CLI run completes via cache hits, zero simulator runs."""
+    cache_dir = str(tmp_path / "cache")
+    args = ["run", "sota", "--quick", "--seeds", "2", "--jobs", "1", "--cache-dir", cache_dir]
+    assert cli.main(args) == cli.EXIT_OK
+    first_out = capsys.readouterr().out
+    assert "4 simulated" in first_out
+    # second pass must be served entirely from cache: --expect-cached turns
+    # any simulator run into a non-zero exit
+    assert cli.main(args + ["--expect-cached"]) == cli.EXIT_OK
+    second_out = capsys.readouterr().out
+    assert "0 simulated" in second_out and "4 scenario(s) from cache" in second_out
+    # ... and a cold cache fails --expect-cached
+    cold = ["run", "sota", "--quick", "--jobs", "1", "--cache-dir", str(tmp_path / "cold")]
+    assert cli.main(cold + ["--expect-cached"]) == cli.EXIT_NOT_CACHED
+    capsys.readouterr()
+
+
+def test_cli_expect_cached_exempts_traced_scenarios(tmp_path, capsys):
+    """fig9's traced scenarios bypass the cache by design; they must not fail
+    --expect-cached, or `run --all --expect-cached` could never pass."""
+    args = [
+        "run", "fig9", "--quick", "--jobs", "1",
+        "--cache-dir", str(tmp_path / "cache"), "--expect-cached",
+    ]
+    assert cli.main(args) == cli.EXIT_OK
+    assert "2 simulated (2 uncacheable)" in capsys.readouterr().out
