@@ -19,7 +19,9 @@ def percentile(values: Sequence[float], q: float) -> float:
     """Percentile with an empty-input guard."""
     if not 0 <= q <= 100:
         raise ValueError("q must be within [0, 100]")
-    if not values:
+    # len(), not truthiness: ``not values`` raises on numpy-array input
+    # ("truth value of an array ... is ambiguous").
+    if len(values) == 0:
         return 0.0
     return float(np.percentile(np.asarray(values, dtype=float), q))
 
@@ -52,7 +54,7 @@ def replication_summary(values: Sequence[float]) -> Dict[str, float]:
     ``t * s / sqrt(n)``; with a single replicate the stdev and interval are
     zero (there is no dispersion information).
     """
-    if not values:
+    if len(values) == 0:
         raise ValueError("replication_summary needs at least one value")
     array = np.asarray(values, dtype=float)
     count = array.size
@@ -66,7 +68,7 @@ def replication_summary(values: Sequence[float]) -> Dict[str, float]:
 
 def summarize_series(values: Sequence[float]) -> Dict[str, float]:
     """Mean / min / max / p50 / p95 summary of a series."""
-    if not values:
+    if len(values) == 0:
         return {"mean": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0}
     array = np.asarray(values, dtype=float)
     return {

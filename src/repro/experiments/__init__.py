@@ -3,8 +3,11 @@
 Every module declares an :class:`ExperimentSpec` (its scenario grid plus row
 aggregator) in the shared registry; the shared engine executes any spec with
 parallel fan-out, ``--seeds N`` replication (mean / stdev / 95 %-CI columns)
-and a disk-backed result cache.  ``python -m repro.experiments`` is the CLI
-front end (``list`` / ``run`` / ``cache``).
+and a disk-backed result cache; the sharded sweep driver
+(:mod:`repro.experiments.sweep`) partitions the same grids across machines
+by cache-key range with append-only, resumable per-shard row stores.
+``python -m repro.experiments`` is the CLI front end
+(``list`` / ``run`` / ``cache`` / ``sweep plan|run|status|merge``).
 
 Each module still exposes the historical ``run(quick=True)`` returning its
 result rows and a ``main()`` that prints them — both now thin wrappers over
@@ -30,7 +33,10 @@ Module (registry name)      Paper artefact
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.engine import (
+    ExpandedExperiment,
     ExperimentReport,
+    expand_experiment,
+    rows_for_expanded,
     run_cached_scenarios,
     run_experiment,
 )
@@ -46,9 +52,23 @@ from repro.experiments.registry import (
     register,
 )
 from repro.experiments.runner import ScenarioResult, run_daris_scenario
+from repro.experiments.sweep import (
+    ShardRunReport,
+    SweepError,
+    SweepGridMismatch,
+    SweepIncomplete,
+    SweepMergeReport,
+    build_sweep_grid,
+    merge_sweep,
+    plan_sweep,
+    run_sweep_shard,
+    shard_for_key,
+    sweep_status,
+)
 
 __all__ = [
     "BuildContext",
+    "ExpandedExperiment",
     "ExperimentPlan",
     "ExperimentReport",
     "ExperimentSpec",
@@ -56,12 +76,25 @@ __all__ = [
     "RowContext",
     "ScenarioRequest",
     "ScenarioResult",
+    "ShardRunReport",
+    "SweepError",
+    "SweepGridMismatch",
+    "SweepIncomplete",
+    "SweepMergeReport",
     "all_experiments",
+    "build_sweep_grid",
+    "expand_experiment",
     "get_experiment",
     "load_all_experiments",
+    "merge_sweep",
+    "plan_sweep",
     "register",
+    "rows_for_expanded",
     "run_cached_scenarios",
     "run_daris_scenario",
     "run_experiment",
     "run_scenarios_parallel",
+    "run_sweep_shard",
+    "shard_for_key",
+    "sweep_status",
 ]

@@ -31,7 +31,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.experiments.parallel import ScenarioRequest
 from repro.experiments.runner import ScenarioResult
@@ -49,10 +49,16 @@ class ResultCache:
     """
 
     def __init__(self, cache_dir: Union[str, Path]) -> None:
+        # The directory is created lazily, on the first successful `put`:
+        # constructing a cache (or inspecting one through the CLI) must not
+        # fabricate an empty store as a side effect.
         self.cache_dir = Path(cache_dir)
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+
+    def exists(self) -> bool:
+        """Whether the cache directory is present on disk at all."""
+        return self.cache_dir.is_dir()
 
     # ------------------------------------------------------------------ keys
 
@@ -67,6 +73,55 @@ class ResultCache:
 
     # ---------------------------------------------------------------- access
 
+    def contains(self, key: str) -> bool:
+        """Whether an entry with ``key`` exists on disk.
+
+        A pure ``stat`` — nothing is read or deserialized and the hit/miss
+        counters are untouched, so sweep planners can probe huge grids
+        cheaply.  (The entry may still turn out corrupt on :meth:`get`, which
+        then counts a miss and re-simulates.)
+        """
+        return self.path_for(key).is_file()
+
+    def iter_keys(self, prefix: str = "") -> Iterator[str]:
+        """Stored keys, optionally restricted to a hex-prefix range.
+
+        Keys are recovered from filenames alone — no entry is opened — so
+        iterating a million-entry cache is directory walks, not JSON parses.
+        ``prefix`` selects the contiguous key range ``[prefix000…, prefixfff…]``
+        that sharded sweep drivers partition the key space into.
+        """
+        if len(prefix) >= 2:
+            pattern = f"{prefix[:2]}/{prefix}*.json"
+        elif prefix:
+            pattern = f"{prefix}?/{prefix}*.json"
+        else:
+            pattern = "??/*.json"
+        for path in self.cache_dir.glob(pattern):
+            yield path.stem
+
+    def read_entry(self, key: str) -> Optional[Dict[str, object]]:
+        """The raw stored entry for ``key`` (fingerprint + result payload).
+
+        Returns the entry dictionary without rebuilding a
+        :class:`ScenarioResult`, which lets sweep drivers re-commit cached
+        payloads to their row stores byte-for-byte.  Corrupt, unreadable or
+        schema-stale entries count as misses, exactly like :meth:`get`.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("entry_schema") != _ENTRY_SCHEMA:
+                raise ValueError("stale cache entry schema")
+            if "result" not in entry:
+                raise KeyError("result")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
     def get(self, request: ScenarioRequest) -> Optional[ScenarioResult]:
         """Return the cached result for ``request``, or ``None`` on a miss.
 
@@ -74,18 +129,17 @@ class ResultCache:
         left for :meth:`prune` / a later overwrite), so a damaged cache can
         never poison an experiment — it only costs a re-simulation.
         """
-        path = self.path_for(self.key_for(request))
+        entry = self.read_entry(self.key_for(request))
+        if entry is None:
+            return None
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if entry.get("entry_schema") != _ENTRY_SCHEMA:
-                raise ValueError("stale cache entry schema")
-            result = ScenarioResult.from_dict(entry["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+            return ScenarioResult.from_dict(entry["result"])  # type: ignore[arg-type]
+        except (ValueError, KeyError, TypeError):
+            # Undo read_entry's optimistic hit: a payload that cannot be
+            # rebuilt is a miss like any other damaged entry.
+            self.hits -= 1
             self.misses += 1
             return None
-        self.hits += 1
-        return result
 
     def put(self, request: ScenarioRequest, result: ScenarioResult) -> bool:
         """Store a completed result; returns whether it was written.

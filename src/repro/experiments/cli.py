@@ -6,6 +6,10 @@ Usage::
     python -m repro.experiments run fig4_6 --quick --seeds 5 --jobs 8 --cache-dir .cache
     python -m repro.experiments run --all --quick
     python -m repro.experiments cache --cache-dir .cache [--prune-max-entries N] [--clear]
+    python -m repro.experiments sweep plan --all --shards 8 --seeds 5
+    python -m repro.experiments sweep run --all --shard 3/8 --seeds 5
+    python -m repro.experiments sweep status --sweep-dir .cache/sweep
+    python -m repro.experiments sweep merge --all --seeds 5
 
 ``run`` executes one or more registered experiments through the shared
 engine: scenario grids are fanned out over worker processes, replicated
@@ -15,6 +19,12 @@ text tables (with ``mean ±ci95`` cells when ``--seeds > 1``).
 ``--expect-cached`` turns the run into an assertion that *zero* scenarios
 had to be simulated — CI uses it to verify that a repeated invocation is
 served entirely from cache.
+
+``sweep`` is the multi-machine face of the same grids: ``plan`` sizes the
+shards without simulating, ``run --shard i/N`` executes (or resumes) one
+deterministic cache-key-range shard, ``status`` reports per-shard progress
+from the row stores alone, and ``merge`` folds the stores back into rows
+byte-identical to a single-machine ``run``.
 """
 
 from __future__ import annotations
@@ -22,20 +32,100 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_replicated_table, format_table
 from repro.experiments.cache import ResultCache
 from repro.experiments.engine import ExperimentReport, run_experiment
 from repro.experiments.registry import (
+    ExperimentSpec,
     all_experiments,
     get_experiment,
     load_all_experiments,
+)
+from repro.experiments.sweep import (
+    SweepError,
+    SweepGridMismatch,
+    merge_sweep,
+    plan_sweep,
+    run_sweep_shard,
+    sweep_status,
 )
 
 EXIT_OK = 0
 EXIT_UNKNOWN_EXPERIMENT = 2
 EXIT_NOT_CACHED = 3
+EXIT_NO_CACHE = 4
+#: The sweep is not done yet — polling again later can succeed.
+EXIT_SWEEP_INCOMPLETE = 5
+#: The sweep directory belongs to a different grid — retrying cannot help.
+EXIT_SWEEP_MISMATCH = 6
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected with a clean usage error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0, rejected with a clean usage error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _shard_spec(text: str) -> Tuple[int, int]:
+    """argparse type for ``--shard i/N``: 0-based index out of N shards."""
+    try:
+        index_text, _, count_text = text.partition("/")
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected I/N (e.g. 0/4), got {text!r}"
+        )
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must satisfy 0 <= I < N, got {text!r}"
+        )
+    return index, count
+
+
+def _add_selection_arguments(parser: argparse.ArgumentParser) -> None:
+    """Experiment-selection and grid arguments shared by run and sweep."""
+    parser.add_argument("experiments", nargs="*", help="registry names (e.g. fig4_6 sota)")
+    parser.add_argument("--all", action="store_true", help="select every registered experiment")
+    grid = parser.add_mutually_exclusive_group()
+    grid.add_argument(
+        "--quick",
+        dest="quick",
+        action="store_true",
+        default=True,
+        help="reduced grid / shorter horizon (default)",
+    )
+    grid.add_argument(
+        "--full", dest="quick", action="store_false", help="the paper's full grids"
+    )
+    parser.add_argument(
+        "--seeds", type=_positive_int, default=1, help="replication count (default 1)"
+    )
+    parser.add_argument(
+        "--base-seed", type=_nonnegative_int, default=1, help="first seed (default 1)"
+    )
+    parser.add_argument(
+        "--model",
+        default=None,
+        help="model parameter for model-parameterized specs (fig4_6, fig8, fig10)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,24 +139,10 @@ def _build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument("--json", action="store_true", help="machine-readable output")
 
     run_parser = subparsers.add_parser("run", help="run one or more experiments")
-    run_parser.add_argument("experiments", nargs="*", help="registry names (e.g. fig4_6 sota)")
-    run_parser.add_argument("--all", action="store_true", help="run every registered experiment")
-    grid = run_parser.add_mutually_exclusive_group()
-    grid.add_argument(
-        "--quick",
-        dest="quick",
-        action="store_true",
-        default=True,
-        help="reduced grid / shorter horizon (default)",
-    )
-    grid.add_argument(
-        "--full", dest="quick", action="store_false", help="the paper's full grids"
-    )
-    run_parser.add_argument("--seeds", type=int, default=1, help="replication count (default 1)")
-    run_parser.add_argument("--base-seed", type=int, default=1, help="first seed (default 1)")
+    _add_selection_arguments(run_parser)
     run_parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=None,
         help="worker processes (default: one per CPU; 1 = serial)",
     )
@@ -77,11 +153,6 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--no-cache", action="store_true", help="bypass the result cache entirely"
-    )
-    run_parser.add_argument(
-        "--model",
-        default=None,
-        help="model parameter for model-parameterized specs (fig4_6, fig8, fig10)",
     )
     run_parser.add_argument(
         "--expect-cached",
@@ -104,6 +175,71 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "--prune-max-age-days", type=float, default=None, help="drop entries older than N days"
     )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="sharded, resumable sweeps across machines"
+    )
+    sweep_sub = sweep_parser.add_subparsers(dest="sweep_command", required=True)
+
+    plan_parser = sweep_sub.add_parser(
+        "plan", help="size every shard (committed / cached / to simulate) without simulating"
+    )
+    _add_selection_arguments(plan_parser)
+    plan_parser.add_argument(
+        "--shards", type=_positive_int, required=True, help="total shard count N"
+    )
+
+    shard_run_parser = sweep_sub.add_parser(
+        "run", help="execute (or resume) one cache-key-range shard of the grid"
+    )
+    _add_selection_arguments(shard_run_parser)
+    shard_run_parser.add_argument(
+        "--shard",
+        type=_shard_spec,
+        required=True,
+        metavar="I/N",
+        help="this machine's shard, e.g. 0/4 (0-based index out of N)",
+    )
+    shard_run_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes (default: one per CPU; 1 = serial)",
+    )
+
+    status_parser = sweep_sub.add_parser(
+        "status", help="per-shard progress, read from the row stores alone"
+    )
+
+    merge_parser = sweep_sub.add_parser(
+        "merge", help="fold shard row stores into the usual report rows"
+    )
+    _add_selection_arguments(merge_parser)
+    merge_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes for traced/missing scenarios (default: one per CPU)",
+    )
+    merge_parser.add_argument(
+        "--simulate-missing",
+        action="store_true",
+        help="simulate units no shard committed instead of failing",
+    )
+    merge_parser.add_argument("--json", action="store_true", help="emit rows as JSON lines")
+
+    for sweep_command in (plan_parser, shard_run_parser, status_parser, merge_parser):
+        sweep_command.add_argument(
+            "--sweep-dir",
+            default=".cache/sweep",
+            help="shard row-store directory (default .cache/sweep)",
+        )
+        if sweep_command is not status_parser:
+            sweep_command.add_argument(
+                "--cache-dir",
+                default=".cache/experiments",
+                help="shared result cache directory (default .cache/experiments)",
+            )
     return parser
 
 
@@ -152,25 +288,47 @@ def _print_report(report: ExperimentReport, as_json: bool) -> None:
     print()
 
 
-def _command_run(args: argparse.Namespace) -> int:
+def _select_specs(args: argparse.Namespace) -> Tuple[Optional[List[ExperimentSpec]], int]:
+    """Resolve the run/sweep experiment selection; ``(None, exit_code)`` on error."""
     load_all_experiments()
     if args.all and args.experiments:
         print("pass either experiment names or --all, not both", file=sys.stderr)
-        return EXIT_UNKNOWN_EXPERIMENT
+        return None, EXIT_UNKNOWN_EXPERIMENT
     if args.all:
-        specs = all_experiments()
-    elif args.experiments:
+        return all_experiments(), EXIT_OK
+    if args.experiments:
         try:
-            specs = [get_experiment(name) for name in args.experiments]
+            return [get_experiment(name) for name in args.experiments], EXIT_OK
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
-            return EXIT_UNKNOWN_EXPERIMENT
-    else:
-        print("nothing to run: name experiments or pass --all", file=sys.stderr)
-        return EXIT_UNKNOWN_EXPERIMENT
+            return None, EXIT_UNKNOWN_EXPERIMENT
+    print("nothing to run: name experiments or pass --all", file=sys.stderr)
+    return None, EXIT_UNKNOWN_EXPERIMENT
 
+
+def _params_for(args: argparse.Namespace) -> Optional[dict]:
+    return {"model_name": args.model} if args.model else None
+
+
+def _warn_unknown_params(specs: Sequence[ExperimentSpec], params: Optional[dict]) -> None:
+    """Flag parameters a spec does not declare instead of dropping them silently."""
+    for spec in specs:
+        unknown = spec.unknown_params(params)
+        if unknown:
+            print(
+                f"warning: {spec.name} does not declare parameter(s)"
+                f" {', '.join(unknown)}; they are ignored by its grid",
+                file=sys.stderr,
+            )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    specs, exit_code = _select_specs(args)
+    if specs is None:
+        return exit_code
     cache: Optional[ResultCache] = None if args.no_cache else ResultCache(args.cache_dir)
-    params = {"model_name": args.model} if args.model else None
+    params = _params_for(args)
+    _warn_unknown_params(specs, params)
     total_simulated = total_hits = total_misses = 0
     for spec in specs:
         report = run_experiment(
@@ -205,6 +363,11 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
+    if not cache.exists():
+        # Inspection must not fabricate an empty cache directory as a side
+        # effect — report the absence instead.
+        print(f"no such cache: {args.cache_dir}", file=sys.stderr)
+        return EXIT_NO_CACHE
     if args.clear:
         removed = cache.clear()
         print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
@@ -220,6 +383,158 @@ def _command_cache(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _command_sweep_plan(args: argparse.Namespace) -> int:
+    specs, exit_code = _select_specs(args)
+    if specs is None:
+        return exit_code
+    params = _params_for(args)
+    _warn_unknown_params(specs, params)
+    try:
+        grid, entries = plan_sweep(
+            specs,
+            num_shards=args.shards,
+            quick=args.quick,
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            sweep_dir=args.sweep_dir,
+            cache=args.cache_dir,
+            params=params,
+        )
+    except SweepGridMismatch as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_SWEEP_MISMATCH
+    except SweepError as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_SWEEP_INCOMPLETE
+    traced_note = (
+        f" ({len(grid.traced)} uncacheable scenario(s) excluded — merge simulates them)"
+        if grid.traced
+        else ""
+    )
+    print(
+        f"sweep plan: {len(grid.units)} unit(s) across {args.shards} shard(s),"
+        f" grid {grid.fingerprint[:12]}{traced_note}"
+    )
+    for entry in entries:
+        print(
+            f"shard {entry.shard_index}/{args.shards}: {entry.units} unit(s) —"
+            f" {entry.committed} committed, {entry.cached} cached,"
+            f" {entry.misses} to simulate"
+        )
+    return EXIT_OK
+
+
+def _command_sweep_run(args: argparse.Namespace) -> int:
+    specs, exit_code = _select_specs(args)
+    if specs is None:
+        return exit_code
+    shard_index, num_shards = args.shard
+    params = _params_for(args)
+    _warn_unknown_params(specs, params)
+    try:
+        report = run_sweep_shard(
+            specs,
+            shard_index=shard_index,
+            num_shards=num_shards,
+            quick=args.quick,
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            processes=args.jobs,
+            sweep_dir=args.sweep_dir,
+            cache=args.cache_dir,
+            params=params,
+        )
+    except SweepGridMismatch as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_SWEEP_MISMATCH
+    except SweepError as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_SWEEP_INCOMPLETE
+    print(
+        f"shard {report.shard_index}/{report.num_shards}:"
+        f" {report.shard_units}/{report.total_units} unit(s);"
+        f" {report.already_committed} already committed,"
+        f" {report.from_cache} served from cache, {report.simulated} simulated"
+    )
+    return EXIT_OK
+
+
+def _command_sweep_status(args: argparse.Namespace) -> int:
+    statuses = sweep_status(args.sweep_dir)
+    if not statuses:
+        print(f"no shard stores under {args.sweep_dir}", file=sys.stderr)
+        return EXIT_SWEEP_INCOMPLETE
+    fingerprints = {status.grid_fingerprint for status in statuses}
+    complete = 0
+    for status in statuses:
+        if status.complete:
+            state = "complete"
+        elif not status.manifest_ok:
+            state = "incomplete: manifest unreadable"
+        else:
+            state = "incomplete"
+        complete += status.complete
+        print(
+            f"shard {status.shard_index}/{status.num_shards}:"
+            f" {status.committed}/{status.num_units} committed ({state})"
+        )
+    if len(fingerprints) > 1:
+        print(
+            f"warning: {len(fingerprints)} different grids share this sweep dir",
+            file=sys.stderr,
+        )
+    # A shard whose machine never started leaves no store at all; every
+    # manifest records the sweep's shard count, so its absence is visible.
+    missing_stores = 0
+    for fingerprint in fingerprints:
+        group = [status for status in statuses if status.grid_fingerprint == fingerprint]
+        expected = max(status.num_shards for status in group)
+        missing_stores += max(0, expected - len(group))
+    if missing_stores:
+        print(f"{missing_stores} shard store(s) not started yet", file=sys.stderr)
+    print(f"{complete}/{len(statuses)} shard store(s) complete")
+    return (
+        EXIT_OK
+        if complete == len(statuses) and not missing_stores
+        else EXIT_SWEEP_INCOMPLETE
+    )
+
+
+def _command_sweep_merge(args: argparse.Namespace) -> int:
+    specs, exit_code = _select_specs(args)
+    if specs is None:
+        return exit_code
+    params = _params_for(args)
+    _warn_unknown_params(specs, params)
+    try:
+        merged = merge_sweep(
+            specs,
+            quick=args.quick,
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            sweep_dir=args.sweep_dir,
+            cache=args.cache_dir,
+            params=params,
+            processes=args.jobs,
+            simulate_missing=args.simulate_missing,
+        )
+    except SweepGridMismatch as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_SWEEP_MISMATCH
+    except SweepError as error:  # includes SweepIncomplete
+        print(str(error), file=sys.stderr)
+        return EXIT_SWEEP_INCOMPLETE
+    for report in merged.reports:
+        _print_report(report, args.json)
+    if not args.json:
+        print(
+            f"merge: {merged.from_store} unit(s) from shard stores,"
+            f" {merged.from_cache} from cache, {merged.simulated} simulated,"
+            f" {merged.traced} traced"
+        )
+    return EXIT_OK
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(list(argv) if argv is not None else None)
@@ -227,4 +542,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_list(args)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "sweep":
+        handlers = {
+            "plan": _command_sweep_plan,
+            "run": _command_sweep_run,
+            "status": _command_sweep_status,
+            "merge": _command_sweep_merge,
+        }
+        return handlers[args.sweep_command](args)
     return _command_cache(args)

@@ -29,6 +29,7 @@ from repro.experiments.cache import ResultCache
 from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
 from repro.experiments.registry import (
     BuildContext,
+    ExperimentPlan,
     ExperimentSpec,
     RowContext,
     get_experiment,
@@ -134,6 +135,101 @@ def _resolve_cache(cache: Union[ResultCache, str, None]) -> Optional[ResultCache
     return ResultCache(cache)
 
 
+@dataclass(frozen=True)
+class ExpandedExperiment:
+    """One spec's flat request grid, crossed with the seed replication axis.
+
+    The expansion step of :func:`run_experiment`, reified so external drivers
+    (the sharded sweep in :mod:`repro.experiments.sweep`) can enumerate the
+    exact same grid — same requests, same seed-major order — without running
+    anything.
+
+    Attributes:
+        spec: the expanded experiment.
+        quick: whether the reduced grid was used.
+        params: the merged (defaults + caller) parameters the grid was built
+            with.
+        plan: the spec's single-seed plan (requests + row aggregator).
+        seed_values: the seeds actually expanded (length 1 for non-replicable
+            specs regardless of the requested count).
+        requests: the flat, seed-major request list —
+            ``requests[s * len(plan.requests) + i]`` is grid request ``i``
+            shifted to ``seed_values[s]``.
+    """
+
+    spec: ExperimentSpec
+    quick: bool
+    params: Dict[str, object]
+    plan: ExperimentPlan
+    seed_values: List[int]
+    requests: List[ScenarioRequest]
+
+    @property
+    def requests_per_seed(self) -> int:
+        """Grid width: requests per single seed."""
+        return len(self.plan.requests)
+
+
+def expand_experiment(
+    spec: Union[ExperimentSpec, str],
+    quick: bool = True,
+    seeds: int = 1,
+    base_seed: int = 1,
+    params: Optional[Mapping[str, object]] = None,
+) -> ExpandedExperiment:
+    """Expand a spec into its flat request grid without executing it."""
+    if isinstance(spec, str):
+        spec = get_experiment(spec)
+    if seeds < 1:
+        raise ValueError("seeds must be >= 1")
+    merged_params = spec.merged_params(params)
+    plan = spec.build(BuildContext(quick=quick, seed=base_seed, params=merged_params))
+    seed_values = (
+        [base_seed + offset for offset in range(seeds)] if spec.replicable else [base_seed]
+    )
+    flat_requests: List[ScenarioRequest] = []
+    for seed_value in seed_values:
+        offset = seed_value - base_seed
+        for request in plan.requests:
+            flat_requests.append(
+                replace(request, seed=request.seed + offset) if offset else request
+            )
+    return ExpandedExperiment(
+        spec=spec,
+        quick=quick,
+        params=merged_params,
+        plan=plan,
+        seed_values=seed_values,
+        requests=flat_requests,
+    )
+
+
+def rows_for_expanded(
+    expanded: ExpandedExperiment, flat_results: Sequence[ScenarioResult]
+) -> Tuple[List[Row], List[List[Row]]]:
+    """Fold a grid's flat results into ``(rows, rows_by_seed)``.
+
+    The aggregation step of :func:`run_experiment`, shared with external
+    drivers: ``flat_results`` must be in the grid's seed-major request order
+    (regardless of where each result came from — simulator, cache, or a
+    sweep's row store), and the returned rows are then identical to a direct
+    ``run_experiment`` of the same grid.
+    """
+    rows_by_seed: List[List[Row]] = []
+    width = expanded.requests_per_seed
+    for seed_index, seed_value in enumerate(expanded.seed_values):
+        row_ctx = RowContext(
+            quick=expanded.quick,
+            seed=seed_value,
+            results=flat_results[seed_index * width : (seed_index + 1) * width],
+            params=expanded.params,
+        )
+        rows_by_seed.append(expanded.plan.make_rows(row_ctx))
+    if len(expanded.seed_values) == 1:
+        return rows_by_seed[0], rows_by_seed
+    return aggregate_replicated_rows(rows_by_seed), rows_by_seed
+
+
 def run_experiment(
     spec: Union[ExperimentSpec, str],
     quick: bool = True,
@@ -158,55 +254,24 @@ def run_experiment(
         params: spec parameters (e.g. ``{"model_name": "unet"}``), overlaid
             on the spec's defaults.
     """
-    if isinstance(spec, str):
-        spec = get_experiment(spec)
-    if seeds < 1:
-        raise ValueError("seeds must be >= 1")
-    result_cache = _resolve_cache(cache)
-    merged_params = spec.merged_params(params)
-
-    plan = spec.build(BuildContext(quick=quick, seed=base_seed, params=merged_params))
-    seed_values = (
-        [base_seed + offset for offset in range(seeds)] if spec.replicable else [base_seed]
+    expanded = expand_experiment(
+        spec, quick=quick, seeds=seeds, base_seed=base_seed, params=params
     )
-
-    # ------------------------- expand: request grid x seed replication axis
-    num_requests = len(plan.requests)
-    flat_requests: List[ScenarioRequest] = []
-    for seed_value in seed_values:
-        offset = seed_value - base_seed
-        for request in plan.requests:
-            flat_requests.append(
-                replace(request, seed=request.seed + offset) if offset else request
-            )
-
-    # ----------------------------------------------------- serve or simulate
-    flat_results, stats = _serve_or_simulate(flat_requests, processes, result_cache)
-    report = ExperimentReport(
-        spec=spec,
+    flat_results, stats = _serve_or_simulate(
+        expanded.requests, processes, _resolve_cache(cache)
+    )
+    rows, rows_by_seed = rows_for_expanded(expanded, flat_results)
+    return ExperimentReport(
+        spec=expanded.spec,
         quick=quick,
-        seeds=seed_values,
-        rows=[],
+        seeds=expanded.seed_values,
+        rows=rows,
+        rows_by_seed=rows_by_seed,
         cache_hits=stats.cache_hits,
         cache_misses=stats.cache_misses,
         simulated=stats.simulated,
         uncached=stats.uncached,
     )
-
-    # ------------------------------------------------------------- aggregate
-    for seed_index, seed_value in enumerate(seed_values):
-        row_ctx = RowContext(
-            quick=quick,
-            seed=seed_value,
-            results=flat_results[seed_index * num_requests : (seed_index + 1) * num_requests],
-            params=merged_params,
-        )
-        report.rows_by_seed.append(plan.make_rows(row_ctx))
-    if len(seed_values) == 1:
-        report.rows = report.rows_by_seed[0]
-    else:
-        report.rows = aggregate_replicated_rows(report.rows_by_seed)
-    return report
 
 
 def aggregate_replicated_rows(rows_by_seed: Sequence[Sequence[Row]]) -> List[Row]:
@@ -219,7 +284,7 @@ def aggregate_replicated_rows(rows_by_seed: Sequence[Sequence[Row]]) -> List[Row
     cells (e.g. a baseline's ``"-"`` placeholder) pass through with ``"-"``
     companions so the row schema stays uniform.  Fully constant and fully
     non-numeric columns (labels, configuration echo columns, paper reference
-    values) pass through from the first seed untouched.
+    values) pass through untouched from the first seed that has them.
 
     The inputs are the modules' *display* rows, so the statistics are
     computed over display-rounded values (jps to 0.1, rates to 1e-4).  That
@@ -240,8 +305,18 @@ def aggregate_replicated_rows(rows_by_seed: Sequence[Sequence[Row]]) -> List[Row
             _is_number(seed_rows[row_index].get(column)) for seed_rows in rows_by_seed
         )
 
+    # Scan the union of keys across every row of every seed, not just the
+    # first row's: report schemas may be ragged (a column introduced by a
+    # later row — e.g. a metric only some variants report) and such a column
+    # must still earn its _std/_ci95 companions.
+    columns: Dict[str, None] = {}
+    for seed_rows in rows_by_seed:
+        for row in seed_rows:
+            for column in row:
+                columns.setdefault(column)
+
     replicated_columns = set()
-    for column in first[0].keys() if first else ():
+    for column in columns:
         for row_index in range(len(first)):
             if _numeric_row(row_index, column) and (
                 len({seed_rows[row_index][column] for seed_rows in rows_by_seed}) > 1
@@ -250,9 +325,21 @@ def aggregate_replicated_rows(rows_by_seed: Sequence[Sequence[Row]]) -> List[Row
                 break
 
     aggregated: List[Row] = []
-    for row_index, base_row in enumerate(first):
+    for row_index in range(len(first)):
+        # Each output row spans the union of this row's columns across all
+        # seeds (a column emitted only by later seeds must not be dropped);
+        # the base value comes from the first seed that has the column.
+        row_columns: Dict[str, None] = {}
+        for seed_rows in rows_by_seed:
+            for column in seed_rows[row_index]:
+                row_columns.setdefault(column)
         row: Row = {}
-        for column, base_value in base_row.items():
+        for column in row_columns:
+            base_value = next(
+                seed_rows[row_index][column]
+                for seed_rows in rows_by_seed
+                if column in seed_rows[row_index]
+            )
             if column not in replicated_columns:
                 row[column] = base_value
             elif _numeric_row(row_index, column):

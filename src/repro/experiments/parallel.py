@@ -33,7 +33,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ScenarioResult, run_daris_scenario
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
@@ -113,6 +113,12 @@ def _run_request(request: ScenarioRequest) -> ScenarioResult:
     )
 
 
+def _run_indexed(indexed: Tuple[int, ScenarioRequest]) -> Tuple[int, ScenarioResult]:
+    """Worker entry point for unordered fan-out: tags results with their index."""
+    index, request = indexed
+    return index, _run_request(request)
+
+
 def default_process_count(num_requests: int) -> int:
     """Worker count used when the caller does not specify one."""
     return max(1, min(num_requests, os.cpu_count() or 1))
@@ -122,6 +128,7 @@ def run_scenarios_parallel(
     requests: Sequence[ScenarioRequest],
     processes: Optional[int] = None,
     on_result: Optional[Callable[[int, ScenarioResult], None]] = None,
+    ordered: bool = True,
 ) -> List[ScenarioResult]:
     """Run scenarios across worker processes; results come back in order.
 
@@ -131,9 +138,17 @@ def run_scenarios_parallel(
         processes: worker process count.  ``None`` chooses one per CPU
             (capped by the request count); ``1`` runs serially in-process.
         on_result: optional ``(index, result)`` callback invoked as each
-            scenario completes, in request order — results are streamed off
-            the pool with ``imap``, so callers can persist or aggregate them
-            incrementally instead of waiting for the slowest scenario.
+            scenario completes — results are streamed off the pool, so
+            callers can persist or aggregate them incrementally instead of
+            waiting for the slowest scenario.  ``index`` is the request's
+            position in ``requests``.
+        ordered: with the default ``True`` the stream (and ``on_result``)
+            follows request order (``imap``).  ``False`` switches to
+            ``imap_unordered``: completions are delivered the moment *any*
+            worker finishes, so a slow early scenario no longer stalls the
+            commit stream behind it — the mode the sharded sweep driver uses
+            to checkpoint progress as fast as the pool produces it.  The
+            *returned list* is in request order either way.
 
     Returns:
         One :class:`ScenarioResult` per request, in request order.
@@ -155,10 +170,16 @@ def run_scenarios_parallel(
     import multiprocessing
 
     context = multiprocessing.get_context()
-    results = []
+    slots: List[Optional[ScenarioResult]] = [None] * len(requests)
     with context.Pool(min(processes, len(requests))) as pool:
-        for index, result in enumerate(pool.imap(_run_request, requests, chunksize=1)):
+        if ordered:
+            stream = enumerate(pool.imap(_run_request, requests, chunksize=1))
+        else:
+            stream = pool.imap_unordered(
+                _run_indexed, list(enumerate(requests)), chunksize=1
+            )
+        for index, result in stream:
             if on_result is not None:
                 on_result(index, result)
-            results.append(result)
-    return results
+            slots[index] = result
+    return slots  # type: ignore[return-value]

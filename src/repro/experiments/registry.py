@@ -111,6 +111,19 @@ class ExperimentSpec:
             merged.update(params)
         return merged
 
+    def unknown_params(self, params: Optional[Mapping[str, object]] = None) -> List[str]:
+        """Caller-supplied parameter names the spec does not declare.
+
+        ``defaults`` doubles as the spec's parameter declaration: anything
+        outside it is still merged (forward compatibility) but is almost
+        certainly ignored by ``build`` — e.g. ``--model`` applied to a spec
+        that sweeps no model.  Callers use this to warn instead of silently
+        dropping the parameter.
+        """
+        if not params:
+            return []
+        return sorted(set(params) - set(self.defaults))
+
 
 _REGISTRY: Dict[str, ExperimentSpec] = {}
 

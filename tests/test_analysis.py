@@ -1,9 +1,15 @@
 """Tests for the analysis helpers (stats, tables, ASCII plots)."""
 
+import numpy as np
 import pytest
 
 from repro.analysis.plotting import ascii_bar_chart, ascii_series
-from repro.analysis.stats import normalize, percentile, summarize_series
+from repro.analysis.stats import (
+    normalize,
+    percentile,
+    replication_summary,
+    summarize_series,
+)
 from repro.analysis.tables import format_comparison, format_table
 
 
@@ -25,6 +31,22 @@ def test_summarize_series():
     assert summary["mean"] == pytest.approx(2.5)
     assert summary["min"] == 1.0 and summary["max"] == 4.0
     assert summarize_series([])["p95"] == 0.0
+
+
+def test_stats_accept_numpy_array_inputs():
+    """Regression: the empty guards used truthiness, which raises
+    "truth value of an array ... is ambiguous" for ndarray inputs."""
+    values = np.array([1.0, 2.0, 3.0])
+    assert percentile(values, 50) == 2.0
+    assert summarize_series(values)["mean"] == pytest.approx(2.0)
+    assert replication_summary(values)["mean"] == pytest.approx(2.0)
+    empty = np.array([])
+    assert percentile(empty, 95) == 0.0
+    assert summarize_series(empty) == {
+        "mean": 0.0, "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0,
+    }
+    with pytest.raises(ValueError):
+        replication_summary(empty)
 
 
 def test_format_table_alignment_and_order():

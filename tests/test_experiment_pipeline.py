@@ -176,6 +176,25 @@ def test_unwritable_cache_degrades_to_uncached(tmp_path, resnet18, monkeypatch):
     assert cache.put(request, result) is True  # healthy path still works
 
 
+def test_cache_directory_is_created_lazily(tmp_path, resnet18):
+    """Regression: constructing (or probing) a cache must not mkdir — only a
+    successful put may create the store on disk."""
+    cache_dir = tmp_path / "cache"
+    cache = ResultCache(cache_dir)
+    assert not cache_dir.exists() and not cache.exists()
+    taskset = table2_taskset("resnet18", model=resnet18, scale=0.3)
+    request = ScenarioRequest(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=2)
+    assert cache.get(request) is None
+    assert not cache.contains(cache.key_for(request))
+    assert len(cache) == 0
+    assert not cache_dir.exists()  # still pure inspection
+    result = run_daris_scenario(taskset, TINY_CONFIGS[0], TINY_HORIZON, seed=2)
+    assert cache.put(request, result)
+    assert cache_dir.is_dir() and cache.exists()
+    assert cache.contains(cache.key_for(request))
+    assert list(cache.iter_keys()) == [cache.key_for(request)]
+
+
 def test_cache_prune_and_clear(tmp_path, resnet18):
     cache = ResultCache(tmp_path / "cache")
     taskset = table2_taskset("resnet18", model=resnet18, scale=0.3)
@@ -276,6 +295,31 @@ def test_aggregate_replicated_rows_mixed_type_columns():
     )
 
 
+def test_aggregate_replicated_rows_mixed_schema_columns():
+    """Regression: replicated columns were detected from the first row's keys
+    only, so a numeric column introduced by a later row never earned its
+    _std/_ci95 companions."""
+    rows_by_seed = [
+        [{"name": "a", "x": 1.0}, {"name": "b", "x": 2.0, "extra": 5.0}],
+        [{"name": "a", "x": 3.0}, {"name": "b", "x": 4.0, "extra": 9.0}],
+    ]
+    aggregated = aggregate_replicated_rows(rows_by_seed)
+    assert aggregated[1]["extra"] == pytest.approx(7.0)
+    assert aggregated[1]["extra_std"] == pytest.approx(
+        round(replication_summary([5.0, 9.0])["std"], 4)
+    )
+    assert "extra_ci95" in aggregated[1]
+    # the column stays absent from rows that never had it
+    assert "extra" not in aggregated[0]
+    # a column emitted only by later *seeds* passes through instead of
+    # vanishing (it cannot aggregate — some seeds lack it entirely)
+    ragged = aggregate_replicated_rows(
+        [[{"x": 1.0}], [{"x": 2.0, "rare_metric": 5.0}]]
+    )
+    assert ragged[0]["rare_metric"] == 5.0
+    assert "rare_metric_std" not in ragged[0]
+
+
 def test_aggregate_replicated_rows_column_rules():
     rows_by_seed = [
         [{"name": "a", "metric": 1.0, "constant": 7, "flag": True}],
@@ -345,6 +389,41 @@ def test_cli_list_and_unknown_experiment(capsys):
     assert cli.main(["run", "fig99", "--no-cache"]) == cli.EXIT_UNKNOWN_EXPERIMENT
     # naming experiments and passing --all is a conflict, not a silent override
     assert cli.main(["run", "fig2", "--all", "--no-cache"]) == cli.EXIT_UNKNOWN_EXPERIMENT
+
+
+def test_cli_rejects_invalid_counts():
+    """Regression: `run --seeds 0` (and sibling count oddities) used to leak a
+    raw ValueError traceback from the engine instead of a usage error."""
+    for argv in (
+        ["run", "fig2", "--no-cache", "--seeds", "0"],
+        ["run", "fig2", "--no-cache", "--seeds", "-3"],
+        ["run", "fig2", "--no-cache", "--jobs", "0"],
+        ["run", "fig2", "--no-cache", "--jobs", "-2"],
+        ["run", "fig2", "--no-cache", "--base-seed", "-1"],
+        ["sweep", "plan", "fig2", "--shards", "0"],
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(argv)
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+
+
+def test_cli_warns_on_parameters_a_spec_does_not_declare(capsys):
+    """`run --all --model X` must flag specs that silently ignore the model
+    parameter instead of pretending it applied."""
+    assert cli.main(["run", "fig2", "--no-cache", "--model", "unet"]) == cli.EXIT_OK
+    captured = capsys.readouterr()
+    assert "fig2 does not declare parameter(s) model_name" in captured.err
+    # a spec that does declare model_name raises no flag
+    assert get_experiment("fig8").unknown_params({"model_name": "unet"}) == []
+
+
+def test_cli_cache_reports_missing_directory(tmp_path, capsys):
+    """Regression: `cache --cache-dir X` used to mkdir X as a side effect of
+    pure inspection; now it reports the absence and touches nothing."""
+    missing = tmp_path / "never-created"
+    assert cli.main(["cache", "--cache-dir", str(missing)]) == cli.EXIT_NO_CACHE
+    assert "no such cache" in capsys.readouterr().err
+    assert not missing.exists()
 
 
 def test_cli_run_analytic_experiment(capsys):
