@@ -9,13 +9,16 @@ calibrated discrete-event GPU simulator.  The public surface most users need:
 * :class:`repro.scheduler.DarisConfig` / :class:`repro.scheduler.DarisScheduler`
   — the scheduler itself,
 * :func:`repro.experiments.run_daris_scenario` — one-call scenario execution,
-* :mod:`repro.experiments` — per-figure/table reproduction harnesses, and
+* :mod:`repro.experiments` — per-figure/table reproduction harnesses,
+* :mod:`repro.backends` — the pluggable scheduler-backend registry (DARIS
+  plus every baseline behind one scenario API), and
 * :mod:`repro.baselines` — the batching / GSlice / Clockwork / RTGPU baselines.
 """
 
 from repro.dnn import build_model, available_models
 from repro.rt import table2_taskset, mixed_taskset, make_taskset, Priority
 from repro.scheduler import DarisConfig, DarisScheduler, Policy
+from repro.backends import backend_names, get_backend
 from repro.experiments import (
     ResultCache,
     ScenarioRequest,
@@ -25,6 +28,7 @@ from repro.experiments import (
     run_scenarios_parallel,
 )
 from repro.sim import Simulator, RngFactory
+from repro.sim.workload import WorkloadSpec
 from repro.gpu import GpuPlatform, PlatformConfig, RTX_2080_TI
 
 __version__ = "1.0.0"
@@ -47,6 +51,9 @@ __all__ = [
     "run_scenarios_parallel",
     "Simulator",
     "RngFactory",
+    "WorkloadSpec",
+    "backend_names",
+    "get_backend",
     "GpuPlatform",
     "PlatformConfig",
     "RTX_2080_TI",

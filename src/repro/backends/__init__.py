@@ -1,0 +1,57 @@
+"""Pluggable scheduler backends behind one scenario API.
+
+The paper's headline claims are comparative — DARIS versus batching-,
+GSlice-, Clockwork- and RTGPU-style serving — so the baselines deserve the
+same experiment machinery as DARIS itself.  This package makes every
+scheduler a *backend* of the scenario API:
+
+* :mod:`repro.backends.base` — the :class:`SchedulerBackend` protocol: one
+  request (task set + workload + config + GPU + seed + horizon) in, one
+  uniform :class:`~repro.rt.metrics.ScenarioMetrics`-carrying result out.
+* :mod:`repro.backends.configs` — canonical, fingerprintable configurations
+  per backend (``to_dict`` / ``from_dict``, like ``DarisConfig``).
+* :mod:`repro.backends.registry` — name -> backend lookup the scenario
+  runner dispatches through (``ScenarioRequest.scheduler``).
+* :mod:`repro.backends.builtin` — DARIS plus the five baseline systems
+  (``rtgpu``, ``clockwork``, ``single``, ``batching_server``, ``gslice``),
+  loaded on first use.
+
+Any registered backend automatically gains seed replication with confidence
+intervals, the content-addressed result cache, parallel fan-out and sharded
+sweeps — the experiment engine never special-cases a scheduler.
+"""
+
+from repro.backends.base import BackendRequestError, SchedulerBackend
+from repro.backends.configs import (
+    AnyBackendConfig,
+    BackendConfig,
+    BatchingConfig,
+    ClockworkConfig,
+    GSliceConfig,
+    SingleConfig,
+    config_from_dict,
+)
+from repro.backends.registry import (
+    all_backends,
+    backend_names,
+    get_backend,
+    load_all_backends,
+    register_backend,
+)
+
+__all__ = [
+    "AnyBackendConfig",
+    "BackendConfig",
+    "BackendRequestError",
+    "BatchingConfig",
+    "ClockworkConfig",
+    "GSliceConfig",
+    "SchedulerBackend",
+    "SingleConfig",
+    "all_backends",
+    "backend_names",
+    "config_from_dict",
+    "get_backend",
+    "load_all_backends",
+    "register_backend",
+]

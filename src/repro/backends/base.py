@@ -1,0 +1,138 @@
+"""The scheduler-backend protocol.
+
+A *backend* turns one :class:`~repro.experiments.parallel.ScenarioRequest`
+into one :class:`~repro.experiments.runner.ScenarioResult`: it interprets the
+request's task set, workload (arrival process), configuration, GPU, seed and
+horizon, runs its scheduler/server, and returns the uniform
+:class:`~repro.rt.metrics.ScenarioMetrics` summary.  DARIS itself and every
+baseline the paper compares against implement the same protocol, which is
+what lets the experiment engine give *any* scheduler seed replication, CI
+aggregation, disk caching and sharded sweeps without knowing which one it is
+running.
+
+Backends are stateless (a fresh server/scheduler is built per run), so one
+registered instance can serve concurrent requests from the multiprocessing
+pool — each worker process re-imports the registry and dispatches by name.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, ClassVar, List, Tuple, Type
+
+from repro.dnn.model import DnnModel
+from repro.rt.taskset import TaskSetSpec
+from repro.sim.workload import WorkloadSpec
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.experiments.parallel import ScenarioRequest
+    from repro.experiments.runner import ScenarioResult
+
+
+class BackendRequestError(ValueError):
+    """A request is malformed for the backend it names (config/workload/trace)."""
+
+
+class SchedulerBackend(abc.ABC):
+    """One scheduling system behind the uniform scenario API.
+
+    Class attributes (the backend's declaration):
+
+    * ``name`` — registry key, the value of ``ScenarioRequest.scheduler``.
+    * ``title`` — one-line description for CLI listings.
+    * ``config_type`` — the configuration class requests must carry
+      (:class:`~repro.scheduler.config.DarisConfig` or a
+      :class:`~repro.backends.configs.BackendConfig` subclass).
+    * ``supported_arrivals`` — which workload arrival kinds the backend can
+      execute (subset of :data:`~repro.sim.workload.ARRIVAL_KINDS`).
+    * ``supports_traces`` — whether ``with_trace=True`` requests are
+      honoured (only DARIS records stage traces).
+    * ``deterministic`` — the backend itself draws no randomness, so the
+      request seed can only matter through rng-driven arrivals (see
+      :meth:`seed_sensitive`).
+    """
+
+    name: ClassVar[str]
+    title: ClassVar[str] = ""
+    config_type: ClassVar[Type]
+    supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic",)
+    supports_traces: ClassVar[bool] = False
+    deterministic: ClassVar[bool] = False
+
+    def seed_sensitive(self, workload: WorkloadSpec) -> bool:
+        """Whether the request seed can influence the result under ``workload``.
+
+        The experiment engine consults this when crossing a grid with the
+        ``--seeds N`` replication axis: replicating a seed-insensitive
+        scenario would re-simulate (and cache) N identical results, so such
+        requests keep their base seed across replicates and every replicate
+        shares one simulation and one cache entry — the behaviour the
+        pre-backend experiment code got by computing deterministic baselines
+        once per run.
+        """
+        if not self.deterministic:
+            return True
+        # A deterministic server sees the seed only through rng-driven
+        # arrivals: memoryless (poisson) or jittered periodic releases.
+        return workload.arrival == "poisson" or workload.jitter_ms > 0
+
+    def validate_request(self, request: "ScenarioRequest") -> None:
+        """Reject a request this backend cannot execute, with a clear reason."""
+        if request.scheduler != self.name:
+            raise BackendRequestError(
+                f"request names scheduler {request.scheduler!r}, not {self.name!r}"
+            )
+        if not isinstance(request.config, self.config_type):
+            raise BackendRequestError(
+                f"the {self.name!r} backend needs a {self.config_type.__name__}"
+                f" config, got {type(request.config).__name__}"
+            )
+        if request.workload.arrival not in self.supported_arrivals:
+            raise BackendRequestError(
+                f"the {self.name!r} backend supports"
+                f" {'/'.join(self.supported_arrivals)} workloads,"
+                f" not {request.workload.arrival!r}"
+            )
+        if request.with_trace and not self.supports_traces:
+            raise BackendRequestError(
+                f"the {self.name!r} backend does not record stage traces"
+            )
+
+    def execute(self, request: "ScenarioRequest") -> "ScenarioResult":
+        """Validate and run: the entry point the scenario runner dispatches to."""
+        self.validate_request(request)
+        return self.run(request)
+
+    @abc.abstractmethod
+    def run(self, request: "ScenarioRequest") -> "ScenarioResult":
+        """Execute one validated request and return its result."""
+
+    # ------------------------------------------------------------- utilities
+
+    @staticmethod
+    def taskset_models(taskset: TaskSetSpec) -> List[DnnModel]:
+        """Distinct DNN models of a task set, in order of first appearance.
+
+        The request-server backends (single / batching / GSlice) are
+        model-centric rather than task-centric; they derive their served
+        models from the shared task set so the same scenario vocabulary
+        drives every backend.
+        """
+        models: List[DnnModel] = []
+        seen = set()
+        for task in taskset.tasks:
+            if task.model.name not in seen:
+                seen.add(task.model.name)
+                models.append(task.model)
+        return models
+
+    def single_model(self, taskset: TaskSetSpec) -> DnnModel:
+        """The task set's one model; error if it is heterogeneous."""
+        models = self.taskset_models(taskset)
+        if len(models) != 1:
+            raise BackendRequestError(
+                f"the {self.name!r} backend serves exactly one model;"
+                f" the task set contains {len(models)}"
+                f" ({', '.join(model.name for model in models)})"
+            )
+        return models[0]

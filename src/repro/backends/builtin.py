@@ -1,0 +1,197 @@
+"""The built-in scheduler backends: DARIS plus the paper's five baselines.
+
+Each backend adapts one existing scheduler/server to the uniform
+:class:`~repro.backends.base.SchedulerBackend` protocol.  The heterogeneous
+legacy entry points — ``run_daris_scenario``, ``RtgpuScheduler.run_taskset``,
+``ClockworkServer.run_taskset``, ``GSliceServer.run_saturated``,
+``BatchingServer.run_saturated`` / ``run_with_arrivals``,
+``SingleTenantExecutor.run`` — all normalize to *(request in, result out)*,
+so every system gets caching, seed replication, CI aggregation and sharded
+sweeps from the experiment engine for free.
+
+Seeding: every backend builds its randomness from
+``RngFactory(request.seed)``, so a backend run twice with the same seed is
+bit-identical (the determinism contract the pipeline tests pin).  The purely
+deterministic servers ignore the seed by construction, which satisfies the
+same contract trivially.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Tuple, Type
+
+from repro.backends.base import SchedulerBackend
+from repro.backends.configs import (
+    BatchingConfig,
+    ClockworkConfig,
+    GSliceConfig,
+    SingleConfig,
+)
+from repro.backends.registry import register_backend
+from repro.baselines.batching_server import BatchingServer
+from repro.baselines.clockwork import ClockworkServer
+from repro.baselines.gslice import GSliceServer
+from repro.baselines.rtgpu import RtgpuScheduler
+from repro.baselines.single import SingleTenantExecutor
+from repro.experiments.parallel import ScenarioRequest
+from repro.experiments.runner import ScenarioResult, run_daris_scenario
+from repro.rt.metrics import ScenarioMetrics
+from repro.rt.taskset import TaskSetSpec
+from repro.scheduler.config import DarisConfig
+from repro.sim.rng import RngFactory
+
+
+def _result(request: ScenarioRequest, metrics: ScenarioMetrics) -> ScenarioResult:
+    """Uniform result assembly: explicit label, else the config's own."""
+    label = request.label if request.label is not None else request.config.label()
+    return ScenarioResult(label=label, config=request.config, metrics=metrics)
+
+
+def _min_relative_deadline_ms(taskset: TaskSetSpec) -> float:
+    """Tightest per-request deadline in the task set (the honest bound for
+    aggregate request streams, which carry no per-task identity)."""
+    return min(task.relative_deadline_ms for task in taskset.tasks)
+
+
+class DarisBackend(SchedulerBackend):
+    """The paper's scheduler, unchanged — the reference backend."""
+
+    name: ClassVar[str] = "daris"
+    title: ClassVar[str] = "DARIS: deadline-aware staged scheduler (the paper's system)"
+    config_type: ClassVar[Type] = DarisConfig
+    supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson")
+    supports_traces: ClassVar[bool] = True
+
+    def run(self, request: ScenarioRequest) -> ScenarioResult:
+        return run_daris_scenario(
+            request.taskset,
+            request.config,
+            request.horizon_ms,
+            seed=request.seed,
+            with_trace=request.with_trace,
+            gpu=request.gpu,
+            calibration=request.calibration,
+            label=request.label,
+            workload=request.workload,
+        )
+
+
+class RtgpuBackend(SchedulerBackend):
+    """RTGPU-like EDF scheduling: DARIS machinery, priorities disabled."""
+
+    name: ClassVar[str] = "rtgpu"
+    title: ClassVar[str] = "RTGPU-like: EDF real-time scheduling without task priorities"
+    config_type: ClassVar[Type] = DarisConfig
+    supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson")
+
+    def run(self, request: ScenarioRequest) -> ScenarioResult:
+        scheduler = RtgpuScheduler(
+            request.config, gpu=request.gpu, calibration=request.calibration
+        )
+        metrics = scheduler.run_taskset(
+            request.taskset,
+            request.horizon_ms,
+            seed=request.seed,
+            workload=request.workload,
+        )
+        return _result(request, metrics)
+
+
+class ClockworkBackend(SchedulerBackend):
+    """Clockwork-like predictable serving: one DNN at a time, drop-if-late."""
+
+    name: ClassVar[str] = "clockwork"
+    title: ClassVar[str] = "Clockwork-like: one DNN at a time, EDF, admission by predicted latency"
+    config_type: ClassVar[Type] = ClockworkConfig
+    deterministic: ClassVar[bool] = True
+    supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson")
+
+    def run(self, request: ScenarioRequest) -> ScenarioResult:
+        server = ClockworkServer(gpu=request.gpu, calibration=request.calibration)
+        outcome = server.run_taskset(
+            request.taskset,
+            request.horizon_ms,
+            workload=request.workload,
+            rng=RngFactory(request.seed),
+        )
+        return _result(request, outcome.metrics)
+
+
+class SingleBackend(SchedulerBackend):
+    """Single-tenant lower baseline: one inference at a time, no batching."""
+
+    name: ClassVar[str] = "single"
+    title: ClassVar[str] = "Single-tenant: one inference at a time on the whole GPU (Table I min)"
+    config_type: ClassVar[Type] = SingleConfig
+    deterministic: ClassVar[bool] = True
+    supported_arrivals: ClassVar[Tuple[str, ...]] = ("saturated",)
+
+    def run(self, request: ScenarioRequest) -> ScenarioResult:
+        executor = SingleTenantExecutor(
+            self.single_model(request.taskset),
+            gpu=request.gpu,
+            calibration=request.calibration,
+        )
+        return _result(request, executor.run(request.horizon_ms).metrics)
+
+
+class BatchingBackend(SchedulerBackend):
+    """Pure-batching upper baseline; saturated or rate-driven with deadlines."""
+
+    name: ClassVar[str] = "batching_server"
+    title: ClassVar[str] = "Pure batching: fixed-size batches on the whole GPU (Table I max)"
+    config_type: ClassVar[Type] = BatchingConfig
+    deterministic: ClassVar[bool] = True
+    supported_arrivals: ClassVar[Tuple[str, ...]] = ("saturated", "periodic", "poisson")
+
+    def run(self, request: ScenarioRequest) -> ScenarioResult:
+        model = self.single_model(request.taskset)
+        batch_size = request.config.batch_size or model.profile.preferred_batch_size
+        server = BatchingServer(
+            model, batch_size, gpu=request.gpu, calibration=request.calibration
+        )
+        if request.workload.saturated:
+            return _result(request, server.run_saturated(request.horizon_ms).metrics)
+        outcome = server.run_with_arrivals(
+            arrival_rate_jps=request.taskset.total_demand_jps,
+            deadline_ms=_min_relative_deadline_ms(request.taskset),
+            horizon_ms=request.horizon_ms,
+            timeout_ms=request.config.timeout_ms,
+            workload=request.workload,
+            rng=RngFactory(request.seed).stream("batching-arrivals"),
+        )
+        return _result(request, outcome.metrics)
+
+
+class GSliceBackend(SchedulerBackend):
+    """GSlice-like spatial sharing: one isolated partition per model."""
+
+    name: ClassVar[str] = "gslice"
+    title: ClassVar[str] = "GSlice-like: static spatial partitions with per-partition batching"
+    config_type: ClassVar[Type] = GSliceConfig
+    deterministic: ClassVar[bool] = True
+    supported_arrivals: ClassVar[Tuple[str, ...]] = ("saturated",)
+
+    def run(self, request: ScenarioRequest) -> ScenarioResult:
+        models = self.taskset_models(request.taskset)
+        batch_sizes = request.config.batch_sizes
+        server = GSliceServer(
+            models,
+            batch_sizes=list(batch_sizes) if batch_sizes is not None else None,
+            gpu=request.gpu,
+            calibration=request.calibration,
+        )
+        return _result(request, server.run_saturated(request.horizon_ms).metrics)
+
+
+BUILTIN_BACKENDS = tuple(
+    register_backend(backend)
+    for backend in (
+        DarisBackend(),
+        RtgpuBackend(),
+        ClockworkBackend(),
+        SingleBackend(),
+        BatchingBackend(),
+        GSliceBackend(),
+    )
+)

@@ -1,0 +1,159 @@
+"""Canonical, fingerprintable configurations for the baseline backends.
+
+Every scheduler backend declares one configuration type that plays the role
+:class:`~repro.scheduler.config.DarisConfig` plays for DARIS: a frozen,
+hashable dataclass with a stable ``to_dict`` / ``from_dict`` round-trip, so a
+scenario request carrying it fingerprints deterministically into a cache key
+and cached results rebuild losslessly.
+
+Serialized backend configs are *self-describing*: ``to_dict`` embeds a
+``"kind"`` tag naming the owning backend, and :func:`config_from_dict`
+dispatches on it.  ``DarisConfig`` dictionaries predate the tag and stay
+untagged — both for backward compatibility with existing cache entries and
+because untagged input unambiguously means DARIS (the RTGPU backend reuses
+``DarisConfig`` wholesale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, Mapping, Optional, Tuple, Type, Union
+
+from repro.scheduler.config import DarisConfig
+
+#: ``kind`` tag -> config class, filled in by ``_register_config``.
+_CONFIG_KINDS: Dict[str, Type["BackendConfig"]] = {}
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Base class for backend configurations (value semantics, JSON-safe).
+
+    Subclasses set ``kind`` to their backend's registry name; field values
+    must be JSON-representable scalars or tuples thereof (tuples round-trip
+    through JSON lists).
+    """
+
+    kind: ClassVar[str] = ""
+
+    def label(self) -> str:
+        """Human-readable configuration label for report rows."""
+        return self.kind
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical field dictionary, tagged with the owning backend."""
+        data: Dict[str, object] = {"kind": self.kind}
+        for config_field in fields(self):
+            value = getattr(self, config_field.name)
+            data[config_field.name] = list(value) if isinstance(value, tuple) else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "BackendConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        kwargs = {}
+        for config_field in fields(cls):
+            value = data[config_field.name]
+            kwargs[config_field.name] = tuple(value) if isinstance(value, list) else value
+        return cls(**kwargs)
+
+
+def _register_config(cls: Type[BackendConfig]) -> Type[BackendConfig]:
+    if not cls.kind:
+        raise ValueError(f"{cls.__name__} must set a non-empty kind")
+    _CONFIG_KINDS[cls.kind] = cls
+    return cls
+
+
+AnyBackendConfig = Union[DarisConfig, BackendConfig]
+
+
+def config_from_dict(data: Mapping[str, object]) -> AnyBackendConfig:
+    """Rebuild any scheduler configuration from its serialized form.
+
+    Tagged dictionaries dispatch to the backend config class named by their
+    ``"kind"``; untagged dictionaries are :class:`DarisConfig` (the historical
+    shape — existing cache entries carry no tag).
+    """
+    kind = data.get("kind")
+    if kind is None:
+        return DarisConfig.from_dict(data)
+    config_cls = _CONFIG_KINDS.get(str(kind))
+    if config_cls is None:
+        raise KeyError(
+            f"unknown backend config kind {kind!r}; known: {', '.join(sorted(_CONFIG_KINDS))}"
+        )
+    return config_cls.from_dict(data)
+
+
+@_register_config
+@dataclass(frozen=True)
+class ClockworkConfig(BackendConfig):
+    """Clockwork has no tunables: one DNN at a time, EDF, drop-if-late."""
+
+    kind: ClassVar[str] = "clockwork"
+
+    def label(self) -> str:
+        return "Clockwork"
+
+
+@_register_config
+@dataclass(frozen=True)
+class SingleConfig(BackendConfig):
+    """Single-tenant execution has no tunables: one stream, no batching."""
+
+    kind: ClassVar[str] = "single"
+
+    def label(self) -> str:
+        return "Single 1x1"
+
+
+@_register_config
+@dataclass(frozen=True)
+class BatchingConfig(BackendConfig):
+    """Pure-batching server: fixed batch size, optional partial-batch timeout.
+
+    ``batch_size=0`` means "the served model's preferred batch size" (resolved
+    by the backend from its profile), which keeps one config usable across a
+    model sweep.
+    """
+
+    kind: ClassVar[str] = "batching_server"
+    batch_size: int = 0
+    timeout_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 0:
+            raise ValueError("batch_size must be >= 0 (0 = model's preferred size)")
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive when set")
+
+    def label(self) -> str:
+        batch = "pref" if self.batch_size == 0 else str(self.batch_size)
+        return f"Batching b{batch}"
+
+
+@_register_config
+@dataclass(frozen=True)
+class GSliceConfig(BackendConfig):
+    """GSlice-like server: one spatial partition per model.
+
+    ``batch_sizes`` pins the per-partition batch size (one entry per distinct
+    model in the task set, in order of first appearance); ``None`` uses each
+    model's preferred batch size.
+    """
+
+    kind: ClassVar[str] = "gslice"
+    batch_sizes: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_sizes is not None:
+            if not isinstance(self.batch_sizes, tuple):
+                object.__setattr__(self, "batch_sizes", tuple(self.batch_sizes))
+            if any(batch < 1 for batch in self.batch_sizes):
+                raise ValueError("every batch size must be >= 1")
+
+    def label(self) -> str:
+        if self.batch_sizes is None:
+            return "GSlice bpref"
+        return f"GSlice b{'/'.join(str(batch) for batch in self.batch_sizes)}"

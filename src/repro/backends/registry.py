@@ -1,0 +1,68 @@
+"""Registry of scheduler backends, mirroring the experiment-spec registry.
+
+Backends register themselves by name; the scenario runner dispatches each
+request through :func:`get_backend`.  The built-in backends (DARIS plus the
+five baseline systems) live in :mod:`repro.backends.builtin` and are loaded
+on first use, so importing the registry stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List
+
+from repro.backends.base import SchedulerBackend
+
+#: Modules that register backends on import.
+BACKEND_MODULES = ("repro.backends.builtin",)
+
+_REGISTRY: Dict[str, SchedulerBackend] = {}
+
+#: Canonical listing order: the paper's system first, then its baselines
+#: alphabetically; later user-registered backends trail, stably.
+_CANONICAL_ORDER = ("daris", "batching_server", "clockwork", "gslice", "rtgpu", "single")
+
+
+def register_backend(backend: SchedulerBackend) -> SchedulerBackend:
+    """Add a backend to the registry (idempotent per name); returns it.
+
+    Re-registering a name replaces the entry, which keeps module reloads
+    (pytest import-mode quirks, interactive use) harmless.
+    """
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def load_all_backends() -> None:
+    """Import every backend module so its backends register themselves."""
+    for module_name in BACKEND_MODULES:
+        importlib.import_module(module_name)
+
+
+def get_backend(name: str) -> SchedulerBackend:
+    """Look up a registered backend, loading the built-ins on demand."""
+    if name not in _REGISTRY:
+        load_all_backends()
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown scheduler backend {name!r}; known: {', '.join(backend_names()) or '(none)'}"
+        )
+    return _REGISTRY[name]
+
+
+def _canonical_rank(name: str) -> tuple:
+    try:
+        return (0, _CANONICAL_ORDER.index(name))
+    except ValueError:
+        return (1, name)
+
+
+def backend_names() -> List[str]:
+    """Registered backend names (built-ins loaded on demand), canonical order."""
+    load_all_backends()
+    return sorted(_REGISTRY, key=_canonical_rank)
+
+
+def all_backends() -> List[SchedulerBackend]:
+    """Every registered backend, in canonical listing order."""
+    return [_REGISTRY[name] for name in backend_names()]

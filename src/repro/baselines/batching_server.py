@@ -3,21 +3,28 @@
 The batching server accumulates incoming requests into fixed-size batches and
 executes one batch at a time on the whole GPU.  Its *saturated* throughput --
 requests always waiting, so every batch is full -- is the paper's upper
-baseline; the server can also be driven by periodic arrivals with deadlines to
-show why batching alone is problematic for real-time workloads (jobs wait for
-their batch to fill).
+baseline; the server can also be driven by rate-based arrivals with deadlines
+(fixed-rate by default, Poisson via a
+:class:`~repro.sim.workload.WorkloadSpec`) to show why batching alone is
+problematic for real-time workloads (jobs wait for their batch to fill).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
+import numpy as np
+
+from repro.baselines.results import JpsResult, LegacyMappingResult, single_class_metrics
 from repro.dnn.batching import batched_stage_specs
 from repro.dnn.model import DnnModel
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.platform import GpuPlatform, PlatformConfig
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.rt.metrics import ScenarioMetrics
 from repro.sim.simulator import Simulator
+from repro.sim.workload import PERIODIC_WORKLOAD, WorkloadSpec
 
 
 def saturated_batching_jps(
@@ -26,10 +33,46 @@ def saturated_batching_jps(
     horizon_ms: float = 2000.0,
     gpu: GpuSpec = RTX_2080_TI,
     calibration: GpuCalibration = DEFAULT_CALIBRATION,
-) -> float:
+) -> JpsResult:
     """Measured throughput of back-to-back full batches on an idle GPU."""
     server = BatchingServer(model, batch_size, gpu=gpu, calibration=calibration)
     return server.run_saturated(horizon_ms)
+
+
+@dataclass(frozen=True)
+class BatchingArrivalResult(LegacyMappingResult):
+    """Typed summary of a rate-driven batching run.
+
+    Replaces the raw ``dict`` :meth:`BatchingServer.run_with_arrivals` used
+    to return; the historical keys (``throughput_jps`` /
+    ``deadline_miss_rate`` / ``completed``) remain readable through the
+    deprecated mapping shim.
+    """
+
+    metrics: ScenarioMetrics
+    released: int
+
+    @property
+    def throughput_jps(self) -> float:
+        """Completed requests per second."""
+        return self.metrics.total_jps
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of completed requests that finished past their deadline."""
+        return self.metrics.overall_dmr
+
+    @property
+    def completed(self) -> int:
+        """Requests that completed within the horizon."""
+        return self.metrics.total_completed
+
+    def legacy_mapping(self) -> Dict[str, object]:
+        return {
+            "throughput_jps": self.throughput_jps,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "completed": self.completed,
+        }
 
 
 class BatchingServer:
@@ -55,8 +98,13 @@ class BatchingServer:
 
     # ------------------------------------------------------------- saturated
 
-    def run_saturated(self, horizon_ms: float) -> float:
-        """Run with an always-full request queue; returns jobs per second."""
+    def run_saturated(self, horizon_ms: float) -> JpsResult:
+        """Run with an always-full request queue; returns jobs per second.
+
+        The return value is the same throughput ``float`` as always
+        (:class:`~repro.baselines.results.JpsResult`), now also carrying
+        ``.metrics`` with each job's response time set to its batch latency.
+        """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
         simulator = Simulator()
@@ -93,7 +141,17 @@ class BatchingServer:
 
         launch_batch()
         simulator.run_until(horizon_ms)
-        return 1000.0 * self.completed_jobs / horizon_ms
+        jps = 1000.0 * self.completed_jobs / horizon_ms
+        response_times = [
+            latency for latency in self.batch_latencies_ms for _ in range(self.batch_size)
+        ]
+        metrics = single_class_metrics(
+            horizon_ms,
+            completed=self.completed_jobs,
+            response_times=response_times,
+            per_task_completed={self.model.name: self.completed_jobs},
+        )
+        return JpsResult(jps, metrics)
 
     # ----------------------------------------------------------- rate-driven
 
@@ -103,17 +161,28 @@ class BatchingServer:
         deadline_ms: float,
         horizon_ms: float,
         timeout_ms: Optional[float] = None,
-    ) -> dict:
-        """Drive the server with a steady request rate and per-request deadlines.
+        workload: Optional[WorkloadSpec] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BatchingArrivalResult:
+        """Drive the server with rate-based request arrivals and deadlines.
 
         Requests are queued until ``batch_size`` of them are available (or the
         optional ``timeout_ms`` forces a partial batch); the returned summary
         reports throughput and the fraction of requests that finished after
         their deadline — the effect the paper cites when arguing that real-time
         inference cannot simply rely on batching.
+
+        ``workload`` selects the arrival process: the default (``periodic``)
+        is the historical fixed-rate stream at ``arrival_rate_jps``;
+        ``poisson`` draws memoryless inter-arrivals at the same mean rate
+        (``rng`` required).  Saturated workloads have no arrival stream —
+        use :meth:`run_saturated`.
         """
         if arrival_rate_jps <= 0 or deadline_ms <= 0 or horizon_ms <= 0:
             raise ValueError("arrival rate, deadline and horizon must be positive")
+        workload = workload if workload is not None else PERIODIC_WORKLOAD
+        if workload.saturated:
+            raise ValueError("saturated workloads have no arrival stream; use run_saturated")
         simulator = Simulator()
         platform = GpuPlatform(
             simulator,
@@ -124,6 +193,7 @@ class BatchingServer:
         pending: List[float] = []  # release times of queued requests
         busy = {"running": False}
         completed = {"count": 0, "missed": 0}
+        response_times: List[float] = []
         inter_arrival = 1000.0 / arrival_rate_jps
 
         def maybe_launch(force: bool = False) -> None:
@@ -145,6 +215,7 @@ class BatchingServer:
                 busy["running"] = False
                 for release in batch:
                     completed["count"] += 1
+                    response_times.append(simulator.now - release)
                     if simulator.now > release + deadline_ms:
                         completed["missed"] += 1
                 maybe_launch(force=False)
@@ -166,17 +237,16 @@ class BatchingServer:
                     timeout_ms, lambda _sim: maybe_launch(force=True), label="batch-timeout"
                 )
 
-        next_time = 0.0
-        while next_time <= horizon_ms:
-            simulator.schedule_at(
-                next_time, lambda _sim: on_arrival(_sim.now), priority=-1, label="request"
-            )
-            next_time += inter_arrival
+        arrival = workload.arrival_for_task(period_ms=inter_arrival, phase_ms=0.0, rng=rng)
+        released = arrival.drive(simulator, horizon_ms, lambda event: on_arrival(event.time))
         simulator.run_until(horizon_ms)
 
-        miss_rate = completed["missed"] / completed["count"] if completed["count"] else 0.0
-        return {
-            "throughput_jps": 1000.0 * completed["count"] / horizon_ms,
-            "deadline_miss_rate": miss_rate,
-            "completed": completed["count"],
-        }
+        metrics = single_class_metrics(
+            horizon_ms,
+            completed=completed["count"],
+            missed=completed["missed"],
+            released=released,
+            response_times=response_times,
+            per_task_completed={self.model.name: completed["count"]},
+        )
+        return BatchingArrivalResult(metrics=metrics, released=released)

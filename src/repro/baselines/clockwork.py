@@ -11,14 +11,19 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
+from repro.baselines.results import LegacyMappingResult, accepted_miss_rate
 from repro.dnn.model import DnnModel
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.platform import GpuPlatform, PlatformConfig
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.rt.metrics import PriorityMetrics, ScenarioMetrics
+from repro.rt.task import Priority
 from repro.rt.taskset import TaskSetSpec
+from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
+from repro.sim.workload import PERIODIC_WORKLOAD, WorkloadSpec
 
 
 @dataclass(order=True)
@@ -27,6 +32,58 @@ class _QueuedRequest:
     seq: int
     release: float = field(compare=False)
     model: DnnModel = field(compare=False, default=None)
+    priority: Priority = field(compare=False, default=Priority.LOW)
+    task_name: str = field(compare=False, default="")
+
+
+@dataclass(frozen=True)
+class ClockworkResult(LegacyMappingResult):
+    """Typed summary of a Clockwork run.
+
+    Replaces the raw ``dict`` :meth:`ClockworkServer.run_taskset` used to
+    return; the historical keys (``throughput_jps`` / ``drop_rate`` /
+    ``deadline_miss_rate`` / ``mean_response_ms``) stay readable through the
+    deprecated mapping shim and are reproduced exactly by the typed
+    properties, including the historical ``missed / (completed + missed)``
+    miss-rate denominator.
+    """
+
+    metrics: ScenarioMetrics
+
+    @property
+    def throughput_jps(self) -> float:
+        """Completed requests per second."""
+        return self.metrics.total_jps
+
+    @property
+    def dropped(self) -> int:
+        """Requests rejected up front because they could not make their deadline."""
+        return self.metrics.high.rejected + self.metrics.low.rejected
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped requests over released requests."""
+        released = self.metrics.high.released + self.metrics.low.released
+        return self.dropped / max(1, released)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Late completions over accepted requests (the historical ratio)."""
+        return accepted_miss_rate(self.metrics)
+
+    @property
+    def mean_response_ms(self) -> float:
+        """Mean response time across every completed request."""
+        samples = self.metrics.high.response_times + self.metrics.low.response_times
+        return sum(samples) / len(samples) if samples else 0.0
+
+    def legacy_mapping(self) -> Dict[str, object]:
+        return {
+            "throughput_jps": self.throughput_jps,
+            "drop_rate": self.drop_rate,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "mean_response_ms": self.mean_response_ms,
+        }
 
 
 class ClockworkServer:
@@ -44,10 +101,27 @@ class ClockworkServer:
         self.missed = 0
         self.response_times: List[float] = []
 
-    def run_taskset(self, taskset: TaskSetSpec, horizon_ms: float) -> Dict[str, float]:
-        """Serve a periodic task set; returns throughput, drop and miss rates."""
+    def run_taskset(
+        self,
+        taskset: TaskSetSpec,
+        horizon_ms: float,
+        workload: Optional[WorkloadSpec] = None,
+        rng: Optional[RngFactory] = None,
+    ) -> ClockworkResult:
+        """Serve a task set; returns the typed throughput / drop / miss summary.
+
+        ``workload`` selects the release process per task: the default is the
+        historical periodic release at each task's period/phase, ``poisson``
+        draws memoryless releases at the same mean rates (reproducible via
+        ``rng``).  Saturated workloads are meaningless for a deadline-driven
+        admission server and are rejected.
+        """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
+        workload = workload if workload is not None else PERIODIC_WORKLOAD
+        if workload.saturated:
+            raise ValueError("the Clockwork baseline is deadline-driven; saturated workloads do not apply")
+        rng = rng if rng is not None else RngFactory(0)
         simulator = Simulator()
         platform = GpuPlatform(
             simulator,
@@ -63,7 +137,8 @@ class ClockworkServer:
         queue: List[_QueuedRequest] = []
         busy = {"running": False, "until": 0.0}
         seq = {"value": 0}
-        released = {"count": 0}
+        per_priority = {Priority.HIGH: PriorityMetrics(), Priority.LOW: PriorityMetrics()}
+        per_task_completed: Dict[str, int] = {}
 
         def predicted_latency(model: DnnModel) -> float:
             # One DNN at a time on the whole GPU: the isolated latency *is*
@@ -76,8 +151,10 @@ class ClockworkServer:
                 latency = predicted_latency(request.model)
                 if simulator.now + latency > request.deadline + 1e-9:
                     self.dropped += 1
+                    per_priority[request.priority].rejected += 1
                     continue
                 busy["running"] = True
+                per_priority[request.priority].admitted += 1
                 state = {"stage": 0}
 
                 def on_stage_done(_kernel, request=request, state=state) -> None:
@@ -87,10 +164,17 @@ class ClockworkServer:
                         return
                     busy["running"] = False
                     self.completed += 1
+                    bucket = per_priority[request.priority]
+                    bucket.completed += 1
+                    per_task_completed[request.task_name] = (
+                        per_task_completed.get(request.task_name, 0) + 1
+                    )
                     response = simulator.now - request.release
                     self.response_times.append(response)
+                    bucket.response_times.append(response)
                     if simulator.now > request.deadline + 1e-9:
                         self.missed += 1
+                        bucket.missed += 1
                     start_next()
 
                 def submit_stage(request=request, state=state) -> None:
@@ -105,37 +189,42 @@ class ClockworkServer:
                 submit_stage(request, state)
                 return
 
-        def on_release(model: DnnModel, release_time: float, deadline: float) -> None:
-            released["count"] += 1
+        def on_release(task, release_time: float) -> None:
+            per_priority[task.priority].released += 1
             seq["value"] += 1
             heapq.heappush(
                 queue,
-                _QueuedRequest(deadline=deadline, seq=seq["value"], release=release_time, model=model),
+                _QueuedRequest(
+                    deadline=release_time + task.relative_deadline_ms,
+                    seq=seq["value"],
+                    release=release_time,
+                    model=task.model,
+                    priority=task.priority,
+                    task_name=task.name,
+                ),
             )
             start_next()
 
+        jitter_rng = rng.stream("release-jitter")
         for task in taskset.tasks:
-            next_release = task.phase_ms
-            while next_release <= horizon_ms:
-                simulator.schedule_at(
-                    next_release,
-                    lambda _sim, task=task: on_release(
-                        task.model, _sim.now, _sim.now + task.relative_deadline_ms
-                    ),
-                    priority=-1,
-                    label=f"clockwork-release[{task.task_id}]",
-                )
-                next_release += task.period_ms
+            if workload.arrival == "poisson":
+                arrival_rng = rng.stream(f"poisson-arrivals[{task.task_id}]")
+            else:
+                arrival_rng = jitter_rng
+            arrival = workload.arrival_for_task(
+                period_ms=task.period_ms, phase_ms=task.phase_ms, rng=arrival_rng
+            )
+            arrival.drive(
+                simulator,
+                horizon_ms,
+                lambda event, task=task: on_release(task, event.time),
+            )
         simulator.run_until(horizon_ms)
 
-        accepted = max(1, self.completed + self.missed)
-        return {
-            "throughput_jps": 1000.0 * self.completed / horizon_ms,
-            "drop_rate": self.dropped / max(1, released["count"]),
-            "deadline_miss_rate": self.missed / accepted,
-            "mean_response_ms": (
-                sum(self.response_times) / len(self.response_times)
-                if self.response_times
-                else 0.0
-            ),
-        }
+        metrics = ScenarioMetrics.from_priority_metrics(
+            horizon_ms,
+            high=per_priority[Priority.HIGH],
+            low=per_priority[Priority.LOW],
+            per_task_completed=per_task_completed,
+        )
+        return ClockworkResult(metrics=metrics)

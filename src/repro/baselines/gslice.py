@@ -9,14 +9,38 @@ therefore modest (the paper quotes ~3.5 % for ResNet50).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.baselines.results import LegacyMappingResult, single_class_metrics
 from repro.dnn.batching import batched_stage_specs
 from repro.dnn.model import DnnModel
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.platform import GpuPlatform, PlatformConfig
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.rt.metrics import ScenarioMetrics
 from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class GSliceResult(LegacyMappingResult):
+    """Typed summary of a saturated GSlice run.
+
+    Replaces the raw per-model ``dict`` (with its magic ``"total"`` key)
+    :meth:`GSliceServer.run_saturated` used to return; the historical keys
+    stay readable through the deprecated mapping shim.
+    """
+
+    metrics: ScenarioMetrics
+    per_model_jps: Mapping[str, float]
+
+    @property
+    def total_jps(self) -> float:
+        """Throughput summed over every partition."""
+        return self.metrics.total_jps
+
+    def legacy_mapping(self) -> Dict[str, object]:
+        return {**dict(self.per_model_jps), "total": self.total_jps}
 
 
 class GSliceServer:
@@ -46,7 +70,7 @@ class GSliceServer:
         self.calibration = calibration
         self.completed_jobs: Dict[str, int] = {}
 
-    def run_saturated(self, horizon_ms: float) -> Dict[str, float]:
+    def run_saturated(self, horizon_ms: float) -> GSliceResult:
         """Run every partition at saturation; returns per-model and total JPS."""
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
@@ -63,11 +87,13 @@ class GSliceServer:
             calibration=self.calibration,
         )
         self.completed_jobs = {model.name: 0 for model in self.models}
+        batch_latencies: Dict[str, List[float]] = {model.name: [] for model in self.models}
 
         def launch_batch(partition: int) -> None:
             model = self.models[partition]
             batch = self.batch_sizes[partition]
             stages = batched_stage_specs(model, batch)
+            start_time = simulator.now
             state = {"stage": 0}
 
             def on_stage_done(_kernel) -> None:
@@ -76,6 +102,7 @@ class GSliceServer:
                     submit_stage()
                     return
                 self.completed_jobs[model.name] += batch
+                batch_latencies[model.name].append(simulator.now - start_time)
                 if simulator.now < horizon_ms:
                     launch_batch(partition)
 
@@ -89,13 +116,22 @@ class GSliceServer:
             launch_batch(partition)
         simulator.run_until(horizon_ms)
 
-        results = {
+        per_model = {
             name: 1000.0 * count / horizon_ms for name, count in self.completed_jobs.items()
         }
-        results["total"] = sum(
-            value for key, value in results.items() if key != "total"
+        response_times = [
+            latency
+            for partition, model in enumerate(self.models)
+            for latency in batch_latencies[model.name]
+            for _ in range(self.batch_sizes[partition])
+        ]
+        metrics = single_class_metrics(
+            horizon_ms,
+            completed=sum(self.completed_jobs.values()),
+            response_times=response_times,
+            per_task_completed=dict(self.completed_jobs),
         )
-        return results
+        return GSliceResult(metrics=metrics, per_model_jps=per_model)
 
     @staticmethod
     def reported_gain_over_batching() -> float:

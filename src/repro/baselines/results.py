@@ -1,0 +1,157 @@
+"""Typed results for the baseline executors, with legacy-shape shims.
+
+Historically each baseline returned its own ad-hoc shape — a raw ``dict``
+from :meth:`ClockworkServer.run_taskset` / :meth:`GSliceServer.run_saturated`
+/ :meth:`BatchingServer.run_with_arrivals`, a bare ``float`` from
+:meth:`SingleTenantExecutor.run` — which made them second-class citizens of
+the experiment engine (no uniform metrics, nothing to cache).  Every baseline
+now returns a typed result carrying a full
+:class:`~repro.rt.metrics.ScenarioMetrics`, and this module provides the two
+compatibility shims that keep the old shapes working for one deprecation
+cycle:
+
+* :class:`LegacyMappingResult` — mixin giving a typed result read-only
+  ``dict``-style access to its historical keys, each access raising a
+  :class:`DeprecationWarning`.
+* :class:`JpsResult` — a ``float`` subclass (the measured jobs-per-second)
+  that also exposes ``.metrics``, so ``executor.run(...) * 2`` and
+  ``pytest.approx`` comparisons keep working while new code reads the full
+  metrics.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Iterator, List, Optional
+
+from repro.rt.metrics import PriorityMetrics, ScenarioMetrics
+
+
+class LegacyMappingResult:
+    """Mixin: deprecated ``dict``-style access to a typed result.
+
+    Subclasses implement :meth:`legacy_mapping` returning the historical
+    key/value shape; ``result["key"]`` (and ``in`` / ``keys()`` / ``items()``
+    / ``get()``) then keep working, each emitting a deprecation warning that
+    names the typed replacement.
+    """
+
+    def legacy_mapping(self) -> Dict[str, object]:
+        """The historical ``dict`` shape of this result."""
+        raise NotImplementedError
+
+    def _warn(self) -> None:
+        warnings.warn(
+            f"dict-style access to {type(self).__name__} is deprecated;"
+            " use its typed attributes (.metrics and friends) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, key: str) -> object:
+        self._warn()
+        return self.legacy_mapping()[key]
+
+    def __contains__(self, key: object) -> bool:
+        self._warn()
+        return key in self.legacy_mapping()
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn()
+        return iter(self.legacy_mapping())
+
+    def keys(self):
+        """Deprecated: the historical dictionary's keys."""
+        self._warn()
+        return self.legacy_mapping().keys()
+
+    def items(self):
+        """Deprecated: the historical dictionary's items."""
+        self._warn()
+        return self.legacy_mapping().items()
+
+    def values(self):
+        """Deprecated: the historical dictionary's values."""
+        self._warn()
+        return self.legacy_mapping().values()
+
+    def __len__(self) -> int:
+        self._warn()
+        return len(self.legacy_mapping())
+
+    def get(self, key: str, default: object = None) -> object:
+        """Deprecated: the historical dictionary's ``get``."""
+        self._warn()
+        return self.legacy_mapping().get(key, default)
+
+
+class JpsResult(float):
+    """A measured jobs-per-second value that also carries scenario metrics.
+
+    Behaves exactly like the ``float`` the saturated executors used to
+    return (arithmetic, formatting, ``pytest.approx``), while new callers
+    read ``.metrics`` for the uniform :class:`ScenarioMetrics` summary.
+    """
+
+    metrics: ScenarioMetrics
+
+    def __new__(cls, jps: float, metrics: ScenarioMetrics) -> "JpsResult":
+        result = super().__new__(cls, jps)
+        result.metrics = metrics
+        return result
+
+    def __getnewargs__(self):
+        # float.__getnewargs__ would reconstruct with the value alone and
+        # crash __new__; supplying both arguments keeps pickle/deepcopy
+        # working exactly as they did on the bare float.
+        return (float(self), self.metrics)
+
+    @property
+    def jps(self) -> float:
+        """The plain throughput value."""
+        return float(self)
+
+
+def accepted_miss_rate(metrics: ScenarioMetrics) -> float:
+    """The historical Clockwork DMR: late completions over accepted requests.
+
+    The legacy denominator counts every completion plus every miss (misses
+    are a subset of completions, so late jobs weigh double) — kept verbatim
+    so typed results and report rows reproduce the pre-typed numbers exactly.
+    Works on any :class:`ScenarioMetrics`, which is all the engine returns.
+    """
+    missed = metrics.high.missed + metrics.low.missed
+    return missed / max(1, metrics.total_completed + missed)
+
+
+def single_class_metrics(
+    horizon_ms: float,
+    completed: int,
+    missed: int = 0,
+    released: Optional[int] = None,
+    admitted: Optional[int] = None,
+    rejected: int = 0,
+    response_times: Optional[List[float]] = None,
+    per_task_completed: Optional[Dict[str, int]] = None,
+) -> ScenarioMetrics:
+    """Metrics for a server with no priority classes (everything low).
+
+    The single-tenant / batching / GSlice executors serve one undifferentiated
+    request class; by convention their traffic lands in the *low* priority
+    bucket (DARIS shields the high one) with an empty high bucket.  Unless
+    stated otherwise, ``released`` and ``admitted`` default to ``completed``
+    (the saturated executors observe only completions), which also keeps the
+    deadline-miss denominator (``missed / admitted``) equal to the historical
+    ``missed / completed`` ratios.
+    """
+    low = PriorityMetrics(
+        released=released if released is not None else completed,
+        admitted=admitted if admitted is not None else completed,
+        rejected=rejected,
+        completed=completed,
+        missed=missed,
+        response_times=list(response_times or []),
+    )
+    return ScenarioMetrics.from_priority_metrics(
+        horizon_ms, low=low, per_task_completed=per_task_completed
+    )

@@ -21,6 +21,7 @@ from repro.scheduler.config import DarisConfig
 from repro.scheduler.daris import DarisScheduler
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
+from repro.sim.workload import WorkloadSpec
 
 
 class RtgpuScheduler:
@@ -47,8 +48,14 @@ class RtgpuScheduler:
         horizon_ms: float,
         seed: int = 0,
         simulator: Optional[Simulator] = None,
+        workload: Optional[WorkloadSpec] = None,
     ) -> ScenarioMetrics:
-        """Run the task set under pure EDF and return the scenario metrics."""
+        """Run the task set under pure EDF and return the scenario metrics.
+
+        ``workload`` selects the release process (periodic by default,
+        ``poisson`` for memoryless releases at the same mean rates), exactly
+        as for the full DARIS scheduler.
+        """
         sim = simulator if simulator is not None else Simulator()
         scheduler = DarisScheduler(
             sim,
@@ -57,5 +64,6 @@ class RtgpuScheduler:
             gpu=self.gpu,
             calibration=self.calibration,
             rng=RngFactory(seed),
+            workload=workload,
         )
         return scheduler.run(horizon_ms)

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
+from repro.baselines.results import JpsResult, single_class_metrics
 from repro.dnn.model import DnnModel
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.platform import GpuPlatform, PlatformConfig
@@ -28,10 +29,18 @@ class SingleTenantExecutor:
         self.gpu = gpu
         self.calibration = calibration
         self.completed_jobs = 0
+        self.job_latencies_ms: List[float] = []
         self._horizon: Optional[float] = None
 
-    def run(self, horizon_ms: float) -> float:
-        """Execute jobs until ``horizon_ms`` and return the measured JPS."""
+    def run(self, horizon_ms: float) -> JpsResult:
+        """Execute jobs until ``horizon_ms`` and return the measured JPS.
+
+        The return value *is* the jobs-per-second float it always was
+        (:class:`~repro.baselines.results.JpsResult` subclasses ``float``),
+        and additionally carries ``.metrics`` — the uniform
+        :class:`~repro.rt.metrics.ScenarioMetrics` the scheduler-backend API
+        consumes.
+        """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
         simulator = Simulator()
@@ -42,9 +51,11 @@ class SingleTenantExecutor:
             calibration=self.calibration,
         )
         self.completed_jobs = 0
+        self.job_latencies_ms = []
         self._horizon = horizon_ms
 
         def launch_job() -> None:
+            start_time = simulator.now
             remaining = {"stage": 0}
 
             def on_stage_done(_kernel) -> None:
@@ -53,6 +64,7 @@ class SingleTenantExecutor:
                     submit_stage()
                 else:
                     self.completed_jobs += 1
+                    self.job_latencies_ms.append(simulator.now - start_time)
                     if simulator.now < horizon_ms:
                         launch_job()
 
@@ -64,7 +76,14 @@ class SingleTenantExecutor:
 
         launch_job()
         simulator.run_until(horizon_ms)
-        return 1000.0 * self.completed_jobs / horizon_ms
+        jps = 1000.0 * self.completed_jobs / horizon_ms
+        metrics = single_class_metrics(
+            horizon_ms,
+            completed=self.completed_jobs,
+            response_times=self.job_latencies_ms,
+            per_task_completed={self.model.name: self.completed_jobs},
+        )
+        return JpsResult(jps, metrics)
 
     def measured_latency_ms(self) -> float:
         """Average single-job latency implied by the last run."""

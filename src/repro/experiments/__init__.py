@@ -28,7 +28,13 @@ Module (registry name)      Paper artefact
 ``fig10_batched``           Figure 10 (``fig10``)
 ``fig11_overload``          Figure 11 (``fig11``)
 ``sota_comparison``         Section VI-B (``sota``)
+``backend_grid``            Cross-backend grid (``backends``)
 ==========================  =======================================
+
+Every scenario names its scheduler *backend* (``ScenarioRequest.scheduler``,
+default ``"daris"``): the engine dispatches through
+:mod:`repro.backends`, so the five baseline systems get the same caching,
+replication and sweep machinery as DARIS.
 """
 
 from repro.experiments.cache import ResultCache

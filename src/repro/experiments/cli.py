@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig4_6 --quick --seeds 5 --jobs 8 --cache-dir .cache
     python -m repro.experiments run --all --quick
+    python -m repro.experiments run backends --quick --scheduler clockwork
     python -m repro.experiments cache --cache-dir .cache [--prune-max-entries N] [--clear]
     python -m repro.experiments sweep plan --all --shards 8 --seeds 5
     python -m repro.experiments sweep run --all --shard 3/8 --seeds 5
@@ -14,7 +15,11 @@ Usage::
 ``run`` executes one or more registered experiments through the shared
 engine: scenario grids are fanned out over worker processes, replicated
 across seeds, served from / written back to the disk cache, and rendered as
-text tables (with ``mean ±ci95`` cells when ``--seeds > 1``).
+text tables (with ``mean ±ci95`` cells when ``--seeds > 1``).  Scenarios
+dispatch through the scheduler-backend registry (``list`` prints the
+registered backends); ``--scheduler`` narrows backend-parameterized specs
+(the ``backends`` grid) to one backend and rejects unknown names as a usage
+error.
 
 ``--expect-cached`` turns the run into an assertion that *zero* scenarios
 had to be simulated — CI uses it to verify that a repeated invocation is
@@ -84,6 +89,23 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _backend_name(text: str) -> str:
+    """argparse type: a registered scheduler backend, rejected cleanly.
+
+    An unknown backend is a usage error (exit 2) listing the registry, in
+    the same style as the other argument validators — not a KeyError
+    traceback out of the engine mid-run.
+    """
+    from repro.backends import backend_names
+
+    names = backend_names()
+    if text not in names:
+        raise argparse.ArgumentTypeError(
+            f"unknown scheduler backend {text!r}; registered: {', '.join(names)}"
+        )
+    return text
+
+
 def _shard_spec(text: str) -> Tuple[int, int]:
     """argparse type for ``--shard i/N``: 0-based index out of N shards."""
     try:
@@ -124,7 +146,17 @@ def _add_selection_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--model",
         default=None,
-        help="model parameter for model-parameterized specs (fig4_6, fig8, fig10)",
+        help="model parameter for model-parameterized specs (fig4_6, fig8, fig10, backends)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        type=_backend_name,
+        default=None,
+        help=(
+            "scheduler-backend parameter for backend-parameterized specs"
+            " (the backends grid); unknown names are a usage error listing"
+            " the registry"
+        ),
     )
 
 
@@ -244,14 +276,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_list(args: argparse.Namespace) -> int:
+    from repro.backends import all_backends
+
     specs = all_experiments()
+    backends = all_backends()
     if args.json:
         print(
             json.dumps(
-                [
-                    {"name": spec.name, "title": spec.title, "replicable": spec.replicable}
-                    for spec in specs
-                ]
+                {
+                    "experiments": [
+                        {"name": spec.name, "title": spec.title, "replicable": spec.replicable}
+                        for spec in specs
+                    ],
+                    "backends": [
+                        {
+                            "name": backend.name,
+                            "workloads": list(backend.supported_arrivals),
+                            "config": backend.config_type.__name__,
+                            "title": backend.title,
+                        }
+                        for backend in backends
+                    ],
+                }
             )
         )
         return EXIT_OK
@@ -264,6 +310,18 @@ def _command_list(args: argparse.Namespace) -> int:
         for spec in specs
     ]
     print(format_table(rows))
+    print()
+    print("scheduler backends (run ... --scheduler NAME where a spec declares it):")
+    backend_rows = [
+        {
+            "name": backend.name,
+            "workloads": "/".join(backend.supported_arrivals),
+            "config": backend.config_type.__name__,
+            "title": backend.title,
+        }
+        for backend in backends
+    ]
+    print(format_table(backend_rows))
     return EXIT_OK
 
 
@@ -307,7 +365,12 @@ def _select_specs(args: argparse.Namespace) -> Tuple[Optional[List[ExperimentSpe
 
 
 def _params_for(args: argparse.Namespace) -> Optional[dict]:
-    return {"model_name": args.model} if args.model else None
+    params = {}
+    if args.model:
+        params["model_name"] = args.model
+    if getattr(args, "scheduler", None):
+        params["scheduler"] = args.scheduler
+    return params or None
 
 
 def _warn_unknown_params(specs: Sequence[ExperimentSpec], params: Optional[dict]) -> None:
@@ -412,7 +475,7 @@ def _command_sweep_plan(args: argparse.Namespace) -> int:
         else ""
     )
     print(
-        f"sweep plan: {len(grid.units)} unit(s) across {args.shards} shard(s),"
+        f"sweep plan: {len(grid.unique_units())} unit(s) across {args.shards} shard(s),"
         f" grid {grid.fingerprint[:12]}{traced_note}"
     )
     for entry in entries:

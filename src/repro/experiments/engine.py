@@ -60,19 +60,38 @@ def _serve_or_simulate(
     :func:`run_experiment` and :func:`run_cached_scenarios`: traced requests
     bypass the cache in both directions, and misses are written back as they
     stream off the pool (``on_result``), not after the sweep completes.
+
+    Value-identical cacheable requests (e.g. a seed-insensitive backend
+    replicated across the ``--seeds`` axis) are simulated once and the one
+    result serves every occurrence; traced requests are never coalesced
+    (their consumers hold the live simulator objects).
     """
     stats = _ExecutionStats()
     results: List[Optional[ScenarioResult]] = [None] * len(requests)
-    pending: List[Tuple[int, ScenarioRequest]] = []
+    # Each pending entry is one simulation serving one or more result slots.
+    pending: List[Tuple[ScenarioRequest, List[int]]] = []
+    pending_slot: Dict[ScenarioRequest, int] = {}
+
+    def _enqueue(request: ScenarioRequest, index: int) -> None:
+        if request.with_trace:
+            pending.append((request, [index]))
+            return
+        slot = pending_slot.get(request)
+        if slot is None:
+            pending_slot[request] = len(pending)
+            pending.append((request, [index]))
+        else:
+            pending[slot][1].append(index)
+
     for index, request in enumerate(requests):
         if request.with_trace:
             # Traces are inherently uncacheable (live simulator objects).
             stats.uncached += 1
-            pending.append((index, request))
+            _enqueue(request, index)
             continue
         if cache is None:
             # Cache disabled: plain simulation, no hit/miss/uncached accounting.
-            pending.append((index, request))
+            _enqueue(request, index)
             continue
         cached = cache.get(request)
         if cached is not None:
@@ -80,17 +99,18 @@ def _serve_or_simulate(
             stats.cache_hits += 1
         else:
             stats.cache_misses += 1
-            pending.append((index, request))
+            _enqueue(request, index)
     if pending:
 
         def _store(pending_index: int, result: ScenarioResult) -> None:
-            index, request = pending[pending_index]
-            results[index] = result
+            request, indices = pending[pending_index]
+            for index in indices:
+                results[index] = result
             if cache is not None and not request.with_trace:
                 cache.put(request, result)
 
         run_scenarios_parallel(
-            [request for _, request in pending], processes=processes, on_result=_store
+            [request for request, _ in pending], processes=processes, on_result=_store
         )
         stats.simulated = len(pending)
     return results, stats  # type: ignore[return-value]
@@ -154,7 +174,10 @@ class ExpandedExperiment:
             specs regardless of the requested count).
         requests: the flat, seed-major request list —
             ``requests[s * len(plan.requests) + i]`` is grid request ``i``
-            shifted to ``seed_values[s]``.
+            shifted to ``seed_values[s]`` (seed-insensitive requests — see
+            :meth:`SchedulerBackend.seed_sensitive` — keep their base seed,
+            so their replicates are value-identical and share one cache
+            entry).
     """
 
     spec: ExperimentSpec
@@ -187,12 +210,26 @@ def expand_experiment(
     seed_values = (
         [base_seed + offset for offset in range(seeds)] if spec.replicable else [base_seed]
     )
+
+    def _seed_sensitive(request: ScenarioRequest) -> bool:
+        # Deferred import: the backend modules import this package.
+        from repro.backends import get_backend
+
+        return get_backend(request.scheduler).seed_sensitive(request.workload)
+
+    shiftable = (
+        [_seed_sensitive(request) for request in plan.requests]
+        if len(seed_values) > 1
+        else []
+    )
     flat_requests: List[ScenarioRequest] = []
     for seed_value in seed_values:
         offset = seed_value - base_seed
-        for request in plan.requests:
+        for grid_index, request in enumerate(plan.requests):
             flat_requests.append(
-                replace(request, seed=request.seed + offset) if offset else request
+                replace(request, seed=request.seed + offset)
+                if offset and shiftable[grid_index]
+                else request
             )
     return ExpandedExperiment(
         spec=spec,

@@ -33,23 +33,33 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ScenarioResult, run_daris_scenario
+from repro.experiments.runner import ScenarioResult
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
 from repro.rt.taskset import TaskSetSpec
-from repro.scheduler.config import DarisConfig
+from repro.sim.workload import PERIODIC_WORKLOAD, WorkloadSpec
 
 # Bump when the fingerprint layout (or anything that changes simulated
 # behaviour without changing the fingerprint) is modified, so stale cache
 # entries can never be mistaken for current ones.
 FINGERPRINT_SCHEMA = 1
 
+#: The backend every request runs on unless it says otherwise.
+DEFAULT_SCHEDULER = "daris"
+
 
 @dataclass(frozen=True)
 class ScenarioRequest:
-    """One scenario to run: the full argument set of ``run_daris_scenario``.
+    """One scenario to run on one scheduler backend.
+
+    ``scheduler`` names the registered backend (``"daris"`` by default) that
+    interprets the request; ``config`` carries that backend's canonical
+    configuration (a :class:`~repro.scheduler.config.DarisConfig` for the
+    DARIS/RTGPU backends, a :class:`~repro.backends.configs.BackendConfig`
+    subclass for the baseline servers); ``workload`` selects the arrival
+    process (periodic / poisson / saturated).
 
     Requests compare (and hash) by value: every field is an immutable
     value-comparable object — ``TaskSetSpec`` and ``DnnModel`` store their
@@ -60,23 +70,30 @@ class ScenarioRequest:
     """
 
     taskset: TaskSetSpec
-    config: DarisConfig
+    config: Any
     horizon_ms: float
     seed: int = 1
     with_trace: bool = False
     label: Optional[str] = None
     gpu: GpuSpec = RTX_2080_TI
     calibration: GpuCalibration = DEFAULT_CALIBRATION
+    scheduler: str = DEFAULT_SCHEDULER
+    workload: WorkloadSpec = PERIODIC_WORKLOAD
 
     def fingerprint(self) -> Dict[str, object]:
         """Canonical nested dictionary of everything that shapes the result.
 
-        Covers the task set (down to per-stage calibrated work), the DARIS
-        configuration, the horizon, the seed, the GPU spec, the interference
-        calibration and the result label — mutate any of them and the
-        fingerprint (hence the cache key) changes.
+        Covers the task set (down to per-stage calibrated work), the
+        scheduler backend and its configuration, the workload, the horizon,
+        the seed, the GPU spec, the interference calibration and the result
+        label — mutate any of them and the fingerprint (hence the cache key)
+        changes.
+
+        Backward compatibility: the ``scheduler`` / ``workload`` keys appear
+        only for non-default values, so every pre-backend DARIS request
+        fingerprints exactly as before and existing caches stay valid.
         """
-        return {
+        data: Dict[str, object] = {
             "schema": FINGERPRINT_SCHEMA,
             "taskset": self.taskset.fingerprint(),
             "config": self.config.to_dict(),
@@ -87,6 +104,11 @@ class ScenarioRequest:
             "gpu": self.gpu.to_dict(),
             "calibration": self.calibration.to_dict(),
         }
+        if self.scheduler != DEFAULT_SCHEDULER:
+            data["scheduler"] = self.scheduler
+        if not self.workload.is_default:
+            data["workload"] = self.workload.fingerprint()
+        return data
 
     def cache_key(self) -> str:
         """Stable content-addressed key: SHA-256 of the canonical fingerprint.
@@ -100,17 +122,16 @@ class ScenarioRequest:
 
 
 def _run_request(request: ScenarioRequest) -> ScenarioResult:
-    """Worker entry point (top-level so it pickles under spawn too)."""
-    return run_daris_scenario(
-        request.taskset,
-        request.config,
-        request.horizon_ms,
-        seed=request.seed,
-        with_trace=request.with_trace,
-        gpu=request.gpu,
-        calibration=request.calibration,
-        label=request.label,
-    )
+    """Worker entry point (top-level so it pickles under spawn too).
+
+    Dispatches through the scheduler-backend registry, so the pool runs any
+    registered backend — DARIS or a baseline — behind the same request shape.
+    The import is deferred because the backend modules import this module's
+    :class:`ScenarioRequest`.
+    """
+    from repro.backends import get_backend
+
+    return get_backend(request.scheduler).execute(request)
 
 
 def _run_indexed(indexed: Tuple[int, ScenarioRequest]) -> Tuple[int, ScenarioResult]:

@@ -44,6 +44,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.fig10_batched",
     "repro.experiments.fig11_overload",
     "repro.experiments.sota_comparison",
+    "repro.experiments.backend_grid",
 )
 
 
@@ -162,6 +163,7 @@ _CANONICAL_ORDER = (
     "fig10",
     "fig11",
     "sota",
+    "backends",
 )
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
@@ -14,14 +14,21 @@ from repro.scheduler.config import DarisConfig
 from repro.scheduler.daris import DarisScheduler
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
+from repro.sim.workload import WorkloadSpec
 
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """One scheduling run: configuration label, metrics and optional trace."""
+    """One scheduling run: configuration label, metrics and optional trace.
+
+    ``config`` is the scheduler configuration of the originating request —
+    a :class:`DarisConfig` for the DARIS/RTGPU backends, a
+    :class:`~repro.backends.configs.BackendConfig` for the baseline servers;
+    both serialize canonically and round-trip through :meth:`from_dict`.
+    """
 
     label: str
-    config: DarisConfig
+    config: Any
     metrics: ScenarioMetrics
     trace: Optional[TraceRecorder] = None
 
@@ -57,10 +64,20 @@ class ScenarioResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ScenarioResult":
-        """Rebuild a (trace-less) result from :meth:`to_dict` output."""
+        """Rebuild a (trace-less) result from :meth:`to_dict` output.
+
+        Backend configs serialize with a ``"kind"`` tag and dispatch to
+        their own class; untagged config dictionaries are ``DarisConfig``
+        (the historical cache-entry shape).
+        """
+        # Imported here, not at module top: the backends package imports this
+        # module when its built-ins load, and config deserialization is the
+        # only place the dependency points the other way.
+        from repro.backends.configs import config_from_dict
+
         return cls(
             label=str(data["label"]),
-            config=DarisConfig.from_dict(data["config"]),
+            config=config_from_dict(data["config"]),
             metrics=ScenarioMetrics.from_dict(data["metrics"]),
             trace=None,
         )
@@ -75,8 +92,13 @@ def run_daris_scenario(
     gpu: GpuSpec = RTX_2080_TI,
     calibration: GpuCalibration = DEFAULT_CALIBRATION,
     label: Optional[str] = None,
+    workload: Optional[WorkloadSpec] = None,
 ) -> ScenarioResult:
-    """Run one DARIS configuration against a task set and return the result."""
+    """Run one DARIS configuration against a task set and return the result.
+
+    ``workload`` selects the release process (periodic by default,
+    ``poisson`` for memoryless releases at the tasks' mean rates).
+    """
     simulator = Simulator()
     trace = TraceRecorder(enabled=with_trace)
     scheduler = DarisScheduler(
@@ -87,6 +109,7 @@ def run_daris_scenario(
         calibration=calibration,
         rng=RngFactory(seed),
         trace=trace,
+        workload=workload,
     )
     metrics = scheduler.run(horizon_ms)
     return ScenarioResult(

@@ -6,9 +6,12 @@ and 374 JPS for DARIS without SM oversubscription (8 % below batching).  This
 experiment reproduces those four points on the simulated GPU, plus the
 Clockwork-like and RTGPU-like baselines for context.
 
-Only the two DARIS runs go through the scenario engine (and hence the result
-cache); the batching / GSlice / Clockwork baselines are deterministic servers
-and the RTGPU baseline reseeds per replicate inside the row aggregator.
+All six systems run through the scheduler-backend registry as ordinary
+scenario requests, so every row — deterministic servers included — is served
+from the result cache on repeat runs, replicates across ``--seeds`` and
+shards across sweep machines.  The row values are numerically equivalent to
+the pre-backend implementation, which called each baseline's bespoke entry
+point by hand outside the engine.
 """
 
 from __future__ import annotations
@@ -16,10 +19,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Union
 
 from repro.analysis.tables import format_table
-from repro.baselines.batching_server import saturated_batching_jps
-from repro.baselines.clockwork import ClockworkServer
-from repro.baselines.gslice import GSliceServer
-from repro.baselines.rtgpu import RtgpuScheduler
+from repro.backends.configs import BatchingConfig, ClockworkConfig, GSliceConfig
+from repro.baselines.results import accepted_miss_rate
 from repro.dnn.zoo import build_model
 from repro.experiments.cache import ResultCache
 from repro.experiments.engine import run_experiment
@@ -34,6 +35,7 @@ from repro.experiments.registry import (
 from repro.experiments.scenarios import horizon_ms
 from repro.rt.taskset import make_taskset
 from repro.scheduler.config import DarisConfig
+from repro.sim.workload import SATURATED_WORKLOAD
 
 PAPER_VALUES = {
     "batching": 433.0,
@@ -65,30 +67,41 @@ def _build(ctx: BuildContext) -> ExperimentPlan:
     best_config = DarisConfig.mps_config(6, 6.0)
     no_oversub_config = DarisConfig.mps_config(6, 1.0)
     requests = [
+        ScenarioRequest(
+            taskset,
+            BatchingConfig(batch_size=16),
+            horizon,
+            seed=ctx.seed,
+            scheduler="batching_server",
+            workload=SATURATED_WORKLOAD,
+        ),
+        ScenarioRequest(
+            taskset,
+            GSliceConfig(batch_sizes=(16,)),
+            horizon,
+            seed=ctx.seed,
+            scheduler="gslice",
+            workload=SATURATED_WORKLOAD,
+        ),
         ScenarioRequest(taskset, best_config, horizon, seed=ctx.seed),
         ScenarioRequest(taskset, no_oversub_config, horizon, seed=ctx.seed),
+        ScenarioRequest(taskset, ClockworkConfig(), horizon, seed=ctx.seed, scheduler="clockwork"),
+        ScenarioRequest(taskset, best_config, horizon, seed=ctx.seed, scheduler="rtgpu"),
     ]
 
-    # The batching / GSlice / Clockwork baselines are deterministic and
-    # seed-independent: compute them once per run, not once per replicate.
-    batching_jps = saturated_batching_jps(model, batch_size=16, horizon_ms=horizon)
-    gslice_jps = GSliceServer([model], batch_sizes=[16]).run_saturated(horizon)["total"]
-    clockwork = ClockworkServer().run_taskset(taskset, horizon)
-
     def make_rows(row_ctx: RowContext) -> List[Dict[str, object]]:
-        daris, daris_no_os = row_ctx.results
-        rtgpu = RtgpuScheduler(best_config).run_taskset(taskset, horizon, seed=row_ctx.seed)
+        batching, gslice, daris, daris_no_os, clockwork, rtgpu = row_ctx.results
 
         rows: List[Dict[str, object]] = [
             {
                 "system": "pure batching (upper baseline)",
-                "measured_jps": round(batching_jps, 1),
+                "measured_jps": round(batching.total_jps, 1),
                 "paper_jps": PAPER_VALUES["batching"],
                 "lp_dmr": "-",
             },
             {
                 "system": "GSlice-like (spatial sharing + batching)",
-                "measured_jps": round(gslice_jps, 1),
+                "measured_jps": round(gslice.total_jps, 1),
                 "paper_jps": round(PAPER_VALUES["gslice"], 1),
                 "lp_dmr": "-",
             },
@@ -106,15 +119,15 @@ def _build(ctx: BuildContext) -> ExperimentPlan:
             },
             {
                 "system": "Clockwork-like (one DNN at a time)",
-                "measured_jps": round(clockwork["throughput_jps"], 1),
+                "measured_jps": round(clockwork.total_jps, 1),
                 "paper_jps": "-",
-                "lp_dmr": round(clockwork["deadline_miss_rate"], 4),
+                "lp_dmr": round(accepted_miss_rate(clockwork.metrics), 4),
             },
             {
                 "system": "RTGPU-like (EDF, no priorities)",
                 "measured_jps": round(rtgpu.total_jps, 1),
                 "paper_jps": "-",
-                "lp_dmr": round(rtgpu.low.deadline_miss_rate, 4),
+                "lp_dmr": round(rtgpu.metrics.low.deadline_miss_rate, 4),
             },
         ]
         return rows

@@ -152,6 +152,24 @@ class SweepGrid:
     def expanded_by_name(self) -> Dict[str, ExpandedExperiment]:
         return {expansion.spec.name: expansion for expansion in self.expanded}
 
+    def unique_units(self) -> List[SweepUnit]:
+        """One unit per distinct cache key (first occurrence wins).
+
+        Seed-insensitive requests replicated across the ``--seeds`` axis
+        expand to several value-identical units sharing one key; executing
+        (and counting) them once per key is what makes shard progress
+        accounting line up with the key-deduplicated row stores.  ``merge``
+        still iterates :attr:`units` in full — every duplicate placement
+        resolves from the same committed record.
+        """
+        unique: List[SweepUnit] = []
+        seen: set = set()
+        for unit in self.units:
+            if unit.key not in seen:
+                seen.add(unit.key)
+                unique.append(unit)
+        return unique
+
 
 def _resolve_specs(
     experiments: Sequence[Union[ExperimentSpec, str]]
@@ -531,8 +549,9 @@ def run_sweep_shard(
         experiments, quick=quick, seeds=seeds, base_seed=base_seed, params=params
     )
     result_cache = _resolve_cache(cache)
+    unique_units = grid.unique_units()
     shard_units = [
-        unit for unit in grid.units if shard_for_key(unit.key, num_shards) == shard_index
+        unit for unit in unique_units if shard_for_key(unit.key, num_shards) == shard_index
     ]
     store = ShardStore(sweep_dir, shard_index, num_shards)
     _check_store_grid(store, grid)
@@ -544,7 +563,7 @@ def run_sweep_shard(
                 "shard_index": shard_index,
                 "num_shards": num_shards,
                 "num_units": len(shard_units),
-                "total_units": len(grid.units),
+                "total_units": len(unique_units),
                 "sweep": {
                     "experiments": [e.spec.name for e in grid.expanded],
                     "quick": quick,
@@ -560,7 +579,7 @@ def run_sweep_shard(
     report = ShardRunReport(
         shard_index=shard_index,
         num_shards=num_shards,
-        total_units=len(grid.units),
+        total_units=len(unique_units),
         shard_units=len(shard_units),
         already_committed=len(shard_units) - len(pending),
         uncacheable=len(grid.traced),
@@ -637,7 +656,7 @@ def plan_sweep(
     probe_cache = result_cache is not None and result_cache.exists()
     entries: List[ShardPlanEntry] = []
     by_shard: Dict[int, List[SweepUnit]] = {index: [] for index in range(num_shards)}
-    for unit in grid.units:
+    for unit in grid.unique_units():
         by_shard[shard_for_key(unit.key, num_shards)].append(unit)
     for shard_index in range(num_shards):
         units = by_shard[shard_index]

@@ -132,6 +132,38 @@ class ScenarioMetrics:
             average_gpu_utilization=float(data["average_gpu_utilization"]),
         )
 
+    @classmethod
+    def from_priority_metrics(
+        cls,
+        horizon_ms: float,
+        high: Optional[PriorityMetrics] = None,
+        low: Optional[PriorityMetrics] = None,
+        per_task_completed: Optional[Dict[str, int]] = None,
+        gpu_utilization: float = 0.0,
+    ) -> "ScenarioMetrics":
+        """Summary from already-accumulated per-priority counters.
+
+        The constructor every scheduler *backend* shares: baseline servers
+        (Clockwork, GSlice, batching, single-tenant) count completions and
+        response times themselves rather than through a
+        :class:`MetricsCollector`, and this turns those counters into the
+        same :class:`ScenarioMetrics` a DARIS run produces — throughput is
+        derived from the completions, missing priority levels default to
+        empty buckets.
+        """
+        if horizon_ms <= 0:
+            raise ValueError("horizon must be positive")
+        high = high if high is not None else PriorityMetrics()
+        low = low if low is not None else PriorityMetrics()
+        return cls(
+            horizon_ms=horizon_ms,
+            total_jps=1000.0 * (high.completed + low.completed) / horizon_ms,
+            high=high,
+            low=low,
+            per_task_completed=dict(per_task_completed or {}),
+            average_gpu_utilization=gpu_utilization,
+        )
+
 
 class MetricsCollector:
     """Accumulates per-job outcomes during a run and produces the summary."""

@@ -37,7 +37,7 @@ from repro.scheduler.offline import initialize_timing, populate_contexts
 from repro.scheduler.priorities import stage_queue_key
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
-from repro.sim.workload import PeriodicArrival
+from repro.sim.workload import PERIODIC_WORKLOAD, WorkloadSpec
 
 
 class _ContextBacklog:
@@ -145,12 +145,19 @@ class DarisScheduler:
         calibration: GpuCalibration = DEFAULT_CALIBRATION,
         rng: Optional[RngFactory] = None,
         trace: Optional[TraceRecorder] = None,
+        workload: Optional[WorkloadSpec] = None,
     ):
         self.simulator = simulator
         self.config = config
         self.gpu = gpu
         self.calibration = calibration
         self.rng = rng if rng is not None else RngFactory(seed=0)
+        self.workload = workload if workload is not None else PERIODIC_WORKLOAD
+        if self.workload.saturated:
+            raise ValueError(
+                "DARIS schedules released jobs against deadlines; saturated"
+                " workloads (no arrival process) do not apply"
+            )
         self.metrics = MetricsCollector()
         self.metrics.set_warmup(config.warmup_ms)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
@@ -198,16 +205,26 @@ class DarisScheduler:
         return Task(spec, stages=stages, window_size=self.config.window_size)
 
     def start(self, horizon_ms: float) -> None:
-        """Schedule every task's periodic job releases up to ``horizon_ms``."""
+        """Schedule every task's job releases up to ``horizon_ms``.
+
+        The release process per task comes from the scheduler's
+        :class:`~repro.sim.workload.WorkloadSpec`: periodic at the task's
+        period/phase by default (optionally jittered), or Poisson at the same
+        mean rate.  The default workload reproduces the historical behaviour
+        exactly (same arrival times, same RNG stream usage).
+        """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
         jitter_rng = self.rng.stream("release-jitter")
         for task in self.tasks:
-            arrival = PeriodicArrival(
-                period=task.spec.period_ms,
-                phase=task.spec.phase_ms,
-                jitter=0.0,
-                rng=jitter_rng,
+            if self.workload.arrival == "poisson":
+                arrival_rng = self.rng.stream(f"poisson-arrivals[{task.task_id}]")
+            else:
+                arrival_rng = jitter_rng
+            arrival = self.workload.arrival_for_task(
+                period_ms=task.spec.period_ms,
+                phase_ms=task.spec.phase_ms,
+                rng=arrival_rng,
             )
             arrival.drive(
                 self.simulator,

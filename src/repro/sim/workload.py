@@ -4,16 +4,27 @@ DARIS targets periodic soft real-time inference tasks, so the primary process
 is :class:`PeriodicArrival` (period, phase, optional bounded release jitter).
 A Poisson process is included for baseline inference-server experiments
 (e.g. the batching upper-bound study), where requests are not periodic.
+
+:class:`WorkloadSpec` is the declarative face of the same processes: it names
+*which* arrival process drives a scenario (``periodic`` / ``poisson`` /
+``saturated``) without binding a simulator or RNG, so it can live inside a
+scenario request, be fingerprinted into a cache key, and be interpreted by
+any scheduler backend.  :meth:`WorkloadSpec.arrival_for_task` is the single
+place the name is turned into a concrete process, shared by DARIS and the
+baseline servers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.sim.simulator import Simulator
+
+#: Arrival kinds a :class:`WorkloadSpec` can name.
+ARRIVAL_KINDS = ("periodic", "poisson", "saturated")
 
 
 @dataclass(frozen=True)
@@ -128,3 +139,113 @@ class PoissonArrival:
             )
             count += 1
         return count
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative arrival-process half of a scenario.
+
+    A scenario is a task set (what runs, at which rates and deadlines) plus a
+    workload (how jobs reach the scheduler).  The spec is a pure value —
+    hashable, JSON round-trippable, fingerprintable — so scenario requests
+    can carry it into cache keys, and every scheduler backend interprets the
+    same three kinds:
+
+    * ``periodic`` — each task releases at its own period/phase (the paper's
+      native soft real-time arrival model), with optional bounded release
+      jitter.
+    * ``poisson`` — each task's releases form a Poisson process with the same
+      mean rate as its period (aperiodic, memoryless load at identical
+      demand); request-server backends use one aggregate Poisson stream at
+      the task set's total rate.
+    * ``saturated`` — requests are always waiting; rates and phases are
+      ignored and the executor back-to-backs work (the upper-baseline mode
+      of the batching / single-tenant / GSlice servers).
+
+    Attributes:
+        arrival: one of :data:`ARRIVAL_KINDS`.
+        jitter_ms: bounded uniform release jitter for ``periodic`` arrivals
+            (must stay strictly below every driven period; ignored by the
+            other kinds).
+    """
+
+    arrival: str = "periodic"
+    jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.arrival!r}; known: {', '.join(ARRIVAL_KINDS)}"
+            )
+        if self.jitter_ms < 0:
+            raise ValueError("jitter_ms must be non-negative")
+        if self.jitter_ms and self.arrival != "periodic":
+            raise ValueError("jitter_ms applies to periodic arrivals only")
+
+    @property
+    def is_default(self) -> bool:
+        """True for the plain periodic workload every legacy scenario used."""
+        return self == PERIODIC_WORKLOAD
+
+    @property
+    def saturated(self) -> bool:
+        """True when requests are always pending (rates ignored)."""
+        return self.arrival == "saturated"
+
+    def label(self) -> str:
+        """Short human-readable tag for report rows."""
+        if self.arrival == "periodic" and self.jitter_ms:
+            return f"periodic+j{self.jitter_ms:g}"
+        return self.arrival
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-safe form (doubles as the fingerprint)."""
+        return {"arrival": self.arrival, "jitter_ms": self.jitter_ms}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkloadSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(arrival=str(data["arrival"]), jitter_ms=float(data["jitter_ms"]))
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Canonical dictionary for cache keys (alias of :meth:`to_dict`)."""
+        return self.to_dict()
+
+    def arrival_for_task(
+        self,
+        period_ms: float,
+        phase_ms: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Union[PeriodicArrival, PoissonArrival]:
+        """Concrete arrival process for one task-shaped release stream.
+
+        ``saturated`` workloads have no arrival process at all (the executor
+        back-to-backs work), so asking for one is an error — callers branch
+        on :attr:`saturated` first.  Randomized arrivals (poisson, jittered
+        periodic) require ``rng``; silently running un-jittered would
+        mislabel the scenario.
+        """
+        if self.arrival == "periodic":
+            if self.jitter_ms > 0 and rng is None:
+                raise ValueError("jittered periodic arrivals need an rng for reproducibility")
+            return PeriodicArrival(
+                period=period_ms, phase=phase_ms, jitter=self.jitter_ms, rng=rng
+            )
+        if self.arrival == "poisson":
+            if rng is None:
+                raise ValueError("poisson arrivals need an rng for reproducibility")
+            return PoissonArrival(
+                rate_jps=1000.0 / period_ms, rng=rng, start=phase_ms
+            )
+        raise ValueError("saturated workloads have no arrival process")
+
+
+#: The workload every pre-backend scenario implicitly used: plain periodic
+#: releases, no jitter.  Shared instance so default requests compare equal.
+PERIODIC_WORKLOAD = WorkloadSpec()
+
+#: Always-pending requests (the saturated server baselines).
+SATURATED_WORKLOAD = WorkloadSpec(arrival="saturated")
+
+#: Memoryless arrivals at each task's mean rate.
+POISSON_WORKLOAD = WorkloadSpec(arrival="poisson")

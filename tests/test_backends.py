@@ -1,0 +1,472 @@
+"""Tests for the pluggable scheduler-backend API.
+
+Covers the backend registry and protocol (validation, dispatch), the
+canonical backend configs (round-trips, kind dispatch), the WorkloadSpec
+vocabulary, the backward-compatible request fingerprints, the typed baseline
+results with their deprecation shims, and the migrated SOTA comparison
+(engine rows numerically equivalent to direct legacy baseline calls).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.backends import backend_names, get_backend
+from repro.backends.base import BackendRequestError
+from repro.backends.configs import (
+    BatchingConfig,
+    ClockworkConfig,
+    GSliceConfig,
+    SingleConfig,
+    config_from_dict,
+)
+from repro.baselines.batching_server import BatchingServer, saturated_batching_jps
+from repro.baselines.clockwork import ClockworkServer
+from repro.baselines.gslice import GSliceServer
+from repro.baselines.rtgpu import RtgpuScheduler
+from repro.baselines.single import SingleTenantExecutor
+from repro.experiments.engine import run_cached_scenarios, run_experiment
+from repro.experiments.parallel import ScenarioRequest
+from repro.experiments.runner import ScenarioResult
+from repro.experiments.sota_comparison import _resnet50_taskset
+from repro.dnn.zoo import build_model
+from repro.rt.taskset import mixed_taskset, table2_taskset
+from repro.scheduler.config import DarisConfig
+from repro.sim.workload import (
+    PERIODIC_WORKLOAD,
+    POISSON_WORKLOAD,
+    SATURATED_WORKLOAD,
+    WorkloadSpec,
+)
+
+HORIZON = 600.0
+DARIS_CONFIG = DarisConfig.mps_config(2, 2.0)
+
+
+def _taskset():
+    return table2_taskset("resnet18", scale=0.25)
+
+
+# ------------------------------------------------------------------- registry
+
+
+def test_registry_lists_the_builtin_backends():
+    assert backend_names() == [
+        "daris",
+        "batching_server",
+        "clockwork",
+        "gslice",
+        "rtgpu",
+        "single",
+    ]
+
+
+def test_unknown_backend_raises_with_the_registered_list():
+    with pytest.raises(KeyError) as excinfo:
+        get_backend("tetris")
+    message = str(excinfo.value)
+    assert "tetris" in message and "daris" in message and "clockwork" in message
+
+
+def test_backend_declarations_are_consistent():
+    for name in backend_names():
+        backend = get_backend(name)
+        assert backend.name == name
+        assert backend.title
+        assert backend.supported_arrivals
+        assert set(backend.supported_arrivals) <= {"periodic", "poisson", "saturated"}
+
+
+# ------------------------------------------------------------------- workloads
+
+
+def test_workload_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(arrival="bursty")
+    with pytest.raises(ValueError):
+        WorkloadSpec(jitter_ms=-1.0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(arrival="poisson", jitter_ms=2.0)  # jitter is periodic-only
+    assert WorkloadSpec().is_default
+    assert not WorkloadSpec(jitter_ms=1.0).is_default
+    assert SATURATED_WORKLOAD.saturated and not POISSON_WORKLOAD.saturated
+
+
+def test_workload_spec_round_trips_and_labels():
+    for workload in (PERIODIC_WORKLOAD, POISSON_WORKLOAD, SATURATED_WORKLOAD,
+                     WorkloadSpec(jitter_ms=2.5)):
+        restored = WorkloadSpec.from_dict(json.loads(json.dumps(workload.to_dict())))
+        assert restored == workload
+    assert WorkloadSpec(jitter_ms=2.5).label() == "periodic+j2.5"
+    assert POISSON_WORKLOAD.label() == "poisson"
+
+
+def test_saturated_workload_has_no_arrival_process():
+    with pytest.raises(ValueError):
+        SATURATED_WORKLOAD.arrival_for_task(period_ms=10.0)
+
+
+# ------------------------------------------------------------------- configs
+
+
+def test_backend_configs_round_trip_with_kind_dispatch():
+    configs = [
+        ClockworkConfig(),
+        SingleConfig(),
+        BatchingConfig(batch_size=8, timeout_ms=5.0),
+        BatchingConfig(),  # batch 0 = the model's preferred size
+        GSliceConfig(batch_sizes=(8, 2)),
+        GSliceConfig(),
+    ]
+    for config in configs:
+        data = json.loads(json.dumps(config.to_dict()))
+        assert data["kind"]
+        restored = config_from_dict(data)
+        assert restored == config and type(restored) is type(config)
+
+
+def test_untagged_config_dictionaries_are_daris():
+    restored = config_from_dict(DARIS_CONFIG.to_dict())
+    assert restored == DARIS_CONFIG
+    with pytest.raises(KeyError):
+        config_from_dict({"kind": "tetris"})
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BatchingConfig(batch_size=-1)
+    with pytest.raises(ValueError):
+        BatchingConfig(batch_size=4, timeout_ms=0.0)
+    with pytest.raises(ValueError):
+        GSliceConfig(batch_sizes=(0,))
+
+
+# --------------------------------------------------------- request validation
+
+
+def test_backend_rejects_wrong_config_type():
+    request = ScenarioRequest(
+        _taskset(), ClockworkConfig(), HORIZON, scheduler="daris"
+    )
+    with pytest.raises(BackendRequestError):
+        get_backend("daris").execute(request)
+
+
+def test_backend_rejects_unsupported_workload():
+    request = ScenarioRequest(
+        _taskset(), DARIS_CONFIG, HORIZON, scheduler="daris", workload=SATURATED_WORKLOAD
+    )
+    with pytest.raises(BackendRequestError):
+        get_backend("daris").execute(request)
+    request = ScenarioRequest(
+        _taskset(), SingleConfig(), HORIZON, scheduler="single", workload=POISSON_WORKLOAD
+    )
+    with pytest.raises(BackendRequestError):
+        get_backend("single").execute(request)
+
+
+def test_only_daris_records_traces():
+    request = ScenarioRequest(
+        _taskset(), ClockworkConfig(), HORIZON, scheduler="clockwork", with_trace=True
+    )
+    with pytest.raises(BackendRequestError):
+        get_backend("clockwork").execute(request)
+
+
+def test_single_model_backends_reject_mixed_tasksets():
+    request = ScenarioRequest(
+        mixed_taskset(scale=0.2),
+        SingleConfig(),
+        HORIZON,
+        scheduler="single",
+        workload=SATURATED_WORKLOAD,
+    )
+    with pytest.raises(BackendRequestError):
+        get_backend("single").execute(request)
+
+
+def test_gslice_serves_every_model_of_a_mixed_taskset():
+    request = ScenarioRequest(
+        mixed_taskset(scale=0.2),
+        GSliceConfig(),
+        HORIZON,
+        scheduler="gslice",
+        workload=SATURATED_WORKLOAD,
+    )
+    result = get_backend("gslice").execute(request)
+    assert len(result.metrics.per_task_completed) == 3
+    assert result.total_jps > 0
+
+
+# ------------------------------------------------------ fingerprints / cache
+
+
+def test_default_request_fingerprint_is_unchanged_by_the_backend_fields():
+    """Backward compatibility: a plain DARIS request fingerprints exactly as
+    it did before the scheduler/workload fields existed, so existing caches
+    stay valid."""
+    request = ScenarioRequest(_taskset(), DARIS_CONFIG, HORIZON, seed=3)
+    fingerprint = request.fingerprint()
+    assert "scheduler" not in fingerprint and "workload" not in fingerprint
+    assert fingerprint == {
+        "schema": 1,
+        "taskset": request.taskset.fingerprint(),
+        "config": DARIS_CONFIG.to_dict(),
+        "horizon_ms": HORIZON,
+        "seed": 3,
+        "with_trace": False,
+        "label": None,
+        "gpu": request.gpu.to_dict(),
+        "calibration": request.calibration.to_dict(),
+    }
+
+
+def test_non_default_scheduler_and_workload_change_the_cache_key():
+    base = ScenarioRequest(_taskset(), DARIS_CONFIG, HORIZON, seed=3)
+    rtgpu = ScenarioRequest(_taskset(), DARIS_CONFIG, HORIZON, seed=3, scheduler="rtgpu")
+    poisson = ScenarioRequest(
+        _taskset(), DARIS_CONFIG, HORIZON, seed=3, workload=POISSON_WORKLOAD
+    )
+    assert "scheduler" in rtgpu.fingerprint() and "workload" in poisson.fingerprint()
+    assert len({base.cache_key(), rtgpu.cache_key(), poisson.cache_key()}) == 3
+
+
+def test_baseline_results_round_trip_through_the_cache_format():
+    for scheduler, config, workload in (
+        ("clockwork", ClockworkConfig(), PERIODIC_WORKLOAD),
+        ("gslice", GSliceConfig(batch_sizes=(4,)), SATURATED_WORKLOAD),
+        ("batching_server", BatchingConfig(batch_size=4), POISSON_WORKLOAD),
+    ):
+        request = ScenarioRequest(
+            _taskset(), config, HORIZON, seed=2, scheduler=scheduler, workload=workload
+        )
+        result = get_backend(scheduler).execute(request)
+        restored = ScenarioResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored == result  # config, label and metrics, float-exact
+
+
+# ------------------------------------------------------- typed baseline shims
+
+
+def test_clockwork_typed_result_and_deprecated_mapping(resnet18):
+    taskset = table2_taskset("resnet18", model=resnet18, scale=0.25)
+    outcome = ClockworkServer().run_taskset(taskset, HORIZON)
+    assert outcome.throughput_jps == outcome.metrics.total_jps
+    assert 0.0 <= outcome.drop_rate <= 1.0
+    with pytest.warns(DeprecationWarning):
+        legacy = outcome["throughput_jps"]
+    assert legacy == outcome.throughput_jps
+    with pytest.warns(DeprecationWarning):
+        assert set(outcome.keys()) == {
+            "throughput_jps", "drop_rate", "deadline_miss_rate", "mean_response_ms"
+        }
+
+
+def test_gslice_typed_result_and_deprecated_mapping(resnet18):
+    outcome = GSliceServer([resnet18], batch_sizes=[4]).run_saturated(HORIZON)
+    assert outcome.total_jps == pytest.approx(outcome.per_model_jps["resnet18"])
+    with pytest.warns(DeprecationWarning):
+        assert outcome["total"] == outcome.total_jps
+
+
+def test_single_tenant_run_is_still_a_float_with_metrics(resnet18):
+    outcome = SingleTenantExecutor(resnet18).run(HORIZON)
+    assert isinstance(outcome, float)
+    assert outcome == outcome.metrics.total_jps
+    assert outcome.metrics.low.completed == int(round(outcome * HORIZON / 1000.0))
+    assert len(outcome.metrics.low.response_times) == outcome.metrics.low.completed
+
+
+def test_jps_result_survives_pickle_and_deepcopy(resnet18):
+    """Regression: the bare float these methods used to return pickled and
+    deep-copied fine; the metrics-carrying subclass must too."""
+    import copy
+    import pickle
+
+    outcome = SingleTenantExecutor(resnet18).run(HORIZON)
+    for clone in (pickle.loads(pickle.dumps(outcome)), copy.deepcopy(outcome)):
+        assert float(clone) == float(outcome)
+        assert clone.metrics == outcome.metrics
+
+
+def test_legacy_mapping_shim_covers_the_full_dict_surface(resnet18):
+    taskset = table2_taskset("resnet18", model=resnet18, scale=0.25)
+    outcome = ClockworkServer().run_taskset(taskset, HORIZON)
+    with pytest.warns(DeprecationWarning):
+        assert len(outcome) == 4
+    with pytest.warns(DeprecationWarning):
+        assert list(outcome.values()) == [
+            outcome.throughput_jps,
+            outcome.drop_rate,
+            outcome.deadline_miss_rate,
+            outcome.mean_response_ms,
+        ]
+    with pytest.warns(DeprecationWarning):
+        assert dict(outcome) == outcome.legacy_mapping()
+    with pytest.warns(DeprecationWarning):
+        assert outcome.get("nope", 0.0) == 0.0
+
+
+def test_batching_arrivals_typed_result_and_deprecated_mapping(resnet18):
+    server = BatchingServer(resnet18, batch_size=8)
+    outcome = server.run_with_arrivals(
+        arrival_rate_jps=100.0, deadline_ms=20.0, horizon_ms=HORIZON
+    )
+    assert outcome.completed == outcome.metrics.total_completed
+    with pytest.warns(DeprecationWarning):
+        assert outcome["deadline_miss_rate"] == outcome.deadline_miss_rate
+
+
+# ------------------------------------------------------------ sota / the grid
+
+
+def test_sota_engine_rows_match_legacy_direct_baseline_calls():
+    """Acceptance: the migrated sota spec produces the same numbers the
+    pre-backend implementation computed by calling each baseline's bespoke
+    entry point directly (same seeds, float-exact)."""
+    model = build_model("resnet50")
+    taskset = _resnet50_taskset(model)
+    seed = 1
+
+    requests = [
+        ScenarioRequest(
+            taskset,
+            BatchingConfig(batch_size=16),
+            HORIZON,
+            seed=seed,
+            scheduler="batching_server",
+            workload=SATURATED_WORKLOAD,
+        ),
+        ScenarioRequest(
+            taskset,
+            GSliceConfig(batch_sizes=(16,)),
+            HORIZON,
+            seed=seed,
+            scheduler="gslice",
+            workload=SATURATED_WORKLOAD,
+        ),
+        ScenarioRequest(
+            taskset, ClockworkConfig(), HORIZON, seed=seed, scheduler="clockwork"
+        ),
+        ScenarioRequest(
+            taskset,
+            DarisConfig.mps_config(6, 6.0),
+            HORIZON,
+            seed=seed,
+            scheduler="rtgpu",
+        ),
+    ]
+    batching, gslice, clockwork, rtgpu = run_cached_scenarios(requests, processes=1)
+
+    assert batching.total_jps == float(
+        saturated_batching_jps(model, batch_size=16, horizon_ms=HORIZON)
+    )
+    assert gslice.total_jps == GSliceServer([model], batch_sizes=[16]).run_saturated(
+        HORIZON
+    ).total_jps
+    legacy_clockwork = ClockworkServer().run_taskset(taskset, HORIZON)
+    assert clockwork.total_jps == legacy_clockwork.throughput_jps
+    legacy_rtgpu = RtgpuScheduler(DarisConfig.mps_config(6, 6.0)).run_taskset(
+        taskset, HORIZON, seed=seed
+    )
+    assert rtgpu.metrics == legacy_rtgpu
+
+
+def test_backend_grid_spec_expands_and_filters(tmp_path):
+    from repro.experiments.engine import expand_experiment
+
+    full = expand_experiment("backends", quick=True)
+    grid_backends = {request.scheduler for request in full.requests}
+    assert grid_backends == set(backend_names())
+    assert {request.workload.arrival for request in full.requests} == {
+        "saturated",
+        "poisson",
+    }
+
+    filtered = expand_experiment(
+        "backends", quick=True, params={"scheduler": "clockwork"}
+    )
+    assert filtered.requests
+    assert {request.scheduler for request in filtered.requests} == {"clockwork"}
+
+    report = run_experiment(
+        "backends",
+        quick=True,
+        processes=1,
+        cache=str(tmp_path / "cache"),
+        params={"scheduler": "single", "model_name": "resnet18"},
+    )
+    assert [row["backend"] for row in report.rows] == ["single"]
+    assert report.rows[0]["model"] == "resnet18"
+    assert report.simulated == 1
+    again = run_experiment(
+        "backends",
+        quick=True,
+        processes=1,
+        cache=str(tmp_path / "cache"),
+        params={"scheduler": "single", "model_name": "resnet18"},
+    )
+    assert again.simulated == 0 and again.cache_hits == 1
+    assert again.rows == report.rows
+
+    with pytest.raises(KeyError):
+        expand_experiment("backends", quick=True, params={"scheduler": "tetris"})
+
+
+def test_seed_insensitive_replicates_share_one_request_and_simulation(tmp_path):
+    """Deterministic servers replicated across --seeds keep their base seed
+    (value-identical requests, one cache entry) and simulate exactly once,
+    while seed-sensitive backends still get one shifted request per seed."""
+    from repro.experiments.engine import expand_experiment
+    from repro.experiments.registry import ExperimentPlan, ExperimentSpec
+
+    taskset = _taskset()
+
+    def build(ctx):
+        requests = [
+            ScenarioRequest(taskset, DARIS_CONFIG, HORIZON, seed=ctx.seed),
+            ScenarioRequest(
+                taskset, ClockworkConfig(), HORIZON, seed=ctx.seed, scheduler="clockwork"
+            ),
+            ScenarioRequest(
+                taskset,
+                ClockworkConfig(),
+                HORIZON,
+                seed=ctx.seed,
+                scheduler="clockwork",
+                workload=POISSON_WORKLOAD,  # rng-driven: stays seed-sensitive
+            ),
+        ]
+        return ExperimentPlan(
+            requests=requests,
+            make_rows=lambda row_ctx: [
+                {"jps": round(result.total_jps, 1)} for result in row_ctx.results
+            ],
+        )
+
+    spec = ExperimentSpec(name="seedprobe", title="seed probe", build=build)
+    expanded = expand_experiment(spec, quick=True, seeds=3)
+    daris_seeds = {request.seed for request in expanded.requests if request.scheduler == "daris"}
+    clockwork_periodic = [
+        request
+        for request in expanded.requests
+        if request.scheduler == "clockwork" and request.workload.arrival == "periodic"
+    ]
+    clockwork_poisson_seeds = {
+        request.seed
+        for request in expanded.requests
+        if request.scheduler == "clockwork" and request.workload.arrival == "poisson"
+    }
+    assert daris_seeds == {1, 2, 3}
+    assert clockwork_poisson_seeds == {1, 2, 3}
+    assert len(set(clockwork_periodic)) == 1  # value-identical across replicates
+
+    report = run_experiment(spec, quick=True, seeds=3, processes=1, cache=str(tmp_path / "c"))
+    # 3 daris + 3 poisson-clockwork + 1 shared periodic-clockwork simulation
+    assert report.simulated == 7
+    assert len(report.rows_by_seed) == 3 and all(len(rows) == 3 for rows in report.rows_by_seed)
+    again = run_experiment(spec, quick=True, seeds=3, processes=1, cache=str(tmp_path / "c"))
+    assert again.simulated == 0 and again.cache_hits == 9
+    assert again.rows == report.rows

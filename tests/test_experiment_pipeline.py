@@ -353,6 +353,79 @@ def test_single_seed_rows_pass_through_unchanged(tmp_path):
         assert set(row) == {"config", "total_jps", "lp_dmr", "hp_resp_p95"}
 
 
+# --------------------------------------------------------- scheduler backends
+
+
+def _backend_matrix():
+    """One small valid (scheduler, config, workload) cell per backend mode."""
+    from repro.backends.configs import (
+        BatchingConfig,
+        ClockworkConfig,
+        GSliceConfig,
+        SingleConfig,
+    )
+    from repro.sim.workload import POISSON_WORKLOAD, SATURATED_WORKLOAD, WorkloadSpec
+
+    periodic = WorkloadSpec()
+    return [
+        ("daris", TINY_CONFIGS[0], periodic),
+        ("daris", TINY_CONFIGS[0], POISSON_WORKLOAD),
+        ("rtgpu", TINY_CONFIGS[0], periodic),
+        ("rtgpu", TINY_CONFIGS[0], POISSON_WORKLOAD),
+        ("clockwork", ClockworkConfig(), periodic),
+        ("clockwork", ClockworkConfig(), POISSON_WORKLOAD),
+        ("single", SingleConfig(), SATURATED_WORKLOAD),
+        ("batching_server", BatchingConfig(batch_size=4), SATURATED_WORKLOAD),
+        ("batching_server", BatchingConfig(batch_size=4), POISSON_WORKLOAD),
+        ("gslice", GSliceConfig(), SATURATED_WORKLOAD),
+    ]
+
+
+def _backend_requests(seed: int = 3):
+    taskset = _tiny_taskset()
+    return [
+        ScenarioRequest(
+            taskset, config, TINY_HORIZON, seed=seed, scheduler=scheduler, workload=workload
+        )
+        for scheduler, config, workload in _backend_matrix()
+    ]
+
+
+def test_every_backend_is_deterministic_for_a_fixed_seed():
+    """Satellite: every registered backend (in every workload mode it
+    supports) run twice with the same RngFactory seed yields bit-identical
+    ScenarioMetrics."""
+    from repro.backends import backend_names, get_backend
+
+    requests = _backend_requests()
+    assert {request.scheduler for request in requests} == set(backend_names())
+    for request in requests:
+        backend = get_backend(request.scheduler)
+        first = backend.execute(request)
+        second = backend.execute(request)
+        # dataclass equality is field-by-field and float-exact
+        assert first.metrics == second.metrics, (request.scheduler, request.workload)
+        assert first == second
+
+
+def test_cached_vs_fresh_rows_bit_identical_per_backend(tmp_path):
+    """Satellite: a cache round-trip is lossless for every backend — the
+    deterministic servers included, now that they flow through the engine."""
+    cache = ResultCache(tmp_path / "cache")
+    requests = _backend_requests()
+    fresh = run_cached_scenarios(requests, processes=1, cache=cache)
+    assert cache.misses == len(requests) and len(cache) == len(requests)
+    cached = run_cached_scenarios(requests, processes=1, cache=cache)
+    assert cache.hits == len(requests)
+    for request, fresh_result, cached_result in zip(requests, fresh, cached):
+        assert cached_result == fresh_result, request.scheduler
+
+
+def test_backend_cache_keys_are_distinct_per_scheduler_and_workload():
+    keys = [request.cache_key() for request in _backend_requests()]
+    assert len(set(keys)) == len(keys)
+
+
 # --------------------------------------------------------------------- registry
 
 
@@ -369,6 +442,7 @@ def test_registry_lists_every_paper_artefact():
         "fig10",
         "fig11",
         "sota",
+        "backends",
     ]
     with pytest.raises(KeyError):
         get_experiment("fig99")
@@ -385,10 +459,37 @@ def test_module_run_wrappers_delegate_to_the_engine():
 
 def test_cli_list_and_unknown_experiment(capsys):
     assert cli.main(["list"]) == cli.EXIT_OK
-    assert "fig4_6" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "fig4_6" in out
+    # the listing grows a scheduler-backends section
+    assert "scheduler backends" in out
+    for backend in ("daris", "clockwork", "gslice", "rtgpu", "single", "batching_server"):
+        assert backend in out
     assert cli.main(["run", "fig99", "--no-cache"]) == cli.EXIT_UNKNOWN_EXPERIMENT
     # naming experiments and passing --all is a conflict, not a silent override
     assert cli.main(["run", "fig2", "--all", "--no-cache"]) == cli.EXIT_UNKNOWN_EXPERIMENT
+
+
+def test_cli_list_json_includes_backends(capsys):
+    assert cli.main(["list", "--json"]) == cli.EXIT_OK
+    listing = json.loads(capsys.readouterr().out)
+    assert {spec["name"] for spec in listing["experiments"]} >= {"fig4_6", "sota", "backends"}
+    backends = {entry["name"]: entry for entry in listing["backends"]}
+    assert set(backends) == {"daris", "batching_server", "clockwork", "gslice", "rtgpu", "single"}
+    assert backends["gslice"]["workloads"] == ["saturated"]
+    assert backends["rtgpu"]["config"] == "DarisConfig"
+
+
+def test_cli_rejects_unknown_scheduler_backend():
+    """Satellite: `--scheduler nosuch` is a clean argparse usage error (exit 2)
+    naming the registered backends, not a KeyError traceback mid-run."""
+    for argv in (
+        ["run", "backends", "--no-cache", "--scheduler", "nosuch"],
+        ["sweep", "plan", "backends", "--shards", "2", "--scheduler", "nosuch"],
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(argv)
+        assert excinfo.value.code == 2
 
 
 def test_cli_rejects_invalid_counts():
@@ -433,17 +534,21 @@ def test_cli_run_analytic_experiment(capsys):
 
 
 def test_cli_repeat_invocation_served_from_cache(tmp_path, capsys):
-    """Acceptance: a repeated CLI run completes via cache hits, zero simulator runs."""
+    """Acceptance: a repeated CLI run completes via cache hits, zero simulator
+    runs — for every backend, the deterministic baseline servers included.
+    sota is 6 systems x 2 seeds = 12 cacheable scenarios, of which the three
+    seed-insensitive baselines (batching/gslice/clockwork) share one
+    simulation across both seeds: 3 x 2 + 3 = 9 simulated."""
     cache_dir = str(tmp_path / "cache")
     args = ["run", "sota", "--quick", "--seeds", "2", "--jobs", "1", "--cache-dir", cache_dir]
     assert cli.main(args) == cli.EXIT_OK
     first_out = capsys.readouterr().out
-    assert "4 simulated" in first_out
+    assert "9 simulated" in first_out
     # second pass must be served entirely from cache: --expect-cached turns
     # any simulator run into a non-zero exit
     assert cli.main(args + ["--expect-cached"]) == cli.EXIT_OK
     second_out = capsys.readouterr().out
-    assert "0 simulated" in second_out and "4 scenario(s) from cache" in second_out
+    assert "0 simulated" in second_out and "12 scenario(s) from cache" in second_out
     # ... and a cold cache fails --expect-cached
     cold = ["run", "sota", "--quick", "--jobs", "1", "--cache-dir", str(tmp_path / "cold")]
     assert cli.main(cold + ["--expect-cached"]) == cli.EXIT_NOT_CACHED

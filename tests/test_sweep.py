@@ -480,7 +480,10 @@ def test_cli_sweep_plan_prints_shard_sizes(tmp_path, capsys):
     )
     assert code == cli.EXIT_OK
     out = capsys.readouterr().out
-    assert "4 unit(s) across 2 shard(s)" in out
+    # sota expands to 6 systems (every backend is a cacheable unit) x 2 seeds,
+    # minus the seed-insensitive baselines (batching/gslice/clockwork), whose
+    # replicates share one unit: 3 x 2 + 3 = 9
+    assert "9 unit(s) across 2 shard(s)" in out
     assert "shard 0/2" in out and "shard 1/2" in out
     assert not (tmp_path / "sweep").exists() and not (tmp_path / "cache").exists()
 
