@@ -73,8 +73,9 @@ class SchedulerBackend(abc.ABC):
         if not self.deterministic:
             return True
         # A deterministic server sees the seed only through rng-driven
-        # arrivals: memoryless (poisson) or jittered periodic releases.
-        return workload.arrival == "poisson" or workload.jitter_ms > 0
+        # arrivals: randomized base kinds (poisson, mmpp) or a jitter
+        # modulator.  The workload spec itself knows which it is.
+        return workload.randomized
 
     def validate_request(self, request: "ScenarioRequest") -> None:
         """Reject a request this backend cannot execute, with a clear reason."""

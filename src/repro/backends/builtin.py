@@ -59,7 +59,7 @@ class DarisBackend(SchedulerBackend):
     name: ClassVar[str] = "daris"
     title: ClassVar[str] = "DARIS: deadline-aware staged scheduler (the paper's system)"
     config_type: ClassVar[Type] = DarisConfig
-    supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson")
+    supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson", "mmpp", "trace")
     supports_traces: ClassVar[bool] = True
 
     def run(self, request: ScenarioRequest) -> ScenarioResult:
@@ -82,7 +82,7 @@ class RtgpuBackend(SchedulerBackend):
     name: ClassVar[str] = "rtgpu"
     title: ClassVar[str] = "RTGPU-like: EDF real-time scheduling without task priorities"
     config_type: ClassVar[Type] = DarisConfig
-    supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson")
+    supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson", "mmpp", "trace")
 
     def run(self, request: ScenarioRequest) -> ScenarioResult:
         scheduler = RtgpuScheduler(
@@ -104,7 +104,7 @@ class ClockworkBackend(SchedulerBackend):
     title: ClassVar[str] = "Clockwork-like: one DNN at a time, EDF, admission by predicted latency"
     config_type: ClassVar[Type] = ClockworkConfig
     deterministic: ClassVar[bool] = True
-    supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson")
+    supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson", "mmpp", "trace")
 
     def run(self, request: ScenarioRequest) -> ScenarioResult:
         server = ClockworkServer(gpu=request.gpu, calibration=request.calibration)
@@ -142,7 +142,13 @@ class BatchingBackend(SchedulerBackend):
     title: ClassVar[str] = "Pure batching: fixed-size batches on the whole GPU (Table I max)"
     config_type: ClassVar[Type] = BatchingConfig
     deterministic: ClassVar[bool] = True
-    supported_arrivals: ClassVar[Tuple[str, ...]] = ("saturated", "periodic", "poisson")
+    supported_arrivals: ClassVar[Tuple[str, ...]] = (
+        "saturated",
+        "periodic",
+        "poisson",
+        "mmpp",
+        "trace",
+    )
 
     def run(self, request: ScenarioRequest) -> ScenarioResult:
         model = self.single_model(request.taskset)
@@ -158,7 +164,7 @@ class BatchingBackend(SchedulerBackend):
             horizon_ms=request.horizon_ms,
             timeout_ms=request.config.timeout_ms,
             workload=request.workload,
-            rng=RngFactory(request.seed).stream("batching-arrivals"),
+            rng=RngFactory(request.seed),
         )
         return _result(request, outcome.metrics)
 

@@ -50,9 +50,17 @@ class BackendConfig:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "BackendConfig":
-        """Rebuild a configuration from :meth:`to_dict` output."""
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Keys absent from ``data`` fall back to the field defaults (the same
+        forward-compatibility rule as ``WorkloadSpec.from_dict``), so older
+        serialized configs and hand-written JSON sweep grids stay loadable
+        as new tunables are added.
+        """
         kwargs = {}
         for config_field in fields(cls):
+            if config_field.name not in data:
+                continue
             value = data[config_field.name]
             kwargs[config_field.name] = tuple(value) if isinstance(value, list) else value
         return cls(**kwargs)

@@ -4,7 +4,8 @@ The batching server accumulates incoming requests into fixed-size batches and
 executes one batch at a time on the whole GPU.  Its *saturated* throughput --
 requests always waiting, so every batch is full -- is the paper's upper
 baseline; the server can also be driven by rate-based arrivals with deadlines
-(fixed-rate by default, Poisson via a
+(fixed-rate by default; Poisson, bursty MMPP, trace replay and jittered or
+diurnally modulated variants via a
 :class:`~repro.sim.workload.WorkloadSpec`) to show why batching alone is
 problematic for real-time workloads (jobs wait for their batch to fill).
 """
@@ -12,7 +13,7 @@ problematic for real-time workloads (jobs wait for their batch to fill).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -23,8 +24,9 @@ from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.platform import GpuPlatform, PlatformConfig
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
 from repro.rt.metrics import ScenarioMetrics
+from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
-from repro.sim.workload import PERIODIC_WORKLOAD, WorkloadSpec
+from repro.sim.workload import PERIODIC_WORKLOAD, ReleaseStream, WorkloadSpec
 
 
 def saturated_batching_jps(
@@ -162,7 +164,7 @@ class BatchingServer:
         horizon_ms: float,
         timeout_ms: Optional[float] = None,
         workload: Optional[WorkloadSpec] = None,
-        rng: Optional[np.random.Generator] = None,
+        rng: Union[np.random.Generator, RngFactory, None] = None,
     ) -> BatchingArrivalResult:
         """Drive the server with rate-based request arrivals and deadlines.
 
@@ -172,10 +174,14 @@ class BatchingServer:
         their deadline — the effect the paper cites when arguing that real-time
         inference cannot simply rely on batching.
 
-        ``workload`` selects the arrival process: the default (``periodic``)
-        is the historical fixed-rate stream at ``arrival_rate_jps``;
-        ``poisson`` draws memoryless inter-arrivals at the same mean rate
-        (``rng`` required).  Saturated workloads have no arrival stream —
+        ``workload`` selects the arrival process, driven in aggregate mode
+        through the shared :class:`~repro.sim.workload.ReleaseStream`: the
+        default (``periodic``) is the historical fixed-rate stream at
+        ``arrival_rate_jps``; ``poisson`` / ``mmpp`` draw memoryless / bursty
+        inter-arrivals at the same mean rate (``rng`` required — an
+        :class:`~repro.sim.rng.RngFactory` or a bare generator), ``trace``
+        replays explicit times, and jitter / diurnal modulators compose on
+        any rate-driven kind.  Saturated workloads have no arrival stream —
         use :meth:`run_saturated`.
         """
         if arrival_rate_jps <= 0 or deadline_ms <= 0 or horizon_ms <= 0:
@@ -194,7 +200,6 @@ class BatchingServer:
         busy = {"running": False}
         completed = {"count": 0, "missed": 0}
         response_times: List[float] = []
-        inter_arrival = 1000.0 / arrival_rate_jps
 
         def maybe_launch(force: bool = False) -> None:
             if busy["running"] or not pending:
@@ -237,8 +242,9 @@ class BatchingServer:
                     timeout_ms, lambda _sim: maybe_launch(force=True), label="batch-timeout"
                 )
 
-        arrival = workload.arrival_for_task(period_ms=inter_arrival, phase_ms=0.0, rng=rng)
-        released = arrival.drive(simulator, horizon_ms, lambda event: on_arrival(event.time))
+        released = ReleaseStream(workload, rng).drive_aggregate(
+            simulator, horizon_ms, arrival_rate_jps, lambda event: on_arrival(event.time)
+        )
         simulator.run_until(horizon_ms)
 
         metrics = single_class_metrics(

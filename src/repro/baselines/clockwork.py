@@ -23,7 +23,7 @@ from repro.rt.task import Priority
 from repro.rt.taskset import TaskSetSpec
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
-from repro.sim.workload import PERIODIC_WORKLOAD, WorkloadSpec
+from repro.sim.workload import PERIODIC_WORKLOAD, ReleaseStream, WorkloadSpec
 
 
 @dataclass(order=True)
@@ -110,11 +110,14 @@ class ClockworkServer:
     ) -> ClockworkResult:
         """Serve a task set; returns the typed throughput / drop / miss summary.
 
-        ``workload`` selects the release process per task: the default is the
-        historical periodic release at each task's period/phase, ``poisson``
-        draws memoryless releases at the same mean rates (reproducible via
-        ``rng``).  Saturated workloads are meaningless for a deadline-driven
-        admission server and are rejected.
+        ``workload`` selects the release process per task, driven through the
+        shared :class:`~repro.sim.workload.ReleaseStream`: the default is the
+        historical periodic release at each task's period/phase; ``poisson``
+        and ``mmpp`` draw memoryless / bursty releases at the same mean rates
+        (reproducible via ``rng``), ``trace`` replays explicit times, and
+        jitter / diurnal modulators compose on any rate-driven kind.
+        Saturated workloads are meaningless for a deadline-driven admission
+        server and are rejected.
         """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
@@ -205,20 +208,12 @@ class ClockworkServer:
             )
             start_next()
 
-        jitter_rng = rng.stream("release-jitter")
-        for task in taskset.tasks:
-            if workload.arrival == "poisson":
-                arrival_rng = rng.stream(f"poisson-arrivals[{task.task_id}]")
-            else:
-                arrival_rng = jitter_rng
-            arrival = workload.arrival_for_task(
-                period_ms=task.period_ms, phase_ms=task.phase_ms, rng=arrival_rng
-            )
-            arrival.drive(
-                simulator,
-                horizon_ms,
-                lambda event, task=task: on_release(task, event.time),
-            )
+        ReleaseStream(workload, rng).drive_taskset(
+            simulator,
+            horizon_ms,
+            taskset.tasks,
+            lambda task, event: on_release(task, event.time),
+        )
         simulator.run_until(horizon_ms)
 
         metrics = ScenarioMetrics.from_priority_metrics(

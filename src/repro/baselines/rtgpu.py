@@ -52,9 +52,11 @@ class RtgpuScheduler:
     ) -> ScenarioMetrics:
         """Run the task set under pure EDF and return the scenario metrics.
 
-        ``workload`` selects the release process (periodic by default,
-        ``poisson`` for memoryless releases at the same mean rates), exactly
-        as for the full DARIS scheduler.
+        ``workload`` selects the release process (periodic by default;
+        ``poisson`` / ``mmpp`` for memoryless / bursty releases at the same
+        mean rates, ``trace`` for explicit replay, plus jitter and diurnal
+        modulators), exactly as for the full DARIS scheduler — both ride the
+        shared :class:`~repro.sim.workload.ReleaseStream` pipeline.
         """
         sim = simulator if simulator is not None else Simulator()
         scheduler = DarisScheduler(

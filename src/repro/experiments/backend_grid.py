@@ -7,14 +7,15 @@ InceptionV3 under the workloads it supports — the request-server baselines
 (single / batching / GSlice) at saturation, the deadline-driven schedulers
 (DARIS / RTGPU / Clockwork, plus the batching server's rate-driven mode)
 under Poisson arrivals at one or more load levels relative to the batching
-upper baseline.
+upper baseline, plus bursty (two-phase MMPP) and diurnal (sinusoidally
+rate-modulated Poisson) columns at the highest load level.
 
 Every cell is an ordinary :class:`ScenarioRequest`, so the whole grid is
 cacheable, seed-replicable (``--seeds N`` CIs) and shardable (``sweep``).
 
-Parameters: ``--model`` restricts the grid to one zoo model and
-``--scheduler`` to one backend (the CI smoke lane runs single-backend
-slices).
+Parameters: ``--model`` restricts the grid to one zoo model, ``--scheduler``
+to one backend and ``--workload`` to one named workload column (the CI smoke
+lanes run single-backend and single-workload slices).
 """
 
 from __future__ import annotations
@@ -35,7 +36,7 @@ from repro.experiments.registry import (
     RowContext,
     register,
 )
-from repro.experiments.scenarios import best_config_for
+from repro.experiments.scenarios import best_config_for, named_workload
 from repro.rt.taskset import make_taskset
 from repro.sim.workload import POISSON_WORKLOAD, SATURATED_WORKLOAD
 
@@ -45,8 +46,12 @@ MODELS = ("resnet50", "inceptionv3")
 #: Backends measured at saturation (request servers; load level is moot).
 SATURATED_BACKENDS = ("single", "batching_server", "gslice")
 
-#: Backends driven by Poisson arrivals at the task sets' mean rates.
+#: Backends driven by rate-based arrivals at the task sets' mean rates.
 POISSON_BACKENDS = ("daris", "rtgpu", "clockwork", "batching_server")
+
+#: The rate-driven workload columns beyond plain Poisson: bursty MMPP and a
+#: sinusoidal diurnal profile, both run at the grid's highest load level.
+MODULATED_WORKLOADS = ("bursty", "diurnal")
 
 
 def _loads(quick: bool) -> List[float]:
@@ -87,15 +92,20 @@ def _build(ctx: BuildContext) -> ExperimentPlan:
     horizon = 800.0 if ctx.quick else 2500.0
     model_filter = ctx.param("model_name")
     scheduler_filter = ctx.param("scheduler")
+    workload_filter = ctx.param("workload")
     if scheduler_filter is not None:
         get_backend(str(scheduler_filter))  # unknown backend -> clean KeyError
+    if workload_filter is not None:
+        named_workload(str(workload_filter))  # unknown label -> clean KeyError
     model_names = [str(model_filter)] if model_filter else list(MODELS)
 
     requests: List[ScenarioRequest] = []
     cells: List[Dict[str, object]] = []
 
-    def add(backend_name: str, model, taskset, workload, load: object) -> None:
+    def add(backend_name: str, model, taskset, workload_name: str, load: object) -> None:
         if scheduler_filter is not None and backend_name != scheduler_filter:
+            return
+        if workload_filter is not None and workload_name != workload_filter:
             return
         requests.append(
             ScenarioRequest(
@@ -104,14 +114,14 @@ def _build(ctx: BuildContext) -> ExperimentPlan:
                 horizon,
                 seed=ctx.seed,
                 scheduler=backend_name,
-                workload=workload,
+                workload=named_workload(workload_name),
             )
         )
         cells.append(
             {
                 "backend": backend_name,
                 "model": model.name,
-                "workload": workload.label(),
+                "workload": workload_name,
                 "load": load,
             }
         )
@@ -123,11 +133,19 @@ def _build(ctx: BuildContext) -> ExperimentPlan:
         # appear once per backend/model, not once per load level.
         saturated_taskset = _grid_taskset(model, 1.0)
         for backend_name in SATURATED_BACKENDS:
-            add(backend_name, model, saturated_taskset, SATURATED_WORKLOAD, "-")
-        for load in _loads(ctx.quick):
+            add(backend_name, model, saturated_taskset, "saturated", "-")
+        loads = _loads(ctx.quick)
+        for load in loads:
             taskset = _grid_taskset(model, load)
             for backend_name in POISSON_BACKENDS:
-                add(backend_name, model, taskset, POISSON_WORKLOAD, load)
+                add(backend_name, model, taskset, "poisson", load)
+        # Bursty / diurnal columns stress the rate-driven backends at the
+        # grid's highest load level (one row per backend/model/workload).
+        peak_load = max(loads)
+        peak_taskset = _grid_taskset(model, peak_load)
+        for workload_name in MODULATED_WORKLOADS:
+            for backend_name in POISSON_BACKENDS:
+                add(backend_name, model, peak_taskset, workload_name, peak_load)
 
     def make_rows(row_ctx: RowContext) -> List[Dict[str, object]]:
         rows: List[Dict[str, object]] = []
@@ -156,9 +174,9 @@ def _build(ctx: BuildContext) -> ExperimentPlan:
 SPEC = register(
     ExperimentSpec(
         name="backends",
-        title="Cross-backend grid: every scheduler x ResNet50/InceptionV3 x saturated/Poisson",
+        title="Cross-backend grid: every scheduler x ResNet50/InceptionV3 x saturated/Poisson/bursty/diurnal",
         build=_build,
-        defaults={"model_name": None, "scheduler": None},
+        defaults={"model_name": None, "scheduler": None, "workload": None},
     )
 )
 
@@ -171,6 +189,7 @@ def run(
     cache: Union[ResultCache, str, None] = None,
     model_name: Optional[str] = None,
     scheduler: Optional[str] = None,
+    workload: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """One row per (backend, model, workload, load) grid cell."""
     report = run_experiment(
@@ -180,7 +199,7 @@ def run(
         base_seed=seed,
         processes=processes,
         cache=cache,
-        params={"model_name": model_name, "scheduler": scheduler},
+        params={"model_name": model_name, "scheduler": scheduler, "workload": workload},
     )
     return report.rows
 

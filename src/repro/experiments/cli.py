@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments run fig4_6 --quick --seeds 5 --jobs 8 --cache-dir .cache
     python -m repro.experiments run --all --quick
     python -m repro.experiments run backends --quick --scheduler clockwork
+    python -m repro.experiments run backends --quick --workload bursty
     python -m repro.experiments cache --cache-dir .cache [--prune-max-entries N] [--clear]
     python -m repro.experiments sweep plan --all --shards 8 --seeds 5
     python -m repro.experiments sweep run --all --shard 3/8 --seeds 5
@@ -17,9 +18,10 @@ engine: scenario grids are fanned out over worker processes, replicated
 across seeds, served from / written back to the disk cache, and rendered as
 text tables (with ``mean ±ci95`` cells when ``--seeds > 1``).  Scenarios
 dispatch through the scheduler-backend registry (``list`` prints the
-registered backends); ``--scheduler`` narrows backend-parameterized specs
-(the ``backends`` grid) to one backend and rejects unknown names as a usage
-error.
+registered backends and the named workload vocabulary); ``--scheduler`` and
+``--workload`` narrow backend-/workload-parameterized specs (the
+``backends`` grid) to one backend / one named arrival process and reject
+unknown names as a usage error.
 
 ``--expect-cached`` turns the run into an assertion that *zero* scenarios
 had to be simulated — CI uses it to verify that a repeated invocation is
@@ -106,6 +108,23 @@ def _backend_name(text: str) -> str:
     return text
 
 
+def _workload_label(text: str) -> str:
+    """argparse type: a named workload label, rejected cleanly.
+
+    An unknown label is a usage error (exit 2) listing the vocabulary, in
+    the same style as ``--scheduler`` — not a KeyError traceback out of the
+    engine mid-run.
+    """
+    from repro.experiments.scenarios import workload_names
+
+    names = workload_names()
+    if text not in names:
+        raise argparse.ArgumentTypeError(
+            f"unknown workload {text!r}; known: {', '.join(names)}"
+        )
+    return text
+
+
 def _shard_spec(text: str) -> Tuple[int, int]:
     """argparse type for ``--shard i/N``: 0-based index out of N shards."""
     try:
@@ -156,6 +175,17 @@ def _add_selection_arguments(parser: argparse.ArgumentParser) -> None:
             "scheduler-backend parameter for backend-parameterized specs"
             " (the backends grid); unknown names are a usage error listing"
             " the registry"
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        type=_workload_label,
+        default=None,
+        help=(
+            "workload parameter for workload-parameterized specs (the"
+            " backends grid): one of the named arrival processes"
+            " (periodic/poisson/saturated/bursty/diurnal); unknown labels"
+            " are a usage error listing the vocabulary"
         ),
     )
 
@@ -277,6 +307,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _command_list(args: argparse.Namespace) -> int:
     from repro.backends import all_backends
+    from repro.experiments.scenarios import NAMED_WORKLOADS
 
     specs = all_experiments()
     backends = all_backends()
@@ -296,6 +327,15 @@ def _command_list(args: argparse.Namespace) -> int:
                             "title": backend.title,
                         }
                         for backend in backends
+                    ],
+                    "workloads": [
+                        {
+                            "name": name,
+                            "arrival": workload.arrival,
+                            "label": workload.label(),
+                            "randomized": workload.randomized,
+                        }
+                        for name, workload in NAMED_WORKLOADS.items()
                     ],
                 }
             )
@@ -322,6 +362,18 @@ def _command_list(args: argparse.Namespace) -> int:
         for backend in backends
     ]
     print(format_table(backend_rows))
+    print()
+    print("named workloads (run ... --workload NAME where a spec declares it):")
+    workload_rows = [
+        {
+            "name": name,
+            "arrival": workload.arrival,
+            "label": workload.label(),
+            "seeded": "yes" if workload.randomized else "no",
+        }
+        for name, workload in NAMED_WORKLOADS.items()
+    ]
+    print(format_table(workload_rows))
     return EXIT_OK
 
 
@@ -370,6 +422,8 @@ def _params_for(args: argparse.Namespace) -> Optional[dict]:
         params["model_name"] = args.model
     if getattr(args, "scheduler", None):
         params["scheduler"] = args.scheduler
+    if getattr(args, "workload", None):
+        params["workload"] = args.workload
     return params or None
 
 

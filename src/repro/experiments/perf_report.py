@@ -1,12 +1,14 @@
-"""Perf-report helper: persist substrate benchmark timings as JSON.
+"""Perf-report helper: persist benchmark timings as ``BENCH_*.json`` files.
 
 The substrate benchmarks (``benchmarks/test_bench_substrate.py``) measure the
-simulator itself rather than a paper figure.  This module turns their timings
-into a small ``BENCH_*.json`` summary that can be committed or diffed across
-revisions, so simulator performance regressions are visible in review.
+simulator itself rather than a paper figure, and the workload benchmarks
+(``benchmarks/test_bench_workloads.py``) measure arrival-process generation
+rates.  This module turns their timings into small ``BENCH_*.json``
+summaries that can be committed or diffed across revisions, so performance
+regressions are visible in review.
 
-The benchmark conftest calls :func:`write_bench_summary` at session end; the
-file can also be produced manually::
+The benchmark conftests call :func:`write_bench_summary` at session end; the
+files can also be produced manually::
 
     PYTHONPATH=src pytest benchmarks/test_bench_substrate.py --benchmark-only
 
@@ -22,20 +24,31 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Union
 
 DEFAULT_REPORT_NAME = "BENCH_substrate.json"
+DEFAULT_REPORT_TITLE = "simulation substrate benchmarks"
 
 
-def build_bench_summary(timings_s: Mapping[str, float]) -> Dict[str, object]:
-    """Build the summary dictionary for a ``{benchmark name: seconds}`` map."""
-    benchmarks: List[Dict[str, object]] = [
-        {
+def build_bench_summary(
+    timings_s: Mapping[str, float],
+    title: str = DEFAULT_REPORT_TITLE,
+    extras: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> Dict[str, object]:
+    """Build the summary dictionary for a ``{benchmark name: seconds}`` map.
+
+    ``extras`` optionally attaches benchmark-specific fields (e.g. a
+    ``releases_per_second`` rate) to the entry of the same name.
+    """
+    benchmarks: List[Dict[str, object]] = []
+    for name, seconds in sorted(timings_s.items()):
+        entry: Dict[str, object] = {
             "name": name,
             "seconds": round(float(seconds), 6),
             "ops_per_second": round(1.0 / seconds, 3) if seconds > 0 else None,
         }
-        for name, seconds in sorted(timings_s.items())
-    ]
+        if extras and name in extras:
+            entry.update(extras[name])
+        benchmarks.append(entry)
     return {
-        "report": "simulation substrate benchmarks",
+        "report": title,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "benchmarks": benchmarks,
@@ -45,6 +58,8 @@ def build_bench_summary(timings_s: Mapping[str, float]) -> Dict[str, object]:
 def write_bench_summary(
     timings_s: Mapping[str, float],
     path: Union[str, Path, None] = None,
+    title: str = DEFAULT_REPORT_TITLE,
+    extras: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> Optional[Path]:
     """Write the benchmark summary JSON; returns the path (None if no data).
 
@@ -52,9 +67,14 @@ def write_bench_summary(
         timings_s: benchmark wall times in seconds, keyed by benchmark name.
         path: output file; defaults to ``BENCH_substrate.json`` in the
             current working directory.
+        title: the report's ``"report"`` field (one per benchmark family).
+        extras: per-benchmark extra fields merged into the matching entry.
     """
     if not timings_s:
         return None
     target = Path(path) if path is not None else Path(DEFAULT_REPORT_NAME)
-    target.write_text(json.dumps(build_bench_summary(timings_s), indent=2) + "\n")
+    target.write_text(
+        json.dumps(build_bench_summary(timings_s, title=title, extras=extras), indent=2)
+        + "\n"
+    )
     return target

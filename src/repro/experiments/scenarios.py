@@ -1,16 +1,56 @@
-"""Configuration grids shared by the experiment modules.
+"""Configuration and workload grids shared by the experiment modules.
 
 The paper sweeps 2-10 parallel DNNs (``Np = Nc * Ns``) under the three
 partitioning policies with oversubscription levels ``OS in {1, 1.5, 2, Nc}``.
 ``main_grid`` reproduces that sweep; ``quick_grid`` is the reduced subset used
 by the benchmark suite.
+
+:data:`NAMED_WORKLOADS` is the matching vocabulary for the *workload* half of
+a scenario: the canonical, CLI-addressable arrival processes the sweepable
+grids (and the ``--workload`` slice flag) use as columns.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.scheduler.config import DarisConfig, Policy
+from repro.sim.workload import (
+    DIURNAL_WORKLOAD,
+    MMPP_WORKLOAD,
+    PERIODIC_WORKLOAD,
+    POISSON_WORKLOAD,
+    SATURATED_WORKLOAD,
+    WorkloadSpec,
+)
+
+#: CLI-addressable workload label -> canonical spec.  ``bursty`` is the
+#: default two-phase MMPP (quiet/burst at mean rate 1x) and ``diurnal`` is
+#: Poisson under a sinusoidal rate profile; the other three are the original
+#: flat kinds.  ``trace`` workloads carry explicit times, so they have no
+#: canonical named entry — build them with ``WorkloadSpec.trace``.
+NAMED_WORKLOADS: Dict[str, WorkloadSpec] = {
+    "periodic": PERIODIC_WORKLOAD,
+    "poisson": POISSON_WORKLOAD,
+    "saturated": SATURATED_WORKLOAD,
+    "bursty": MMPP_WORKLOAD,
+    "diurnal": DIURNAL_WORKLOAD,
+}
+
+
+def workload_names() -> List[str]:
+    """The addressable workload labels, in declaration order."""
+    return list(NAMED_WORKLOADS)
+
+
+def named_workload(label: str) -> WorkloadSpec:
+    """Resolve a workload label; unknown labels list the vocabulary."""
+    try:
+        return NAMED_WORKLOADS[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {label!r}; known: {', '.join(NAMED_WORKLOADS)}"
+        ) from None
 
 
 def oversubscription_options(num_contexts: int, quick: bool = False) -> List[float]:

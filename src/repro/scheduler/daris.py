@@ -37,7 +37,7 @@ from repro.scheduler.offline import initialize_timing, populate_contexts
 from repro.scheduler.priorities import stage_queue_key
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
-from repro.sim.workload import PERIODIC_WORKLOAD, WorkloadSpec
+from repro.sim.workload import PERIODIC_WORKLOAD, ReleaseStream, WorkloadSpec
 
 
 class _ContextBacklog:
@@ -208,28 +208,24 @@ class DarisScheduler:
         """Schedule every task's job releases up to ``horizon_ms``.
 
         The release process per task comes from the scheduler's
-        :class:`~repro.sim.workload.WorkloadSpec`: periodic at the task's
-        period/phase by default (optionally jittered), or Poisson at the same
-        mean rate.  The default workload reproduces the historical behaviour
-        exactly (same arrival times, same RNG stream usage).
+        :class:`~repro.sim.workload.WorkloadSpec`, driven through the shared
+        :class:`~repro.sim.workload.ReleaseStream` pipeline (periodic at the
+        task's period/phase by default; poisson/mmpp at the same mean rate,
+        trace replay, jitter and diurnal modulation all come for free).  The
+        default workload reproduces the historical behaviour exactly (same
+        arrival times, same RNG stream usage).
         """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
-        jitter_rng = self.rng.stream("release-jitter")
+        stream = ReleaseStream(self.workload, self.rng)
         for task in self.tasks:
-            if self.workload.arrival == "poisson":
-                arrival_rng = self.rng.stream(f"poisson-arrivals[{task.task_id}]")
-            else:
-                arrival_rng = jitter_rng
-            arrival = self.workload.arrival_for_task(
-                period_ms=task.spec.period_ms,
-                phase_ms=task.spec.phase_ms,
-                rng=arrival_rng,
-            )
-            arrival.drive(
+            stream.drive(
                 self.simulator,
                 horizon_ms,
-                lambda event, task=task: self._on_release(task, event.time),
+                task_id=task.task_id,
+                period_ms=task.spec.period_ms,
+                phase_ms=task.spec.phase_ms,
+                callback=lambda event, task=task: self._on_release(task, event.time),
             )
 
     def run(self, horizon_ms: float) -> ScenarioMetrics:

@@ -9,7 +9,16 @@ periodic arrival processes for real-time workloads.
 from repro.sim.events import Event, EventHandle
 from repro.sim.simulator import Simulator
 from repro.sim.rng import RngFactory
-from repro.sim.workload import PeriodicArrival, PoissonArrival, ArrivalEvent
+from repro.sim.workload import (
+    ArrivalEvent,
+    DiurnalModulator,
+    MmppArrival,
+    PeriodicArrival,
+    PoissonArrival,
+    ReleaseStream,
+    TraceArrival,
+    WorkloadSpec,
+)
 
 __all__ = [
     "Event",
@@ -18,5 +27,10 @@ __all__ = [
     "RngFactory",
     "PeriodicArrival",
     "PoissonArrival",
+    "MmppArrival",
+    "TraceArrival",
     "ArrivalEvent",
+    "WorkloadSpec",
+    "DiurnalModulator",
+    "ReleaseStream",
 ]

@@ -71,12 +71,14 @@ def test_unknown_backend_raises_with_the_registered_list():
 
 
 def test_backend_declarations_are_consistent():
+    from repro.sim.workload import ARRIVAL_KINDS
+
     for name in backend_names():
         backend = get_backend(name)
         assert backend.name == name
         assert backend.title
         assert backend.supported_arrivals
-        assert set(backend.supported_arrivals) <= {"periodic", "poisson", "saturated"}
+        assert set(backend.supported_arrivals) <= set(ARRIVAL_KINDS)
 
 
 # ------------------------------------------------------------------- workloads
@@ -84,23 +86,77 @@ def test_backend_declarations_are_consistent():
 
 def test_workload_spec_validation():
     with pytest.raises(ValueError):
-        WorkloadSpec(arrival="bursty")
+        WorkloadSpec(arrival="sawtooth")  # unknown kind lists the vocabulary
     with pytest.raises(ValueError):
         WorkloadSpec(jitter_ms=-1.0)
     with pytest.raises(ValueError):
-        WorkloadSpec(arrival="poisson", jitter_ms=2.0)  # jitter is periodic-only
+        WorkloadSpec(arrival="saturated", jitter_ms=2.0)  # not rate-driven
+    with pytest.raises(ValueError):
+        SATURATED_WORKLOAD.with_diurnal()  # not rate-driven
+    with pytest.raises(ValueError):
+        WorkloadSpec.trace([])  # a trace needs at least one release
+    with pytest.raises(ValueError):
+        WorkloadSpec.trace([3.0, 1.0])  # trace times must be sorted
+    with pytest.raises(ValueError):
+        WorkloadSpec.mmpp(rate_factors=(1.0,), dwell_ms=(10.0,))  # >= 2 phases
+    with pytest.raises(ValueError):
+        POISSON_WORKLOAD.with_diurnal(amplitude=1.5)  # amplitude in [0, 1)
+    with pytest.raises(ValueError):
+        POISSON_WORKLOAD.with_diurnal(shape="piecewise")  # levels required
+    with pytest.raises(ValueError):
+        POISSON_WORKLOAD.with_diurnal(levels=(1.0, 2.0))  # levels are piecewise-only
+    # Jitter now composes with any rate-driven base, not just periodic.
+    assert WorkloadSpec(arrival="poisson", jitter_ms=2.0).randomized
     assert WorkloadSpec().is_default
     assert not WorkloadSpec(jitter_ms=1.0).is_default
     assert SATURATED_WORKLOAD.saturated and not POISSON_WORKLOAD.saturated
 
 
 def test_workload_spec_round_trips_and_labels():
-    for workload in (PERIODIC_WORKLOAD, POISSON_WORKLOAD, SATURATED_WORKLOAD,
-                     WorkloadSpec(jitter_ms=2.5)):
+    from repro.sim.workload import DIURNAL_WORKLOAD, MMPP_WORKLOAD
+
+    for workload in (
+        PERIODIC_WORKLOAD,
+        POISSON_WORKLOAD,
+        SATURATED_WORKLOAD,
+        WorkloadSpec(jitter_ms=2.5),
+        MMPP_WORKLOAD,
+        DIURNAL_WORKLOAD,
+        WorkloadSpec.mmpp(rate_factors=(0.1, 1.0, 4.0), dwell_ms=(300.0, 200.0, 50.0)),
+        WorkloadSpec.trace([0.0, 4.5, 9.0]),
+        POISSON_WORKLOAD.with_diurnal(shape="piecewise", levels=(0.25, 1.0, 2.75)),
+        MMPP_WORKLOAD.with_jitter(1.5),
+    ):
         restored = WorkloadSpec.from_dict(json.loads(json.dumps(workload.to_dict())))
         assert restored == workload
     assert WorkloadSpec(jitter_ms=2.5).label() == "periodic+j2.5"
     assert POISSON_WORKLOAD.label() == "poisson"
+    assert MMPP_WORKLOAD.label() == "mmpp"
+    assert DIURNAL_WORKLOAD.label() == "poisson+diurnal"
+    assert MMPP_WORKLOAD.with_jitter(1.5).label() == "mmpp+j1.5"
+    assert WorkloadSpec.trace([1.0]).label() == "trace"
+
+
+def test_workload_from_dict_tolerates_missing_optional_keys():
+    """Satellite: older serialized specs (and hand-written JSON grids) that
+    predate a field keep loading — absent keys fall back to the defaults."""
+    assert WorkloadSpec.from_dict({"arrival": "poisson"}) == POISSON_WORKLOAD
+    assert WorkloadSpec.from_dict({}) == PERIODIC_WORKLOAD
+    # A parameterized kind with its params key absent gets the default params.
+    from repro.sim.workload import MMPP_WORKLOAD
+
+    assert WorkloadSpec.from_dict({"arrival": "mmpp"}) == MMPP_WORKLOAD
+    # Unknown arrival kinds still fail loudly, listing the vocabulary.
+    with pytest.raises(ValueError, match="periodic"):
+        WorkloadSpec.from_dict({"arrival": "sawtooth"})
+
+
+def test_backend_config_from_dict_tolerates_missing_optional_keys():
+    """The same forward-compatibility rule applies to backend configs."""
+    assert BatchingConfig.from_dict({"kind": "batching_server"}) == BatchingConfig()
+    assert config_from_dict({"kind": "batching_server", "batch_size": 4}) == BatchingConfig(
+        batch_size=4
+    )
 
 
 def test_saturated_workload_has_no_arrival_process():
@@ -233,6 +289,90 @@ def test_non_default_scheduler_and_workload_change_the_cache_key():
     assert len({base.cache_key(), rtgpu.cache_key(), poisson.cache_key()}) == 3
 
 
+#: Acceptance pin: cache keys computed on the PR 4 flat-WorkloadSpec code for
+#: every pre-hierarchy request shape.  The composable spec layer must keep
+#: them byte-identical so no existing cache entry is invalidated.
+PINNED_PR4_CACHE_KEYS = {
+    "default_periodic": "d7f9a8c7ffc922264810ee3c58fbe5da9aff17841e71f5663f675cea64003bc7",
+    "periodic_jitter": "6dbd3fa2edfe068cfa3d03a30102967c96faa86a035fc17a2322c38429c0f149",
+    "poisson": "4a77aabd4e68275d60cd384a6602b8f0033bbabd04cf42cf3ba130d52dc1c202",
+    "rtgpu_poisson": "d8f0e1b4af53db97634c85734b8b2ef9e8f4e216cc2b3d03340a1836b979c9f5",
+    "single_saturated": "37ff5f2b8b511db38201b2aa033f1b3ebd6448754ff01e11b638157ef190f366",
+    "batching_saturated": "f9622b4cf74e18b7d7f03da25c5044cae60b2301b4e99c902d4e4098c05526a3",
+}
+
+
+def test_pre_existing_request_cache_keys_are_pinned():
+    taskset = _taskset()
+    requests = {
+        "default_periodic": ScenarioRequest(taskset, DARIS_CONFIG, HORIZON, seed=3),
+        "periodic_jitter": ScenarioRequest(
+            taskset, DARIS_CONFIG, HORIZON, seed=3, workload=WorkloadSpec(jitter_ms=2.5)
+        ),
+        "poisson": ScenarioRequest(
+            taskset, DARIS_CONFIG, HORIZON, seed=3, workload=POISSON_WORKLOAD
+        ),
+        "rtgpu_poisson": ScenarioRequest(
+            taskset, DARIS_CONFIG, HORIZON, seed=3, scheduler="rtgpu", workload=POISSON_WORKLOAD
+        ),
+        "single_saturated": ScenarioRequest(
+            taskset,
+            SingleConfig(),
+            HORIZON,
+            seed=3,
+            scheduler="single",
+            workload=SATURATED_WORKLOAD,
+        ),
+        "batching_saturated": ScenarioRequest(
+            taskset,
+            BatchingConfig(batch_size=8),
+            HORIZON,
+            seed=3,
+            scheduler="batching_server",
+            workload=SATURATED_WORKLOAD,
+        ),
+    }
+    assert {name: request.cache_key() for name, request in requests.items()} == (
+        PINNED_PR4_CACHE_KEYS
+    )
+
+
+def test_flat_workload_fingerprints_are_byte_identical_to_pr4():
+    """The serialized shape itself (not just the hash) matches the flat spec."""
+    assert PERIODIC_WORKLOAD.to_dict() == {"arrival": "periodic", "jitter_ms": 0.0}
+    assert POISSON_WORKLOAD.to_dict() == {"arrival": "poisson", "jitter_ms": 0.0}
+    assert SATURATED_WORKLOAD.to_dict() == {"arrival": "saturated", "jitter_ms": 0.0}
+    assert WorkloadSpec(jitter_ms=2.5).to_dict() == {
+        "arrival": "periodic",
+        "jitter_ms": 2.5,
+    }
+
+
+def test_new_workload_kinds_produce_distinct_round_trippable_fingerprints():
+    from repro.sim.workload import DIURNAL_WORKLOAD, MMPP_WORKLOAD
+
+    taskset = _taskset()
+    specs = [
+        MMPP_WORKLOAD,
+        WorkloadSpec.mmpp(rate_factors=(0.1, 5.0), dwell_ms=(100.0, 100.0)),
+        MMPP_WORKLOAD.with_jitter(1.0),
+        DIURNAL_WORKLOAD,
+        POISSON_WORKLOAD.with_diurnal(shape="piecewise", levels=(0.5, 1.5)),
+        WorkloadSpec.trace([0.0, 10.0, 20.0]),
+        WorkloadSpec.trace([0.0, 10.0, 21.0]),
+    ]
+    keys = set()
+    for workload in specs:
+        request = ScenarioRequest(taskset, DARIS_CONFIG, HORIZON, seed=3, workload=workload)
+        assert "workload" in request.fingerprint()
+        keys.add(request.cache_key())
+        restored = WorkloadSpec.from_dict(
+            json.loads(json.dumps(request.fingerprint()["workload"]))
+        )
+        assert restored == workload
+    assert len(keys) == len(specs)  # every new shape is its own cache entry
+
+
 def test_baseline_results_round_trip_through_the_cache_format():
     for scheduler, config, workload in (
         ("clockwork", ClockworkConfig(), PERIODIC_WORKLOAD),
@@ -245,6 +385,48 @@ def test_baseline_results_round_trip_through_the_cache_format():
         result = get_backend(scheduler).execute(request)
         restored = ScenarioResult.from_dict(json.loads(json.dumps(result.to_dict())))
         assert restored == result  # config, label and metrics, float-exact
+
+
+def _grid_config_for(backend_name: str):
+    return {
+        "daris": DARIS_CONFIG,
+        "rtgpu": DARIS_CONFIG,
+        "clockwork": ClockworkConfig(),
+        "batching_server": BatchingConfig(batch_size=4),
+        "single": SingleConfig(),
+        "gslice": GSliceConfig(),
+    }[backend_name]
+
+
+def test_new_workload_kinds_run_deterministically_on_every_backend():
+    """Acceptance: mmpp, trace and diurnal workloads run bit-identically for
+    a fixed seed on every registered backend that supports their base kind."""
+    from repro.sim.workload import DIURNAL_WORKLOAD, MMPP_WORKLOAD
+
+    taskset = _taskset()
+    workloads = (MMPP_WORKLOAD, DIURNAL_WORKLOAD, WorkloadSpec.trace(
+        [7.5 * index for index in range(40)]
+    ))
+    covered = 0
+    for name in backend_names():
+        backend = get_backend(name)
+        for workload in workloads:
+            if workload.arrival not in backend.supported_arrivals:
+                continue
+            request = ScenarioRequest(
+                taskset,
+                _grid_config_for(name),
+                HORIZON,
+                seed=5,
+                scheduler=name,
+                workload=workload,
+            )
+            first = backend.execute(request)
+            second = backend.execute(request)
+            assert first.metrics == second.metrics, (name, workload.label())
+            covered += 1
+    # daris/rtgpu/clockwork/batching_server each cover all three kinds.
+    assert covered == 12
 
 
 # ------------------------------------------------------- typed baseline shims
@@ -383,6 +565,13 @@ def test_backend_grid_spec_expands_and_filters(tmp_path):
     assert {request.workload.arrival for request in full.requests} == {
         "saturated",
         "poisson",
+        "mmpp",
+    }
+    assert {request.workload.label() for request in full.requests} == {
+        "saturated",
+        "poisson",
+        "mmpp",
+        "poisson+diurnal",
     }
 
     filtered = expand_experiment(
@@ -390,6 +579,16 @@ def test_backend_grid_spec_expands_and_filters(tmp_path):
     )
     assert filtered.requests
     assert {request.scheduler for request in filtered.requests} == {"clockwork"}
+
+    bursty = expand_experiment("backends", quick=True, params={"workload": "bursty"})
+    assert bursty.requests
+    assert {request.workload.arrival for request in bursty.requests} == {"mmpp"}
+    diurnal = expand_experiment("backends", quick=True, params={"workload": "diurnal"})
+    assert {request.workload.label() for request in diurnal.requests} == {
+        "poisson+diurnal"
+    }
+    with pytest.raises(KeyError):
+        expand_experiment("backends", quick=True, params={"workload": "sawtooth"})
 
     report = run_experiment(
         "backends",

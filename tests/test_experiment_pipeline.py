@@ -478,6 +478,11 @@ def test_cli_list_json_includes_backends(capsys):
     assert set(backends) == {"daris", "batching_server", "clockwork", "gslice", "rtgpu", "single"}
     assert backends["gslice"]["workloads"] == ["saturated"]
     assert backends["rtgpu"]["config"] == "DarisConfig"
+    assert backends["daris"]["workloads"] == ["periodic", "poisson", "mmpp", "trace"]
+    workloads = {entry["name"]: entry for entry in listing["workloads"]}
+    assert set(workloads) == {"periodic", "poisson", "saturated", "bursty", "diurnal"}
+    assert workloads["bursty"]["arrival"] == "mmpp"
+    assert workloads["diurnal"]["label"] == "poisson+diurnal"
 
 
 def test_cli_rejects_unknown_scheduler_backend():
@@ -490,6 +495,35 @@ def test_cli_rejects_unknown_scheduler_backend():
         with pytest.raises(SystemExit) as excinfo:
             cli.main(argv)
         assert excinfo.value.code == 2
+
+
+def test_cli_rejects_unknown_workload_label(capsys):
+    """Satellite: `--workload nosuch` is a clean argparse usage error (exit 2)
+    listing the named workload vocabulary, not a KeyError traceback mid-run."""
+    for argv in (
+        ["run", "backends", "--no-cache", "--workload", "nosuch"],
+        ["sweep", "plan", "backends", "--shards", "2", "--workload", "nosuch"],
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(argv)
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert "bursty" in captured.err and "diurnal" in captured.err
+
+
+def test_cli_workload_slice_runs_and_caches(tmp_path, capsys):
+    """`run backends --workload bursty` runs exactly the MMPP column and a
+    repeat is served entirely from cache (--expect-cached passes)."""
+    cache_dir = str(tmp_path / "wlcache")
+    argv = [
+        "run", "backends", "--quick", "--jobs", "1",
+        "--workload", "bursty", "--scheduler", "clockwork",
+        "--model", "resnet50", "--cache-dir", cache_dir,
+    ]
+    assert cli.main(argv + ["--json"]) == cli.EXIT_OK
+    rows = [json.loads(line) for line in capsys.readouterr().out.splitlines() if line.strip().startswith("{")]
+    assert rows and all(row["workload"] == "bursty" for row in rows)
+    assert cli.main(argv + ["--expect-cached"]) == cli.EXIT_OK
 
 
 def test_cli_rejects_invalid_counts():
