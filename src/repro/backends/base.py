@@ -18,10 +18,11 @@ pool — each worker process re-imports the registry and dispatches by name.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, ClassVar, List, Tuple, Type
+from typing import TYPE_CHECKING, ClassVar, List, Optional, Tuple, Type
 
 from repro.dnn.model import DnnModel
 from repro.rt.taskset import TaskSetSpec
+from repro.sim.faults import DEFAULT_POLICY, FaultSpec, ResiliencePolicy
 from repro.sim.workload import WorkloadSpec
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
@@ -48,8 +49,12 @@ class SchedulerBackend(abc.ABC):
     * ``supports_traces`` — whether ``with_trace=True`` requests are
       honoured (only DARIS records stage traces).
     * ``deterministic`` — the backend itself draws no randomness, so the
-      request seed can only matter through rng-driven arrivals (see
-      :meth:`seed_sensitive`).
+      request seed can only matter through rng-driven arrivals or fault
+      draws (see :meth:`seed_sensitive`).
+    * ``resilience`` — the backend's :class:`ResiliencePolicy`: how it
+      answers injected faults (launch-retry budget, degraded-mode shedding,
+      fallback mode).  A property of the backend's *algorithm*, not of the
+      scenario, so it is never fingerprinted.
     """
 
     name: ClassVar[str]
@@ -58,8 +63,11 @@ class SchedulerBackend(abc.ABC):
     supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic",)
     supports_traces: ClassVar[bool] = False
     deterministic: ClassVar[bool] = False
+    resilience: ClassVar[ResiliencePolicy] = DEFAULT_POLICY
 
-    def seed_sensitive(self, workload: WorkloadSpec) -> bool:
+    def seed_sensitive(
+        self, workload: WorkloadSpec, faults: Optional[FaultSpec] = None
+    ) -> bool:
         """Whether the request seed can influence the result under ``workload``.
 
         The experiment engine consults this when crossing a grid with the
@@ -72,9 +80,14 @@ class SchedulerBackend(abc.ABC):
         """
         if not self.deterministic:
             return True
-        # A deterministic server sees the seed only through rng-driven
-        # arrivals: randomized base kinds (poisson, mmpp) or a jitter
-        # modulator.  The workload spec itself knows which it is.
+        # Randomized fault processes (launch failures, crashes, drops,
+        # random slowdown windows) draw from seeded streams, so they make
+        # even a purely deterministic server seed-sensitive.
+        if faults is not None and faults.randomized:
+            return True
+        # A deterministic server otherwise sees the seed only through
+        # rng-driven arrivals: randomized base kinds (poisson, mmpp) or a
+        # jitter modulator.  The workload spec itself knows which it is.
         return workload.randomized
 
     def validate_request(self, request: "ScenarioRequest") -> None:

@@ -38,6 +38,7 @@ from repro.experiments.runner import ScenarioResult, run_daris_scenario
 from repro.rt.metrics import ScenarioMetrics
 from repro.rt.taskset import TaskSetSpec
 from repro.scheduler.config import DarisConfig
+from repro.sim.faults import ResiliencePolicy
 from repro.sim.rng import RngFactory
 
 
@@ -61,6 +62,11 @@ class DarisBackend(SchedulerBackend):
     config_type: ClassVar[Type] = DarisConfig
     supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson", "mmpp", "trace")
     supports_traces: ClassVar[bool] = True
+    # Deadline-aware scheduler, deadline-aware degradation: retry failed
+    # launches with backoff and shed admissions while the GPU is degraded.
+    resilience: ClassVar[ResiliencePolicy] = ResiliencePolicy(
+        max_launch_retries=3, retry_backoff=1.5, shed_when_degraded=True
+    )
 
     def run(self, request: ScenarioRequest) -> ScenarioResult:
         return run_daris_scenario(
@@ -73,6 +79,8 @@ class DarisBackend(SchedulerBackend):
             calibration=request.calibration,
             label=request.label,
             workload=request.workload,
+            faults=request.faults,
+            resilience=self.resilience,
         )
 
 
@@ -83,6 +91,8 @@ class RtgpuBackend(SchedulerBackend):
     title: ClassVar[str] = "RTGPU-like: EDF real-time scheduling without task priorities"
     config_type: ClassVar[Type] = DarisConfig
     supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson", "mmpp", "trace")
+    # Retries launches like DARIS but — lacking priorities — never sheds.
+    resilience: ClassVar[ResiliencePolicy] = ResiliencePolicy(max_launch_retries=3)
 
     def run(self, request: ScenarioRequest) -> ScenarioResult:
         scheduler = RtgpuScheduler(
@@ -93,6 +103,8 @@ class RtgpuBackend(SchedulerBackend):
             request.horizon_ms,
             seed=request.seed,
             workload=request.workload,
+            faults=request.faults,
+            resilience=self.resilience,
         )
         return _result(request, metrics)
 
@@ -105,6 +117,11 @@ class ClockworkBackend(SchedulerBackend):
     config_type: ClassVar[Type] = ClockworkConfig
     deterministic: ClassVar[bool] = True
     supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson", "mmpp", "trace")
+    # Predictability-first: one quick retry, then shed by (degradation-
+    # inflated) predicted latency — Clockwork's own admission mechanism.
+    resilience: ClassVar[ResiliencePolicy] = ResiliencePolicy(
+        max_launch_retries=1, shed_when_degraded=True
+    )
 
     def run(self, request: ScenarioRequest) -> ScenarioResult:
         server = ClockworkServer(gpu=request.gpu, calibration=request.calibration)
@@ -113,6 +130,8 @@ class ClockworkBackend(SchedulerBackend):
             request.horizon_ms,
             workload=request.workload,
             rng=RngFactory(request.seed),
+            faults=request.faults,
+            resilience=self.resilience,
         )
         return _result(request, outcome.metrics)
 
@@ -125,6 +144,8 @@ class SingleBackend(SchedulerBackend):
     config_type: ClassVar[Type] = SingleConfig
     deterministic: ClassVar[bool] = True
     supported_arrivals: ClassVar[Tuple[str, ...]] = ("saturated",)
+    # No queue to fall back on: persistent retries are the only answer.
+    resilience: ClassVar[ResiliencePolicy] = ResiliencePolicy(max_launch_retries=3)
 
     def run(self, request: ScenarioRequest) -> ScenarioResult:
         executor = SingleTenantExecutor(
@@ -132,7 +153,13 @@ class SingleBackend(SchedulerBackend):
             gpu=request.gpu,
             calibration=request.calibration,
         )
-        return _result(request, executor.run(request.horizon_ms).metrics)
+        outcome = executor.run(
+            request.horizon_ms,
+            faults=request.faults,
+            resilience=self.resilience,
+            rng=RngFactory(request.seed),
+        )
+        return _result(request, outcome.metrics)
 
 
 class BatchingBackend(SchedulerBackend):
@@ -150,6 +177,12 @@ class BatchingBackend(SchedulerBackend):
         "trace",
     )
 
+    # Batches amortize launches, so one retry; when degraded, stop waiting
+    # for full batches (partial-batch fallback) instead of queuing deeper.
+    resilience: ClassVar[ResiliencePolicy] = ResiliencePolicy(
+        max_launch_retries=1, degraded_fallback="partial-batch"
+    )
+
     def run(self, request: ScenarioRequest) -> ScenarioResult:
         model = self.single_model(request.taskset)
         batch_size = request.config.batch_size or model.profile.preferred_batch_size
@@ -157,7 +190,13 @@ class BatchingBackend(SchedulerBackend):
             model, batch_size, gpu=request.gpu, calibration=request.calibration
         )
         if request.workload.saturated:
-            return _result(request, server.run_saturated(request.horizon_ms).metrics)
+            outcome = server.run_saturated(
+                request.horizon_ms,
+                faults=request.faults,
+                resilience=self.resilience,
+                rng=RngFactory(request.seed),
+            )
+            return _result(request, outcome.metrics)
         outcome = server.run_with_arrivals(
             arrival_rate_jps=request.taskset.total_demand_jps,
             deadline_ms=_min_relative_deadline_ms(request.taskset),
@@ -165,6 +204,8 @@ class BatchingBackend(SchedulerBackend):
             timeout_ms=request.config.timeout_ms,
             workload=request.workload,
             rng=RngFactory(request.seed),
+            faults=request.faults,
+            resilience=self.resilience,
         )
         return _result(request, outcome.metrics)
 
@@ -177,6 +218,8 @@ class GSliceBackend(SchedulerBackend):
     config_type: ClassVar[Type] = GSliceConfig
     deterministic: ClassVar[bool] = True
     supported_arrivals: ClassVar[Tuple[str, ...]] = ("saturated",)
+    # Isolated partitions contain the blast radius; one retry per batch.
+    resilience: ClassVar[ResiliencePolicy] = ResiliencePolicy(max_launch_retries=1)
 
     def run(self, request: ScenarioRequest) -> ScenarioResult:
         models = self.taskset_models(request.taskset)
@@ -187,7 +230,13 @@ class GSliceBackend(SchedulerBackend):
             gpu=request.gpu,
             calibration=request.calibration,
         )
-        return _result(request, server.run_saturated(request.horizon_ms).metrics)
+        outcome = server.run_saturated(
+            request.horizon_ms,
+            faults=request.faults,
+            resilience=self.resilience,
+            rng=RngFactory(request.seed),
+        )
+        return _result(request, outcome.metrics)
 
 
 BUILTIN_BACKENDS = tuple(

@@ -23,7 +23,14 @@ from repro.dnn.model import DnnModel
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.platform import GpuPlatform, PlatformConfig
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
-from repro.rt.metrics import ScenarioMetrics
+from repro.rt.metrics import FaultImpact, ScenarioMetrics
+from repro.sim.faults import (
+    DEFAULT_POLICY,
+    FaultInjector,
+    FaultSpec,
+    ResiliencePolicy,
+    deferred_launch,
+)
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
 from repro.sim.workload import PERIODIC_WORKLOAD, ReleaseStream, WorkloadSpec
@@ -100,15 +107,28 @@ class BatchingServer:
 
     # ------------------------------------------------------------- saturated
 
-    def run_saturated(self, horizon_ms: float) -> JpsResult:
+    def run_saturated(
+        self,
+        horizon_ms: float,
+        faults: Optional[FaultSpec] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        rng: Optional[RngFactory] = None,
+    ) -> JpsResult:
         """Run with an always-full request queue; returns jobs per second.
 
         The return value is the same throughput ``float`` as always
         (:class:`~repro.baselines.results.JpsResult`), now also carrying
         ``.metrics`` with each job's response time set to its batch latency.
+
+        ``faults`` / ``resilience`` inject the scenario's fault processes;
+        a batch launch that exhausts its retry budget loses the whole batch
+        (``failed`` counts one per request in it).  Request-level drops and
+        timeouts do not apply to the saturated closed loop.
         """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
+        policy = resilience if resilience is not None else DEFAULT_POLICY
+        injector = FaultInjector(faults, rng=rng, policy=policy)
         simulator = Simulator()
         platform = GpuPlatform(
             simulator,
@@ -116,9 +136,11 @@ class BatchingServer:
             spec=self.gpu,
             calibration=self.calibration,
         )
+        injector.install(simulator, platform, horizon_ms)
         self.completed_jobs = 0
         self.completed_batches = 0
         self.batch_latencies_ms = []
+        fault_counts = {"failed": 0, "retries": 0}
 
         def launch_batch() -> None:
             start_time = simulator.now
@@ -132,6 +154,7 @@ class BatchingServer:
                 self.completed_batches += 1
                 self.completed_jobs += self.batch_size
                 self.batch_latencies_ms.append(simulator.now - start_time)
+                injector.note_completion(simulator.now, on_time=True)
                 if simulator.now < horizon_ms:
                     launch_batch()
 
@@ -139,6 +162,17 @@ class BatchingServer:
                 stage = self.stages[state["stage"]]
                 platform.launch(0, 0, stage.to_kernel_spec(), on_complete=on_stage_done)
 
+            outcome = injector.launch_attempt()
+            fault_counts["retries"] += outcome.retries
+            if not outcome.succeeded or outcome.delay_ms > 0.0:
+
+                def on_launch_failed() -> None:
+                    fault_counts["failed"] += self.batch_size
+                    if simulator.now < horizon_ms:
+                        launch_batch()
+
+                deferred_launch(simulator, outcome, submit_stage, on_launch_failed)
+                return
             submit_stage()
 
         launch_batch()
@@ -147,11 +181,17 @@ class BatchingServer:
         response_times = [
             latency for latency in self.batch_latencies_ms for _ in range(self.batch_size)
         ]
+        served = self.completed_jobs + fault_counts["failed"]
         metrics = single_class_metrics(
             horizon_ms,
             completed=self.completed_jobs,
+            released=served,
+            admitted=served,
+            failed=fault_counts["failed"],
+            launch_retries=fault_counts["retries"],
             response_times=response_times,
             per_task_completed={self.model.name: self.completed_jobs},
+            fault_impact=FaultImpact.from_summary(injector.summary()),
         )
         return JpsResult(jps, metrics)
 
@@ -165,6 +205,8 @@ class BatchingServer:
         timeout_ms: Optional[float] = None,
         workload: Optional[WorkloadSpec] = None,
         rng: Union[np.random.Generator, RngFactory, None] = None,
+        faults: Optional[FaultSpec] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> BatchingArrivalResult:
         """Drive the server with rate-based request arrivals and deadlines.
 
@@ -183,12 +225,25 @@ class BatchingServer:
         replays explicit times, and jitter / diurnal modulators compose on
         any rate-driven kind.  Saturated workloads have no arrival stream —
         use :meth:`run_saturated`.
+
+        ``faults`` / ``resilience`` inject the scenario's fault processes:
+        requests can be dropped at arrival or abandoned by their client
+        after the fault spec's timeout while queued, a batch launch that
+        exhausts its retry budget fails the whole batch, and — with the
+        ``"partial-batch"`` degraded fallback — the server stops waiting
+        for full batches while the GPU is degraded, trading efficiency for
+        latency exactly when throttling already inflates service times.
         """
         if arrival_rate_jps <= 0 or deadline_ms <= 0 or horizon_ms <= 0:
             raise ValueError("arrival rate, deadline and horizon must be positive")
         workload = workload if workload is not None else PERIODIC_WORKLOAD
         if workload.saturated:
             raise ValueError("saturated workloads have no arrival stream; use run_saturated")
+        policy = resilience if resilience is not None else DEFAULT_POLICY
+        injector = FaultInjector(
+            faults, rng=rng if isinstance(rng, RngFactory) else None, policy=policy
+        )
+        faults_active = faults is not None and faults.active
         simulator = Simulator()
         platform = GpuPlatform(
             simulator,
@@ -196,14 +251,27 @@ class BatchingServer:
             spec=self.gpu,
             calibration=self.calibration,
         )
+        injector.install(simulator, platform, horizon_ms)
+        client_timeout = injector.timeout_ms
         pending: List[float] = []  # release times of queued requests
         busy = {"running": False}
         completed = {"count": 0, "missed": 0}
+        fault_counts = {"dropped": 0, "timed_out": 0, "failed": 0, "retries": 0}
         response_times: List[float] = []
 
         def maybe_launch(force: bool = False) -> None:
-            if busy["running"] or not pending:
+            if busy["running"]:
                 return
+            if client_timeout is not None and pending:
+                # Clients abandon requests that sat queued past their timeout.
+                fresh = [r for r in pending if simulator.now - r <= client_timeout + 1e-9]
+                fault_counts["timed_out"] += len(pending) - len(fresh)
+                pending[:] = fresh
+            if not pending:
+                return
+            if policy.degraded_fallback == "partial-batch" and injector.degraded:
+                # Degraded mode: don't wait for a full batch on a slow GPU.
+                force = True
             if len(pending) < self.batch_size and not force:
                 return
             batch = pending[: self.batch_size]
@@ -221,8 +289,10 @@ class BatchingServer:
                 for release in batch:
                     completed["count"] += 1
                     response_times.append(simulator.now - release)
-                    if simulator.now > release + deadline_ms:
+                    late = simulator.now > release + deadline_ms
+                    if late:
                         completed["missed"] += 1
+                    injector.note_completion(simulator.now, on_time=not late)
                 maybe_launch(force=False)
 
             def submit_stage() -> None:
@@ -232,9 +302,23 @@ class BatchingServer:
                     spec = spec.scaled(scale, 1.0, float(self.gpu.num_sms))
                 platform.launch(0, 0, spec, on_complete=on_stage_done)
 
+            outcome = injector.launch_attempt()
+            fault_counts["retries"] += outcome.retries
+            if not outcome.succeeded or outcome.delay_ms > 0.0:
+
+                def on_launch_failed(batch=batch) -> None:
+                    fault_counts["failed"] += len(batch)
+                    busy["running"] = False
+                    maybe_launch(force=False)
+
+                deferred_launch(simulator, outcome, submit_stage, on_launch_failed)
+                return
             submit_stage()
 
         def on_arrival(simulator_now: float) -> None:
+            if injector.drop_request():
+                fault_counts["dropped"] += 1
+                return
             pending.append(simulator_now)
             maybe_launch(force=False)
             if timeout_ms is not None:
@@ -247,6 +331,20 @@ class BatchingServer:
         )
         simulator.run_until(horizon_ms)
 
+        # Fault-free runs keep the historical metrics layout byte-identical:
+        # the cause counters stay zero and ``admitted`` keeps its
+        # completed-count default, so the gate below only fires when a fault
+        # process is actually configured.
+        fault_kwargs: Dict[str, object] = {}
+        if faults_active:
+            fault_kwargs = dict(
+                admitted=released - fault_counts["dropped"],
+                dropped=fault_counts["dropped"],
+                timed_out=fault_counts["timed_out"],
+                failed=fault_counts["failed"],
+                launch_retries=fault_counts["retries"],
+                fault_impact=FaultImpact.from_summary(injector.summary()),
+            )
         metrics = single_class_metrics(
             horizon_ms,
             completed=completed["count"],
@@ -254,5 +352,6 @@ class BatchingServer:
             released=released,
             response_times=response_times,
             per_task_completed={self.model.name: completed["count"]},
+            **fault_kwargs,
         )
         return BatchingArrivalResult(metrics=metrics, released=released)

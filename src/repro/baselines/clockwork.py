@@ -18,9 +18,16 @@ from repro.dnn.model import DnnModel
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.platform import GpuPlatform, PlatformConfig
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
-from repro.rt.metrics import PriorityMetrics, ScenarioMetrics
+from repro.rt.metrics import FaultImpact, PriorityMetrics, ScenarioMetrics
 from repro.rt.task import Priority
 from repro.rt.taskset import TaskSetSpec
+from repro.sim.faults import (
+    DEFAULT_POLICY,
+    FaultInjector,
+    FaultSpec,
+    ResiliencePolicy,
+    deferred_launch,
+)
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
 from repro.sim.workload import PERIODIC_WORKLOAD, ReleaseStream, WorkloadSpec
@@ -107,6 +114,8 @@ class ClockworkServer:
         horizon_ms: float,
         workload: Optional[WorkloadSpec] = None,
         rng: Optional[RngFactory] = None,
+        faults: Optional[FaultSpec] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> ClockworkResult:
         """Serve a task set; returns the typed throughput / drop / miss summary.
 
@@ -118,6 +127,16 @@ class ClockworkServer:
         jitter / diurnal modulators compose on any rate-driven kind.
         Saturated workloads are meaningless for a deadline-driven admission
         server and are rejected.
+
+        ``faults`` injects the scenario's fault processes; ``resilience``
+        sets the server's answer.  Clockwork's core mechanism — admission by
+        predicted completion time — doubles as its degradation answer: with
+        ``shed_when_degraded`` the predicted latency is inflated by the
+        current slowdown during throttle windows, so requests that only fit
+        a healthy GPU are shed at admission instead of missing late.  Queued
+        requests whose client timeout has expired by the time the executor
+        reaches them are charged as ``timed_out`` (counted admitted: they
+        entered the queue).
         """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
@@ -125,6 +144,8 @@ class ClockworkServer:
         if workload.saturated:
             raise ValueError("the Clockwork baseline is deadline-driven; saturated workloads do not apply")
         rng = rng if rng is not None else RngFactory(0)
+        policy = resilience if resilience is not None else DEFAULT_POLICY
+        injector = FaultInjector(faults, rng=rng, policy=policy)
         simulator = Simulator()
         platform = GpuPlatform(
             simulator,
@@ -136,6 +157,8 @@ class ClockworkServer:
         self.dropped = 0
         self.missed = 0
         self.response_times = []
+        injector.install(simulator, platform, horizon_ms)
+        timeout_ms = injector.timeout_ms
 
         queue: List[_QueuedRequest] = []
         busy = {"running": False, "until": 0.0}
@@ -151,13 +174,32 @@ class ClockworkServer:
         def start_next() -> None:
             while queue and not busy["running"]:
                 request = heapq.heappop(queue)
+                bucket = per_priority[request.priority]
+                if (
+                    timeout_ms is not None
+                    and simulator.now - request.release > timeout_ms + 1e-9
+                ):
+                    # The client gave up while the request sat queued; it
+                    # entered the system, so it counts admitted + timed out.
+                    bucket.admitted += 1
+                    bucket.timed_out += 1
+                    continue
                 latency = predicted_latency(request.model)
-                if simulator.now + latency > request.deadline + 1e-9:
+                effective = latency
+                if policy.shed_when_degraded and injector.degraded:
+                    factor = injector.slowdown_factor
+                    if 0.0 < factor < 1.0:
+                        effective = latency / factor
+                if simulator.now + effective > request.deadline + 1e-9:
                     self.dropped += 1
-                    per_priority[request.priority].rejected += 1
+                    bucket.rejected += 1
+                    if simulator.now + latency <= request.deadline + 1e-9:
+                        # Only the degradation-inflated prediction failed:
+                        # this is a shed, not a plain rejection.
+                        bucket.shed += 1
                     continue
                 busy["running"] = True
-                per_priority[request.priority].admitted += 1
+                bucket.admitted += 1
                 state = {"stage": 0}
 
                 def on_stage_done(_kernel, request=request, state=state) -> None:
@@ -175,9 +217,11 @@ class ClockworkServer:
                     response = simulator.now - request.release
                     self.response_times.append(response)
                     bucket.response_times.append(response)
-                    if simulator.now > request.deadline + 1e-9:
+                    late = simulator.now > request.deadline + 1e-9
+                    if late:
                         self.missed += 1
                         bucket.missed += 1
+                    injector.note_completion(simulator.now, on_time=not late)
                     start_next()
 
                 def submit_stage(request=request, state=state) -> None:
@@ -189,11 +233,31 @@ class ClockworkServer:
                         on_complete=lambda kernel: on_stage_done(kernel),
                     )
 
+                outcome = injector.launch_attempt()
+                if outcome.retries:
+                    bucket.launch_retries += outcome.retries
+                if not outcome.succeeded or outcome.delay_ms > 0.0:
+
+                    def on_launch_failed(request=request) -> None:
+                        per_priority[request.priority].failed += 1
+                        busy["running"] = False
+                        start_next()
+
+                    deferred_launch(
+                        simulator,
+                        outcome,
+                        lambda request=request, state=state: submit_stage(request, state),
+                        on_launch_failed,
+                    )
+                    return
                 submit_stage(request, state)
                 return
 
         def on_release(task, release_time: float) -> None:
             per_priority[task.priority].released += 1
+            if injector.drop_request():
+                per_priority[task.priority].dropped += 1
+                return
             seq["value"] += 1
             heapq.heappush(
                 queue,
@@ -221,5 +285,6 @@ class ClockworkServer:
             high=per_priority[Priority.HIGH],
             low=per_priority[Priority.LOW],
             per_task_completed=per_task_completed,
+            fault_impact=FaultImpact.from_summary(injector.summary()),
         )
         return ClockworkResult(metrics=metrics)

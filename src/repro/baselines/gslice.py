@@ -18,7 +18,15 @@ from repro.dnn.model import DnnModel
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.platform import GpuPlatform, PlatformConfig
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
-from repro.rt.metrics import ScenarioMetrics
+from repro.rt.metrics import FaultImpact, ScenarioMetrics
+from repro.sim.faults import (
+    DEFAULT_POLICY,
+    FaultInjector,
+    FaultSpec,
+    ResiliencePolicy,
+    deferred_launch,
+)
+from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
 
 
@@ -70,10 +78,25 @@ class GSliceServer:
         self.calibration = calibration
         self.completed_jobs: Dict[str, int] = {}
 
-    def run_saturated(self, horizon_ms: float) -> GSliceResult:
-        """Run every partition at saturation; returns per-model and total JPS."""
+    def run_saturated(
+        self,
+        horizon_ms: float,
+        faults: Optional[FaultSpec] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        rng: Optional[RngFactory] = None,
+    ) -> GSliceResult:
+        """Run every partition at saturation; returns per-model and total JPS.
+
+        ``faults`` / ``resilience`` inject the scenario's fault processes:
+        throttle windows and context crashes slow/stall the partitions, and
+        a batch launch that exhausts its retry budget loses that batch
+        (``failed`` counts one per request in the batch).  Request-level
+        drops/timeouts do not apply to the saturated closed loop.
+        """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
+        policy = resilience if resilience is not None else DEFAULT_POLICY
+        injector = FaultInjector(faults, rng=rng, policy=policy)
         simulator = Simulator()
         num_partitions = len(self.models)
         platform = GpuPlatform(
@@ -86,8 +109,10 @@ class GSliceServer:
             spec=self.gpu,
             calibration=self.calibration,
         )
+        injector.install(simulator, platform, horizon_ms)
         self.completed_jobs = {model.name: 0 for model in self.models}
         batch_latencies: Dict[str, List[float]] = {model.name: [] for model in self.models}
+        fault_counts = {"failed": 0, "retries": 0}
 
         def launch_batch(partition: int) -> None:
             model = self.models[partition]
@@ -103,6 +128,7 @@ class GSliceServer:
                     return
                 self.completed_jobs[model.name] += batch
                 batch_latencies[model.name].append(simulator.now - start_time)
+                injector.note_completion(simulator.now, on_time=True)
                 if simulator.now < horizon_ms:
                     launch_batch(partition)
 
@@ -110,6 +136,17 @@ class GSliceServer:
                 stage = stages[state["stage"]]
                 platform.launch(partition, 0, stage.to_kernel_spec(), on_complete=on_stage_done)
 
+            outcome = injector.launch_attempt()
+            fault_counts["retries"] += outcome.retries
+            if not outcome.succeeded or outcome.delay_ms > 0.0:
+
+                def on_launch_failed(partition=partition, batch=batch) -> None:
+                    fault_counts["failed"] += batch
+                    if simulator.now < horizon_ms:
+                        launch_batch(partition)
+
+                deferred_launch(simulator, outcome, submit_stage, on_launch_failed)
+                return
             submit_stage()
 
         for partition in range(num_partitions):
@@ -125,11 +162,18 @@ class GSliceServer:
             for latency in batch_latencies[model.name]
             for _ in range(self.batch_sizes[partition])
         ]
+        completed = sum(self.completed_jobs.values())
+        served = completed + fault_counts["failed"]
         metrics = single_class_metrics(
             horizon_ms,
-            completed=sum(self.completed_jobs.values()),
+            completed=completed,
+            released=served,
+            admitted=served,
+            failed=fault_counts["failed"],
+            launch_retries=fault_counts["retries"],
             response_times=response_times,
             per_task_completed=dict(self.completed_jobs),
+            fault_impact=FaultImpact.from_summary(injector.summary()),
         )
         return GSliceResult(metrics=metrics, per_model_jps=per_model)
 

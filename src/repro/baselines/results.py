@@ -24,7 +24,7 @@ from __future__ import annotations
 import warnings
 from typing import Dict, Iterator, List, Optional
 
-from repro.rt.metrics import PriorityMetrics, ScenarioMetrics
+from repro.rt.metrics import FaultImpact, PriorityMetrics, ScenarioMetrics
 
 
 class LegacyMappingResult:
@@ -131,8 +131,13 @@ def single_class_metrics(
     released: Optional[int] = None,
     admitted: Optional[int] = None,
     rejected: int = 0,
+    dropped: int = 0,
+    timed_out: int = 0,
+    failed: int = 0,
+    launch_retries: int = 0,
     response_times: Optional[List[float]] = None,
     per_task_completed: Optional[Dict[str, int]] = None,
+    fault_impact: Optional[FaultImpact] = None,
 ) -> ScenarioMetrics:
     """Metrics for a server with no priority classes (everything low).
 
@@ -143,15 +148,27 @@ def single_class_metrics(
     (the saturated executors observe only completions), which also keeps the
     deadline-miss denominator (``missed / admitted``) equal to the historical
     ``missed / completed`` ratios.
+
+    The fault-cause counters (``dropped`` / ``timed_out`` / ``failed`` /
+    ``launch_retries`` / ``fault_impact``) default to zero/absent, so
+    fault-free callers produce byte-identical metrics to the pre-fault
+    layout.
     """
     low = PriorityMetrics(
         released=released if released is not None else completed,
         admitted=admitted if admitted is not None else completed,
         rejected=rejected,
+        dropped=dropped,
+        timed_out=timed_out,
+        failed=failed,
+        launch_retries=launch_retries,
         completed=completed,
         missed=missed,
         response_times=list(response_times or []),
     )
     return ScenarioMetrics.from_priority_metrics(
-        horizon_ms, low=low, per_task_completed=per_task_completed
+        horizon_ms,
+        low=low,
+        per_task_completed=per_task_completed,
+        fault_impact=fault_impact,
     )

@@ -19,6 +19,7 @@ from repro.rt.metrics import ScenarioMetrics
 from repro.rt.taskset import TaskSetSpec
 from repro.scheduler.config import DarisConfig
 from repro.scheduler.daris import DarisScheduler
+from repro.sim.faults import FaultSpec, ResiliencePolicy
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
 from repro.sim.workload import WorkloadSpec
@@ -49,6 +50,8 @@ class RtgpuScheduler:
         seed: int = 0,
         simulator: Optional[Simulator] = None,
         workload: Optional[WorkloadSpec] = None,
+        faults: Optional[FaultSpec] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> ScenarioMetrics:
         """Run the task set under pure EDF and return the scenario metrics.
 
@@ -57,6 +60,8 @@ class RtgpuScheduler:
         mean rates, ``trace`` for explicit replay, plus jitter and diurnal
         modulators), exactly as for the full DARIS scheduler — both ride the
         shared :class:`~repro.sim.workload.ReleaseStream` pipeline.
+        ``faults`` / ``resilience`` inject fault processes and the backend's
+        answer to them, again through the shared DARIS machinery.
         """
         sim = simulator if simulator is not None else Simulator()
         scheduler = DarisScheduler(
@@ -67,5 +72,7 @@ class RtgpuScheduler:
             calibration=self.calibration,
             rng=RngFactory(seed),
             workload=workload,
+            faults=faults,
+            resilience=resilience,
         )
         return scheduler.run(horizon_ms)

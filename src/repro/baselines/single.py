@@ -9,6 +9,15 @@ from repro.dnn.model import DnnModel
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.platform import GpuPlatform, PlatformConfig
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.rt.metrics import FaultImpact
+from repro.sim.faults import (
+    DEFAULT_POLICY,
+    FaultInjector,
+    FaultSpec,
+    ResiliencePolicy,
+    deferred_launch,
+)
+from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
 
 
@@ -32,7 +41,13 @@ class SingleTenantExecutor:
         self.job_latencies_ms: List[float] = []
         self._horizon: Optional[float] = None
 
-    def run(self, horizon_ms: float) -> JpsResult:
+    def run(
+        self,
+        horizon_ms: float,
+        faults: Optional[FaultSpec] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        rng: Optional[RngFactory] = None,
+    ) -> JpsResult:
         """Execute jobs until ``horizon_ms`` and return the measured JPS.
 
         The return value *is* the jobs-per-second float it always was
@@ -40,9 +55,18 @@ class SingleTenantExecutor:
         and additionally carries ``.metrics`` — the uniform
         :class:`~repro.rt.metrics.ScenarioMetrics` the scheduler-backend API
         consumes.
+
+        ``faults`` / ``resilience`` inject the scenario's fault processes
+        (throttle windows slow the engine, flaky launches cost retries, a
+        launch that exhausts its retry budget loses the job).  Request-level
+        drops and client timeouts do not apply to a saturated closed loop —
+        there are no external requests to drop — and are ignored by
+        construction of the fault spec's grid pairing.
         """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
+        policy = resilience if resilience is not None else DEFAULT_POLICY
+        injector = FaultInjector(faults, rng=rng, policy=policy)
         simulator = Simulator()
         platform = GpuPlatform(
             simulator,
@@ -50,9 +74,11 @@ class SingleTenantExecutor:
             spec=self.gpu,
             calibration=self.calibration,
         )
+        injector.install(simulator, platform, horizon_ms)
         self.completed_jobs = 0
         self.job_latencies_ms = []
         self._horizon = horizon_ms
+        fault_counts = {"failed": 0, "retries": 0}
 
         def launch_job() -> None:
             start_time = simulator.now
@@ -65,6 +91,7 @@ class SingleTenantExecutor:
                 else:
                     self.completed_jobs += 1
                     self.job_latencies_ms.append(simulator.now - start_time)
+                    injector.note_completion(simulator.now, on_time=True)
                     if simulator.now < horizon_ms:
                         launch_job()
 
@@ -72,16 +99,33 @@ class SingleTenantExecutor:
                 stage = self.model.stages[remaining["stage"]]
                 platform.launch(0, 0, stage.to_kernel_spec(), on_complete=on_stage_done)
 
+            outcome = injector.launch_attempt()
+            fault_counts["retries"] += outcome.retries
+            if not outcome.succeeded or outcome.delay_ms > 0.0:
+
+                def on_launch_failed() -> None:
+                    fault_counts["failed"] += 1
+                    if simulator.now < horizon_ms:
+                        launch_job()
+
+                deferred_launch(simulator, outcome, submit_stage, on_launch_failed)
+                return
             submit_stage()
 
         launch_job()
         simulator.run_until(horizon_ms)
         jps = 1000.0 * self.completed_jobs / horizon_ms
+        served = self.completed_jobs + fault_counts["failed"]
         metrics = single_class_metrics(
             horizon_ms,
             completed=self.completed_jobs,
+            released=served,
+            admitted=served,
+            failed=fault_counts["failed"],
+            launch_retries=fault_counts["retries"],
             response_times=self.job_latencies_ms,
             per_task_completed={self.model.name: self.completed_jobs},
+            fault_impact=FaultImpact.from_summary(injector.summary()),
         )
         return JpsResult(jps, metrics)
 

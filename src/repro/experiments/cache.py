@@ -28,6 +28,7 @@ refuses them defensively.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -37,6 +38,8 @@ from repro.experiments.parallel import ScenarioRequest
 from repro.experiments.runner import ScenarioResult
 
 _ENTRY_SCHEMA = 1
+
+_LOG = logging.getLogger(__name__)
 
 
 class ResultCache:
@@ -106,7 +109,11 @@ class ResultCache:
         Returns the entry dictionary without rebuilding a
         :class:`ScenarioResult`, which lets sweep drivers re-commit cached
         payloads to their row stores byte-for-byte.  Corrupt, unreadable or
-        schema-stale entries count as misses, exactly like :meth:`get`.
+        schema-stale entries count as misses, exactly like :meth:`get` —
+        and are *quarantined* (renamed to ``<entry>.json.corrupt``) so the
+        damaged bytes stop shadowing the key: the scenario re-simulates and
+        the rewritten entry is clean, while the quarantined file survives
+        for post-mortem inspection.  A missing entry is a plain miss.
         """
         path = self.path_for(key)
         try:
@@ -116,29 +123,61 @@ class ResultCache:
                 raise ValueError("stale cache entry schema")
             if "result" not in entry:
                 raise KeyError("result")
-        except (OSError, ValueError, KeyError, TypeError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            self.misses += 1
+            self._quarantine(path, error)
             return None
         self.hits += 1
         return entry
 
+    def _quarantine(self, path: Path, error: Exception) -> None:
+        """Move a damaged entry aside as ``<name>.json.corrupt`` and log it.
+
+        The ``.corrupt`` suffix removes the file from every ``*.json`` glob
+        (``iter_keys`` / ``prune`` / ``__len__``), so a torn entry — e.g.
+        from a machine that lost power mid-write on a filesystem without
+        atomic rename durability — costs exactly one re-simulation and
+        nothing else.  Failure to rename degrades to the old leave-in-place
+        behaviour (the entry still reads as a miss every time).
+        """
+        quarantined = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            return
+        _LOG.warning(
+            "quarantined corrupt cache entry %s -> %s (%s: %s); the scenario"
+            " will be re-simulated and the entry rewritten",
+            path.name,
+            quarantined.name,
+            type(error).__name__,
+            error,
+        )
+
     def get(self, request: ScenarioRequest) -> Optional[ScenarioResult]:
         """Return the cached result for ``request``, or ``None`` on a miss.
 
-        Corrupt, unreadable or schema-stale entries count as misses (and are
-        left for :meth:`prune` / a later overwrite), so a damaged cache can
-        never poison an experiment — it only costs a re-simulation.
+        Corrupt, unreadable or schema-stale entries count as misses and are
+        quarantined to ``*.json.corrupt``, so a damaged cache can never
+        poison an experiment — it costs a re-simulation, after which the
+        clean result is rewritten under the same key.
         """
-        entry = self.read_entry(self.key_for(request))
+        key = self.key_for(request)
+        entry = self.read_entry(key)
         if entry is None:
             return None
         try:
             return ScenarioResult.from_dict(entry["result"])  # type: ignore[arg-type]
-        except (ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as error:
             # Undo read_entry's optimistic hit: a payload that cannot be
-            # rebuilt is a miss like any other damaged entry.
+            # rebuilt is a miss like any other damaged entry — quarantine it
+            # too, so the re-simulated result overwrites a clean slot.
             self.hits -= 1
             self.misses += 1
+            self._quarantine(self.path_for(key), error)
             return None
 
     def put(self, request: ScenarioRequest, result: ScenarioResult) -> bool:

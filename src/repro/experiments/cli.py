@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments run --all --quick
     python -m repro.experiments run backends --quick --scheduler clockwork
     python -m repro.experiments run backends --quick --workload bursty
+    python -m repro.experiments run faults --quick --fault storm
     python -m repro.experiments cache --cache-dir .cache [--prune-max-entries N] [--clear]
     python -m repro.experiments sweep plan --all --shards 8 --seeds 5
     python -m repro.experiments sweep run --all --shard 3/8 --seeds 5
@@ -18,10 +19,11 @@ engine: scenario grids are fanned out over worker processes, replicated
 across seeds, served from / written back to the disk cache, and rendered as
 text tables (with ``mean ±ci95`` cells when ``--seeds > 1``).  Scenarios
 dispatch through the scheduler-backend registry (``list`` prints the
-registered backends and the named workload vocabulary); ``--scheduler`` and
-``--workload`` narrow backend-/workload-parameterized specs (the
-``backends`` grid) to one backend / one named arrival process and reject
-unknown names as a usage error.
+registered backends plus the named workload and fault-profile
+vocabularies); ``--scheduler``, ``--workload`` and ``--fault`` narrow the
+parameterized specs (the ``backends`` / ``faults`` grids) to one backend /
+one named arrival process / one fault profile and reject unknown names as a
+usage error.
 
 ``--expect-cached`` turns the run into an assertion that *zero* scenarios
 had to be simulated — CI uses it to verify that a repeated invocation is
@@ -125,6 +127,23 @@ def _workload_label(text: str) -> str:
     return text
 
 
+def _fault_label(text: str) -> str:
+    """argparse type: a named fault-profile label, rejected cleanly.
+
+    An unknown label is a usage error (exit 2) listing the vocabulary, in
+    the same style as ``--workload`` — not a KeyError traceback out of the
+    engine mid-run.
+    """
+    from repro.experiments.scenarios import fault_names
+
+    names = fault_names()
+    if text not in names:
+        raise argparse.ArgumentTypeError(
+            f"unknown fault profile {text!r}; known: {', '.join(names)}"
+        )
+    return text
+
+
 def _shard_spec(text: str) -> Tuple[int, int]:
     """argparse type for ``--shard i/N``: 0-based index out of N shards."""
     try:
@@ -186,6 +205,17 @@ def _add_selection_arguments(parser: argparse.ArgumentParser) -> None:
             " backends grid): one of the named arrival processes"
             " (periodic/poisson/saturated/bursty/diurnal); unknown labels"
             " are a usage error listing the vocabulary"
+        ),
+    )
+    parser.add_argument(
+        "--fault",
+        type=_fault_label,
+        default=None,
+        help=(
+            "fault-profile parameter for fault-parameterized specs (the"
+            " faults grid): one of the named profiles"
+            " (none/throttle/flaky-launch/crashy/lossy/storm); unknown"
+            " labels are a usage error listing the vocabulary"
         ),
     )
 
@@ -307,7 +337,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _command_list(args: argparse.Namespace) -> int:
     from repro.backends import all_backends
-    from repro.experiments.scenarios import NAMED_WORKLOADS
+    from repro.experiments.scenarios import NAMED_FAULTS, NAMED_WORKLOADS
 
     specs = all_experiments()
     backends = all_backends()
@@ -336,6 +366,14 @@ def _command_list(args: argparse.Namespace) -> int:
                             "randomized": workload.randomized,
                         }
                         for name, workload in NAMED_WORKLOADS.items()
+                    ],
+                    "faults": [
+                        {
+                            "name": name,
+                            "label": spec.label(),
+                            "randomized": spec.randomized,
+                        }
+                        for name, spec in NAMED_FAULTS.items()
                     ],
                 }
             )
@@ -374,6 +412,17 @@ def _command_list(args: argparse.Namespace) -> int:
         for name, workload in NAMED_WORKLOADS.items()
     ]
     print(format_table(workload_rows))
+    print()
+    print("named fault profiles (run ... --fault NAME where a spec declares it):")
+    fault_rows = [
+        {
+            "name": name,
+            "faults": spec.label(),
+            "seeded": "yes" if spec.randomized else "no",
+        }
+        for name, spec in NAMED_FAULTS.items()
+    ]
+    print(format_table(fault_rows))
     return EXIT_OK
 
 
@@ -424,6 +473,8 @@ def _params_for(args: argparse.Namespace) -> Optional[dict]:
         params["scheduler"] = args.scheduler
     if getattr(args, "workload", None):
         params["workload"] = args.workload
+    if getattr(args, "fault", None):
+        params["fault"] = args.fault
     return params or None
 
 

@@ -215,7 +215,9 @@ def expand_experiment(
         # Deferred import: the backend modules import this package.
         from repro.backends import get_backend
 
-        return get_backend(request.scheduler).seed_sensitive(request.workload)
+        return get_backend(request.scheduler).seed_sensitive(
+            request.workload, faults=request.faults
+        )
 
     shiftable = (
         [_seed_sensitive(request) for request in plan.requests]

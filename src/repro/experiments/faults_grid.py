@@ -1,0 +1,215 @@
+"""Fault-injection grid: every backend x fault profile x load.
+
+The robustness companion to the cross-backend grid: each cell runs one
+scheduler backend under one named fault profile (:data:`NAMED_FAULTS` —
+throttle windows, flaky kernel launches, MPS context crashes, lossy request
+streams, or the all-four ``storm``) and reports the *cause breakdown* of
+lost work next to throughput: how many requests finished on time, missed,
+were dropped by the fault process, shed by degraded-mode admission, timed
+out, or failed after exhausting launch retries — plus the injector's
+recovery telemetry (fault episodes and mean time-to-recover).
+
+Every cell is an ordinary :class:`ScenarioRequest` carrying its
+:class:`~repro.sim.faults.FaultSpec`, so the grid inherits caching, seed
+replication (``--seeds N`` CIs) and sharded sweeps unchanged.  Fault draws
+come from dedicated named RNG streams, so each cell is bit-identical per
+seed, and the ``none`` column's requests fingerprint exactly like their
+pre-fault counterparts (byte-identical cache keys).
+
+Parameters: ``--scheduler`` restricts the grid to one backend and
+``--fault`` to one named fault profile (the CI smoke lane runs slices).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.tables import format_table
+from repro.backends import get_backend
+from repro.backends.configs import BatchingConfig, ClockworkConfig, GSliceConfig, SingleConfig
+from repro.dnn.zoo import build_model
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import run_experiment
+from repro.experiments.parallel import ScenarioRequest
+from repro.experiments.registry import (
+    BuildContext,
+    ExperimentPlan,
+    ExperimentSpec,
+    RowContext,
+    register,
+)
+from repro.experiments.scenarios import best_config_for, named_fault, named_workload
+from repro.rt.taskset import make_taskset
+
+#: One anchor model: the paper's Section VI-B comparison point.
+MODEL = "resnet50"
+
+#: Backends measured at saturation (request servers; load level is moot).
+SATURATED_BACKENDS = ("single", "batching_server", "gslice")
+
+#: Backends driven by Poisson arrivals at the task sets' mean rates.
+POISSON_BACKENDS = ("daris", "rtgpu", "clockwork", "batching_server")
+
+#: Every named fault profile is a grid column, fault-free ``none`` first —
+#: the baseline column each resilience policy is judged against.
+FAULT_PROFILES = ("none", "throttle", "flaky-launch", "crashy", "lossy", "storm")
+
+
+def _loads(quick: bool) -> List[float]:
+    """Demand levels relative to the batching upper baseline."""
+    return [1.2] if quick else [1.0, 1.5]
+
+
+def _grid_taskset(model, load_factor: float):
+    """A homogeneous task set demanding ``load_factor`` x the batching baseline."""
+    task_jps = 25.0
+    total_tasks = max(3, int(round(load_factor * model.profile.batched_max_jps / task_jps)))
+    num_high = max(1, total_tasks // 3)
+    return make_taskset(
+        [model],
+        num_high=num_high,
+        num_low=total_tasks - num_high,
+        task_jps=task_jps,
+        name=f"faults-grid/{model.name}/load{load_factor:.2f}",
+    )
+
+
+def _config_for(backend_name: str, model):
+    """The canonical per-backend configuration of the grid."""
+    if backend_name in ("daris", "rtgpu"):
+        return best_config_for(model.name)
+    if backend_name == "clockwork":
+        return ClockworkConfig()
+    if backend_name == "single":
+        return SingleConfig()
+    if backend_name == "batching_server":
+        return BatchingConfig(batch_size=model.profile.preferred_batch_size)
+    if backend_name == "gslice":
+        return GSliceConfig(batch_sizes=(model.profile.preferred_batch_size,))
+    raise KeyError(f"no grid configuration for backend {backend_name!r}")
+
+
+def _build(ctx: BuildContext) -> ExperimentPlan:
+    horizon = 800.0 if ctx.quick else 2500.0
+    scheduler_filter = ctx.param("scheduler")
+    fault_filter = ctx.param("fault")
+    if scheduler_filter is not None:
+        get_backend(str(scheduler_filter))  # unknown backend -> clean KeyError
+    if fault_filter is not None:
+        named_fault(str(fault_filter))  # unknown label -> clean KeyError
+    model = build_model(MODEL)
+
+    requests: List[ScenarioRequest] = []
+    cells: List[Dict[str, object]] = []
+
+    def add(backend_name: str, taskset, workload_name: str, fault_name: str, load: object) -> None:
+        if scheduler_filter is not None and backend_name != scheduler_filter:
+            return
+        if fault_filter is not None and fault_name != fault_filter:
+            return
+        requests.append(
+            ScenarioRequest(
+                taskset,
+                _config_for(backend_name, model),
+                horizon,
+                seed=ctx.seed,
+                scheduler=backend_name,
+                workload=named_workload(workload_name),
+                faults=named_fault(fault_name),
+            )
+        )
+        cells.append(
+            {
+                "backend": backend_name,
+                "fault": fault_name,
+                "workload": workload_name,
+                "load": load,
+            }
+        )
+
+    saturated_taskset = _grid_taskset(model, 1.0)
+    loads = _loads(ctx.quick)
+    load_tasksets = [(load, _grid_taskset(model, load)) for load in loads]
+    for fault_name in FAULT_PROFILES:
+        # Saturated cells: demand is infinite by construction, so they use
+        # the canonical load-1.0 task set and appear once per backend/fault.
+        for backend_name in SATURATED_BACKENDS:
+            add(backend_name, saturated_taskset, "saturated", fault_name, "-")
+        for load, taskset in load_tasksets:
+            for backend_name in POISSON_BACKENDS:
+                add(backend_name, taskset, "poisson", fault_name, load)
+
+    def make_rows(row_ctx: RowContext) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for cell, result in zip(cells, row_ctx.results):
+            metrics = result.metrics
+            causes = metrics.cause_breakdown()
+            impact = metrics.fault_impact
+            rows.append(
+                {
+                    "backend": cell["backend"],
+                    "fault": cell["fault"],
+                    "workload": cell["workload"],
+                    "load": cell["load"],
+                    "jps": round(metrics.total_jps, 1),
+                    "goodput_jps": round(metrics.goodput_jps, 1),
+                    "dmr": round(metrics.overall_dmr, 4),
+                    "on_time": causes["on_time"],
+                    "missed": causes["missed"],
+                    "dropped": causes["dropped"],
+                    "shed": causes["shed"],
+                    "timed_out": causes["timed_out"],
+                    "failed": causes["failed"],
+                    "retries": metrics.high.launch_retries + metrics.low.launch_retries,
+                    "episodes": impact.episodes if impact is not None else 0,
+                    "ttr_ms": round(impact.time_to_recover_ms, 2)
+                    if impact is not None and impact.time_to_recover_ms is not None
+                    else "-",
+                }
+            )
+        return rows
+
+    return ExperimentPlan(requests=requests, make_rows=make_rows)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="faults",
+        title="Fault-injection grid: every backend x fault profile x load, with miss/loss cause breakdown",
+        build=_build,
+        defaults={"scheduler": None, "fault": None},
+    )
+)
+
+
+def run(
+    quick: bool = True,
+    seed: int = 1,
+    seeds: int = 1,
+    processes: Optional[int] = 1,
+    cache: Union[ResultCache, str, None] = None,
+    scheduler: Optional[str] = None,
+    fault: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """One row per (backend, fault profile, workload, load) grid cell."""
+    report = run_experiment(
+        SPEC,
+        quick=quick,
+        seeds=seeds,
+        base_seed=seed,
+        processes=processes,
+        cache=cache,
+        params={"scheduler": scheduler, "fault": fault},
+    )
+    return report.rows
+
+
+def main(quick: bool = True) -> str:
+    """Run and render the fault-injection grid."""
+    table = format_table(run(quick))
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(quick=False)

@@ -39,6 +39,7 @@ from repro.experiments.runner import ScenarioResult
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
 from repro.rt.taskset import TaskSetSpec
+from repro.sim.faults import NO_FAULTS, FaultSpec
 from repro.sim.workload import PERIODIC_WORKLOAD, WorkloadSpec
 
 # Bump when the fingerprint layout (or anything that changes simulated
@@ -79,6 +80,7 @@ class ScenarioRequest:
     calibration: GpuCalibration = DEFAULT_CALIBRATION
     scheduler: str = DEFAULT_SCHEDULER
     workload: WorkloadSpec = PERIODIC_WORKLOAD
+    faults: FaultSpec = NO_FAULTS
 
     def fingerprint(self) -> Dict[str, object]:
         """Canonical nested dictionary of everything that shapes the result.
@@ -89,9 +91,10 @@ class ScenarioRequest:
         label — mutate any of them and the fingerprint (hence the cache key)
         changes.
 
-        Backward compatibility: the ``scheduler`` / ``workload`` keys appear
-        only for non-default values, so every pre-backend DARIS request
-        fingerprints exactly as before and existing caches stay valid.
+        Backward compatibility: the ``scheduler`` / ``workload`` / ``faults``
+        keys appear only for non-default values, so every pre-backend (and
+        every fault-free) request fingerprints exactly as before and existing
+        caches stay valid.
         """
         data: Dict[str, object] = {
             "schema": FINGERPRINT_SCHEMA,
@@ -108,6 +111,8 @@ class ScenarioRequest:
             data["scheduler"] = self.scheduler
         if not self.workload.is_default:
             data["workload"] = self.workload.fingerprint()
+        if not self.faults.is_default:
+            data["faults"] = self.faults.fingerprint()
         return data
 
     def cache_key(self) -> str:
@@ -143,6 +148,18 @@ def _run_indexed(indexed: Tuple[int, ScenarioRequest]) -> Tuple[int, ScenarioRes
 def default_process_count(num_requests: int) -> int:
     """Worker count used when the caller does not specify one."""
     return max(1, min(num_requests, os.cpu_count() or 1))
+
+
+#: Exceptions that signal pool *infrastructure* failure (a worker process
+#: died, its pipe broke) rather than a scenario raising — the sweep retries
+#: the un-delivered scenarios once on a fresh pool before giving up.
+_POOL_CRASH_ERRORS: Tuple[type, ...]
+try:
+    from concurrent.futures.process import BrokenProcessPool
+
+    _POOL_CRASH_ERRORS = (OSError, EOFError, BrokenProcessPool)
+except ImportError:  # pragma: no cover - BrokenProcessPool exists on 3.3+
+    _POOL_CRASH_ERRORS = (OSError, EOFError)
 
 
 def run_scenarios_parallel(
@@ -192,15 +209,37 @@ def run_scenarios_parallel(
 
     context = multiprocessing.get_context()
     slots: List[Optional[ScenarioResult]] = [None] * len(requests)
-    with context.Pool(min(processes, len(requests))) as pool:
-        if ordered:
-            stream = enumerate(pool.imap(_run_request, requests, chunksize=1))
-        else:
-            stream = pool.imap_unordered(
-                _run_indexed, list(enumerate(requests)), chunksize=1
-            )
-        for index, result in stream:
-            if on_result is not None:
-                on_result(index, result)
-            slots[index] = result
+
+    def _fan_out(pending: List[Tuple[int, ScenarioRequest]]) -> None:
+        """Run ``pending`` (original-index, request) pairs on a fresh pool."""
+        batch = [request for _, request in pending]
+        with context.Pool(min(processes, len(batch))) as pool:
+            if ordered:
+                stream = enumerate(pool.imap(_run_request, batch, chunksize=1))
+            else:
+                stream = pool.imap_unordered(
+                    _run_indexed, list(enumerate(batch)), chunksize=1
+                )
+            for batch_index, result in stream:
+                index = pending[batch_index][0]
+                if on_result is not None:
+                    on_result(index, result)
+                slots[index] = result
+
+    try:
+        _fan_out(list(enumerate(requests)))
+    except _POOL_CRASH_ERRORS:
+        # A worker process died (OOM-killed, segfaulted, lost its pipe).
+        # Everything already delivered is committed in ``slots``; the
+        # un-delivered remainder is retried exactly once on a fresh pool —
+        # each request carries its own seed, so the retry is bit-identical
+        # to what the crashed worker would have produced.  A second crash
+        # propagates: systematic failure, not transient worker loss.
+        remaining = [
+            (index, request)
+            for index, request in enumerate(requests)
+            if slots[index] is None
+        ]
+        if remaining:
+            _fan_out(remaining)
     return slots  # type: ignore[return-value]

@@ -45,6 +45,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.fig11_overload",
     "repro.experiments.sota_comparison",
     "repro.experiments.backend_grid",
+    "repro.experiments.faults_grid",
 )
 
 
@@ -164,6 +165,7 @@ _CANONICAL_ORDER = (
     "fig11",
     "sota",
     "backends",
+    "faults",
 )
 
 

@@ -12,6 +12,7 @@ from repro.rt.taskset import TaskSetSpec
 from repro.rt.trace import TraceRecorder
 from repro.scheduler.config import DarisConfig
 from repro.scheduler.daris import DarisScheduler
+from repro.sim.faults import FaultSpec, ResiliencePolicy
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
 from repro.sim.workload import WorkloadSpec
@@ -93,11 +94,15 @@ def run_daris_scenario(
     calibration: GpuCalibration = DEFAULT_CALIBRATION,
     label: Optional[str] = None,
     workload: Optional[WorkloadSpec] = None,
+    faults: Optional[FaultSpec] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> ScenarioResult:
     """Run one DARIS configuration against a task set and return the result.
 
     ``workload`` selects the release process (periodic by default,
-    ``poisson`` for memoryless releases at the tasks' mean rates).
+    ``poisson`` for memoryless releases at the tasks' mean rates);
+    ``faults`` injects the scenario's fault processes and ``resilience``
+    sets the scheduler's answer to them (see :mod:`repro.sim.faults`).
     """
     simulator = Simulator()
     trace = TraceRecorder(enabled=with_trace)
@@ -110,6 +115,8 @@ def run_daris_scenario(
         rng=RngFactory(seed),
         trace=trace,
         workload=workload,
+        faults=faults,
+        resilience=resilience,
     )
     metrics = scheduler.run(horizon_ms)
     return ScenarioResult(

@@ -15,6 +15,13 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.scheduler.config import DarisConfig, Policy
+from repro.sim.faults import (
+    NO_FAULTS,
+    CrashFault,
+    FaultSpec,
+    LaunchFault,
+    RequestFaults,
+)
 from repro.sim.workload import (
     DIURNAL_WORKLOAD,
     MMPP_WORKLOAD,
@@ -50,6 +57,41 @@ def named_workload(label: str) -> WorkloadSpec:
     except KeyError:
         raise KeyError(
             f"unknown workload {label!r}; known: {', '.join(NAMED_WORKLOADS)}"
+        ) from None
+
+
+#: CLI-addressable fault-profile label -> canonical spec — the *fault* half
+#: of a scenario's environment, mirroring :data:`NAMED_WORKLOADS`.  ``none``
+#: is the fault-free default (its requests keep their pre-fault cache keys
+#: byte-identical); the single-kind profiles isolate one fault process each,
+#: and ``storm`` composes all four for the worst-case resilience column.
+NAMED_FAULTS: Dict[str, FaultSpec] = {
+    "none": NO_FAULTS,
+    "throttle": FaultSpec.throttle(period_ms=500.0, duration_ms=100.0, factor=0.5),
+    "flaky-launch": FaultSpec.flaky_launches(failure_prob=0.08, retry_cost_ms=1.0),
+    "crashy": FaultSpec.crashes(mtbf_ms=1500.0, recovery_ms=40.0),
+    "lossy": FaultSpec.lossy(drop_prob=0.05, timeout_ms=250.0),
+    "storm": (
+        FaultSpec.throttle(period_ms=500.0, duration_ms=100.0, factor=0.5)
+        .with_launch(LaunchFault(failure_prob=0.08, retry_cost_ms=1.0))
+        .with_crash(CrashFault(mtbf_ms=1500.0, recovery_ms=40.0))
+        .with_requests(RequestFaults(drop_prob=0.05, timeout_ms=250.0))
+    ),
+}
+
+
+def fault_names() -> List[str]:
+    """The addressable fault-profile labels, in declaration order."""
+    return list(NAMED_FAULTS)
+
+
+def named_fault(label: str) -> FaultSpec:
+    """Resolve a fault-profile label; unknown labels list the vocabulary."""
+    try:
+        return NAMED_FAULTS[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault profile {label!r}; known: {', '.join(NAMED_FAULTS)}"
         ) from None
 
 

@@ -279,7 +279,14 @@ class ShardStore:
         return manifest if isinstance(manifest, dict) else None
 
     def write_manifest(self, manifest: Dict[str, object]) -> None:
-        """Atomically persist the manifest (tempfile + ``os.replace``)."""
+        """Atomically persist the manifest (tempfile + fsync + ``os.replace``).
+
+        The fsync before the rename makes the write crash-safe, not just
+        atomic: without it a power loss shortly after ``os.replace`` can
+        leave the *new name* pointing at *unwritten bytes* on journaled
+        filesystems, which is exactly the torn state the rename was meant
+        to prevent.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         descriptor, temp_name = tempfile.mkstemp(
             prefix=".manifest.", suffix=".tmp", dir=self.directory
@@ -287,6 +294,8 @@ class ShardStore:
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(temp_name, self.manifest_path)
         except OSError:
             try:
@@ -404,7 +413,13 @@ class ShardStore:
 
                 def append(record: Dict[str, object]) -> None:
                     handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+                    # flush pushes the record to the OS (safe against this
+                    # process dying); fsync pushes it to disk (safe against
+                    # the machine dying) — each committed scenario is durable
+                    # the moment append returns, so a crashed shard resumes
+                    # from its last completed scenario, not its last sync.
                     handle.flush()
+                    os.fsync(handle.fileno())
 
                 yield append
         finally:

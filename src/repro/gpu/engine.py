@@ -94,6 +94,11 @@ class GpuEngine:
         self.stream_idle_callback: Optional[Callable[[int, int], None]] = None
         # One reusable closure instead of a fresh lambda per replan.
         self._completion_callback = lambda _sim: self._on_completion()
+        # Fault injection: global rate multiplier applied while a slowdown
+        # (thermal-throttle) window is open.  Exactly 1.0 outside windows, in
+        # which case no rate expression is touched — fault-free runs execute
+        # the historical arithmetic bit for bit.
+        self._fault_slowdown = 1.0
 
     # ------------------------------------------------------------------ setup
 
@@ -257,6 +262,50 @@ class GpuEngine:
         draw = self._noise_rng.normal(0.0, sigma)
         return math.exp(draw - 0.5 * sigma * sigma)
 
+    # ----------------------------------------------------------------- faults
+
+    def set_fault_slowdown(self, scale: float) -> None:
+        """Set the global fault rate multiplier (1.0 restores full speed).
+
+        Progress earned so far is settled at the old rates first; the next
+        replan then recomputes every kernel's rate under the new multiplier
+        (the incremental reuse of cached rates is disabled for that replan).
+        """
+        if scale <= 0.0:
+            raise ValueError("fault slowdown must be positive")
+        if scale == self._fault_slowdown:
+            return
+        self._advance_progress()
+        self._fault_slowdown = scale
+        # Invalidate the rate-reuse fast path: NaN compares unequal to every
+        # scale, forcing the general path to recompute all kernel rates.
+        self._last_scale = math.nan
+        self._replan()
+
+    def interrupt_context(self, context_id: int, recovery_ms: float) -> int:
+        """Crash an MPS context: in-flight work is lost, recovery is charged.
+
+        Every kernel running in the context restarts from zero progress and
+        additionally pays ``recovery_ms`` of stall, charged as equivalent
+        work at its crash-time rate; the context dispatcher is blocked for
+        ``recovery_ms`` so queued launches wait for the context rebuild.
+        Returns the number of kernels whose progress was destroyed.
+        """
+        if recovery_ms < 0:
+            raise ValueError("recovery_ms must be non-negative")
+        self._advance_progress()
+        kernels = self._ctx_running.get(context_id) or ()
+        for kernel in kernels:
+            kernel.remaining_work = kernel.effective_work + kernel.current_rate * recovery_ms
+        context = self._contexts[context_id]
+        now = self.simulator.now
+        free_at = context.dispatcher_free_at
+        context.dispatcher_free_at = (now if now > free_at else free_at) + recovery_ms
+        if kernels:
+            # Rates are unchanged but every ETA grew: reschedule completion.
+            self._replan()
+        return len(kernels)
+
     # -------------------------------------------------------------- execution
 
     def _advance_progress(self) -> None:
@@ -351,6 +400,8 @@ class GpuEngine:
             )
             kernel.allocated_sms = allocated
             rate = allocated * efficiency
+            if self._fault_slowdown != 1.0:
+                rate *= self._fault_slowdown
             kernel.current_rate = rate
             self._last_scale = scale
             self._last_pressure_eff = pressure
@@ -418,6 +469,8 @@ class GpuEngine:
                 )
                 kernel.allocated_sms = allocated
                 rate = allocated * efficiency
+                if self._fault_slowdown != 1.0:
+                    rate *= self._fault_slowdown
                 kernel.current_rate = rate
                 if rate > 0:
                     eta = kernel.remaining_work / rate
@@ -532,7 +585,10 @@ class GpuEngine:
                     ))
                 )
                 kernel.allocated_sms = allocated
-                kernel.current_rate = allocated * efficiency
+                rate = allocated * efficiency
+                if self._fault_slowdown != 1.0:
+                    rate *= self._fault_slowdown
+                kernel.current_rate = rate
         dirty.clear()
 
         soonest: Optional[float] = None

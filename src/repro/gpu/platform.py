@@ -176,6 +176,14 @@ class GpuPlatform:
         self._idle_flags[context_index][stream_index] = False
         return self.engine.launch(stream, spec, on_complete=on_complete)
 
+    def reserve_stream(self, context_index: int, stream_index: int) -> None:
+        """Mark a stream busy without launching (held through a retry delay)."""
+        self._idle_flags[context_index][stream_index] = False
+
+    def release_stream(self, context_index: int, stream_index: int) -> None:
+        """Return a reserved-but-unused stream to the idle pool."""
+        self._on_stream_idle(context_index, stream_index)
+
     # ---------------------------------------------------------------- metrics
 
     def is_idle(self) -> bool:

@@ -5,6 +5,15 @@ The evaluation uses three headline metrics:
 * **JPS** — completed jobs per second (throughput),
 * **DMR** — missed deadlines over *accepted* jobs, reported per priority, and
 * **response time** — completion minus release time, reported per priority.
+
+Under fault injection (:mod:`repro.sim.faults`) a miss/loss *cause breakdown*
+rides along: per priority, how many jobs were dropped at arrival, shed by a
+degraded-mode policy, abandoned by a client timeout, or failed after
+exhausting launch retries — plus **goodput** (on-time completions per
+second) and a per-run :class:`FaultImpact` (degraded episodes, downtime,
+time-to-recover).  All breakdown fields serialize only when non-zero, so a
+fault-free run's metrics are byte-identical to their pre-fault form and no
+cached entry is invalidated.
 """
 
 from __future__ import annotations
@@ -19,7 +28,15 @@ from repro.rt.task import Job, Priority
 
 @dataclass
 class PriorityMetrics:
-    """Counters and samples for one priority level."""
+    """Counters and samples for one priority level.
+
+    The fault-cause counters refine the headline ones: ``dropped`` requests
+    were lost at arrival (fault draw) and are part of ``released`` only;
+    ``shed`` rejections are the subset of ``rejected`` attributable to a
+    degraded-mode shedding policy; ``timed_out`` and ``failed`` jobs were
+    admitted but never completed (client abandonment / launch-retry
+    exhaustion); ``launch_retries`` counts recovered launch failures.
+    """
 
     released: int = 0
     admitted: int = 0
@@ -27,6 +44,11 @@ class PriorityMetrics:
     completed: int = 0
     missed: int = 0
     response_times: List[float] = field(default_factory=list)
+    dropped: int = 0
+    shed: int = 0
+    timed_out: int = 0
+    failed: int = 0
+    launch_retries: int = 0
 
     @property
     def deadline_miss_rate(self) -> float:
@@ -41,6 +63,30 @@ class PriorityMetrics:
         if self.released == 0:
             return 0.0
         return self.rejected / self.released
+
+    @property
+    def on_time(self) -> int:
+        """Completions that made their deadline."""
+        return self.completed - self.missed
+
+    def cause_breakdown(self) -> Dict[str, int]:
+        """Where every released job ended up, by cause.
+
+        ``on_time + missed + timed_out + failed + in_flight`` equals
+        ``admitted``, and ``admitted + rejected + dropped`` equals
+        ``released`` (``shed`` attributes a subset of ``rejected``).
+        """
+        in_flight = self.admitted - self.completed - self.timed_out - self.failed
+        return {
+            "on_time": self.on_time,
+            "missed": self.missed,
+            "dropped": self.dropped,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "failed": self.failed,
+            "in_flight": in_flight,
+        }
 
     def response_time_stats(self) -> Dict[str, float]:
         """Mean / p50 / p95 / max response time in milliseconds."""
@@ -63,7 +109,7 @@ class PriorityMetrics:
         (shortest-repr serialization), so a cached scenario reproduces every
         derived statistic bit for bit.
         """
-        return {
+        data: Dict[str, object] = {
             "released": self.released,
             "admitted": self.admitted,
             "rejected": self.rejected,
@@ -71,10 +117,18 @@ class PriorityMetrics:
             "missed": self.missed,
             "response_times": list(self.response_times),
         }
+        # Fault-cause counters serialize only when non-zero: a fault-free
+        # run's dict is byte-identical to the pre-fault schema, so every
+        # pre-existing cache entry keeps round-tripping unchanged.
+        for key in ("dropped", "shed", "timed_out", "failed", "launch_retries"):
+            value = getattr(self, key)
+            if value:
+                data[key] = value
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "PriorityMetrics":
-        """Rebuild metrics from :meth:`to_dict` output."""
+        """Rebuild metrics from :meth:`to_dict` output (missing keys default)."""
         return cls(
             released=int(data["released"]),
             admitted=int(data["admitted"]),
@@ -82,7 +136,54 @@ class PriorityMetrics:
             completed=int(data["completed"]),
             missed=int(data["missed"]),
             response_times=list(data["response_times"]),
+            dropped=int(data.get("dropped", 0)),
+            shed=int(data.get("shed", 0)),
+            timed_out=int(data.get("timed_out", 0)),
+            failed=int(data.get("failed", 0)),
+            launch_retries=int(data.get("launch_retries", 0)),
         )
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """Per-run summary of injected-fault impact.
+
+    Attributes:
+        episodes: merged degraded intervals (overlapping slowdown windows
+            and crash recoveries count once).
+        downtime_ms: total time spent degraded.
+        time_to_recover_ms: mean delay from an episode's end to the next
+            on-time completion; None when no episode recovered in-horizon.
+    """
+
+    episodes: int = 0
+    downtime_ms: float = 0.0
+    time_to_recover_ms: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless dictionary form (JSON-safe)."""
+        return {
+            "episodes": self.episodes,
+            "downtime_ms": self.downtime_ms,
+            "time_to_recover_ms": self.time_to_recover_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultImpact":
+        """Rebuild an impact summary from :meth:`to_dict` output."""
+        recover = data.get("time_to_recover_ms")
+        return cls(
+            episodes=int(data["episodes"]),
+            downtime_ms=float(data["downtime_ms"]),
+            time_to_recover_ms=None if recover is None else float(recover),
+        )
+
+    @classmethod
+    def from_summary(cls, summary: Optional[Mapping[str, object]]) -> Optional["FaultImpact"]:
+        """Build from :meth:`repro.sim.faults.FaultInjector.summary` output."""
+        if summary is None:
+            return None
+        return cls.from_dict(summary)
 
 
 @dataclass(frozen=True)
@@ -95,6 +196,7 @@ class ScenarioMetrics:
     low: PriorityMetrics
     per_task_completed: Dict[str, int]
     average_gpu_utilization: float = 0.0
+    fault_impact: Optional[FaultImpact] = None
 
     @property
     def total_completed(self) -> int:
@@ -109,9 +211,24 @@ class ScenarioMetrics:
             return 0.0
         return (self.high.missed + self.low.missed) / admitted
 
+    @property
+    def goodput_jps(self) -> float:
+        """On-time completions per second — throughput that met its deadline."""
+        return 1000.0 * (self.high.on_time + self.low.on_time) / self.horizon_ms
+
+    def cause_breakdown(self) -> Dict[str, int]:
+        """Combined miss/loss cause breakdown across both priorities."""
+        high = self.high.cause_breakdown()
+        low = self.low.cause_breakdown()
+        return {key: high[key] + low[key] for key in high}
+
     def to_dict(self) -> Dict[str, object]:
-        """Lossless dictionary form (JSON-safe); inverse of :meth:`from_dict`."""
-        return {
+        """Lossless dictionary form (JSON-safe); inverse of :meth:`from_dict`.
+
+        ``fault_impact`` serializes only when present, keeping fault-free
+        output byte-identical to the pre-fault schema.
+        """
+        data: Dict[str, object] = {
             "horizon_ms": self.horizon_ms,
             "total_jps": self.total_jps,
             "high": self.high.to_dict(),
@@ -119,10 +236,14 @@ class ScenarioMetrics:
             "per_task_completed": dict(self.per_task_completed),
             "average_gpu_utilization": self.average_gpu_utilization,
         }
+        if self.fault_impact is not None:
+            data["fault_impact"] = self.fault_impact.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ScenarioMetrics":
         """Rebuild a summary from :meth:`to_dict` output."""
+        impact = data.get("fault_impact")
         return cls(
             horizon_ms=float(data["horizon_ms"]),
             total_jps=float(data["total_jps"]),
@@ -130,6 +251,7 @@ class ScenarioMetrics:
             low=PriorityMetrics.from_dict(data["low"]),
             per_task_completed={str(k): int(v) for k, v in dict(data["per_task_completed"]).items()},
             average_gpu_utilization=float(data["average_gpu_utilization"]),
+            fault_impact=None if impact is None else FaultImpact.from_dict(impact),
         )
 
     @classmethod
@@ -140,6 +262,7 @@ class ScenarioMetrics:
         low: Optional[PriorityMetrics] = None,
         per_task_completed: Optional[Dict[str, int]] = None,
         gpu_utilization: float = 0.0,
+        fault_impact: Optional[FaultImpact] = None,
     ) -> "ScenarioMetrics":
         """Summary from already-accumulated per-priority counters.
 
@@ -162,6 +285,7 @@ class ScenarioMetrics:
             low=low,
             per_task_completed=dict(per_task_completed or {}),
             average_gpu_utilization=gpu_utilization,
+            fault_impact=fault_impact,
         )
 
 
@@ -199,11 +323,41 @@ class MetricsCollector:
         if bucket is not None:
             bucket.admitted += 1
 
-    def record_rejection(self, job: Job) -> None:
-        """A job was rejected by the admission test."""
+    def record_rejection(self, job: Job, shed: bool = False) -> None:
+        """A job was rejected by the admission test.
+
+        ``shed=True`` additionally attributes the rejection to a
+        degraded-mode shedding policy in the cause breakdown.
+        """
         bucket = self._bucket(job)
         if bucket is not None:
             bucket.rejected += 1
+            if shed:
+                bucket.shed += 1
+
+    def record_drop(self, job: Job) -> None:
+        """A released job was lost to a request-drop fault before admission."""
+        bucket = self._bucket(job)
+        if bucket is not None:
+            bucket.dropped += 1
+
+    def record_timeout(self, job: Job) -> None:
+        """An admitted job was abandoned by its client before service."""
+        bucket = self._bucket(job)
+        if bucket is not None:
+            bucket.timed_out += 1
+
+    def record_failure(self, job: Job) -> None:
+        """An admitted job died after exhausting its launch-retry budget."""
+        bucket = self._bucket(job)
+        if bucket is not None:
+            bucket.failed += 1
+
+    def record_launch_retries(self, job: Job, retries: int) -> None:
+        """Recovered launch failures spent on a job's kernels."""
+        bucket = self._bucket(job)
+        if bucket is not None and retries > 0:
+            bucket.launch_retries += retries
 
     def record_completion(self, job: Job) -> None:
         """A job finished; accounts for throughput, DMR and response time."""
@@ -222,7 +376,12 @@ class MetricsCollector:
         """Metrics of one priority level (mutable view)."""
         return self._per_priority[priority]
 
-    def summarize(self, horizon_ms: float, gpu_utilization: float = 0.0) -> ScenarioMetrics:
+    def summarize(
+        self,
+        horizon_ms: float,
+        gpu_utilization: float = 0.0,
+        fault_impact: Optional[FaultImpact] = None,
+    ) -> ScenarioMetrics:
         """Produce the immutable scenario summary for a measurement horizon."""
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
@@ -241,4 +400,5 @@ class MetricsCollector:
             low=self._per_priority[Priority.LOW],
             per_task_completed=dict(self._per_task_completed),
             average_gpu_utilization=gpu_utilization,
+            fault_impact=fault_impact,
         )

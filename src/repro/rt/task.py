@@ -27,13 +27,21 @@ class Priority(enum.IntEnum):
 
 
 class JobState(enum.Enum):
-    """Lifecycle of a released job."""
+    """Lifecycle of a released job.
+
+    The last three states are terminal fault outcomes (see
+    :mod:`repro.sim.faults`): the request was lost at arrival, abandoned by
+    its client before service, or killed after exhausting launch retries.
+    """
 
     RELEASED = "released"
     ADMITTED = "admitted"
     REJECTED = "rejected"
     RUNNING = "running"
     COMPLETED = "completed"
+    DROPPED = "dropped"
+    TIMED_OUT = "timed_out"
+    FAILED = "failed"
 
 
 @dataclass(frozen=True)

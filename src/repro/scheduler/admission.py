@@ -126,19 +126,33 @@ class AdmissionController:
         job: Job,
         context_index: int,
         predicted_finish: Optional[Callable[[int], float]] = None,
+        finish_inflation: float = 1.0,
     ) -> bool:
-        """Utilization test plus the predicted-finish feasibility check."""
+        """Utilization test plus the predicted-finish feasibility check.
+
+        ``finish_inflation`` supports deadline-aware shedding under GPU
+        degradation: the predicted *remaining* work (everything past the
+        job's release) is stretched by the factor — e.g. ``1 / slowdown``
+        while a thermal-throttle window is open — so jobs that can only make
+        their deadline on a healthy GPU are shed instead of admitted.  The
+        default 1.0 reproduces the historical test exactly.
+        """
         if not self.utilization_passes(job, context_index):
             return False
         if predicted_finish is None:
             return True
         finish_estimate = predicted_finish(context_index) + job.task.mret_total()
+        if finish_inflation != 1.0:
+            finish_estimate = job.release_time + finish_inflation * (
+                finish_estimate - job.release_time
+            )
         return finish_estimate <= job.absolute_deadline + 1e-9
 
     def decide(
         self,
         job: Job,
         predicted_finish: Callable[[int], float],
+        finish_inflation: float = 1.0,
     ) -> AdmissionDecision:
         """Run the admission test, probing migration candidates when needed.
 
@@ -147,6 +161,9 @@ class AdmissionController:
             predicted_finish: callable mapping a context index to its predicted
                 finish time for this job (used both to rank admissible
                 candidates and to reject jobs that are already bound to miss).
+            finish_inflation: degraded-mode stretch applied to predicted
+                finish times (see :meth:`context_passes`); a rejection under
+                inflation > 1 reports reason ``"shed"``.
         """
         needs_test = (
             self.config.admission_enabled
@@ -156,7 +173,7 @@ class AdmissionController:
         if not needs_test:
             return AdmissionDecision(admitted=True, context_index=home, migrated=False, reason="exempt")
 
-        if self.context_passes(job, home, predicted_finish):
+        if self.context_passes(job, home, predicted_finish, finish_inflation):
             return AdmissionDecision(admitted=True, context_index=home, migrated=False, reason="home")
 
         may_migrate = self.config.lp_migration and job.priority is Priority.LOW
@@ -164,11 +181,13 @@ class AdmissionController:
             candidates = [
                 index
                 for index in range(self.config.num_contexts)
-                if index != home and self.context_passes(job, index, predicted_finish)
+                if index != home
+                and self.context_passes(job, index, predicted_finish, finish_inflation)
             ]
             if candidates:
                 best = min(candidates, key=lambda index: (predicted_finish(index), index))
                 return AdmissionDecision(
                     admitted=True, context_index=best, migrated=True, reason="migrated"
                 )
-        return AdmissionDecision(admitted=False, context_index=home, migrated=False, reason="rejected")
+        reason = "shed" if finish_inflation > 1.0 else "rejected"
+        return AdmissionDecision(admitted=False, context_index=home, migrated=False, reason=reason)

@@ -27,7 +27,7 @@ from repro.gpu.kernel import KernelInstance
 from repro.gpu.platform import GpuPlatform, PlatformConfig
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
 from repro.rt.deadlines import assign_virtual_deadlines
-from repro.rt.metrics import MetricsCollector, ScenarioMetrics
+from repro.rt.metrics import FaultImpact, MetricsCollector, ScenarioMetrics
 from repro.rt.task import Job, JobState, Priority, StageInstance, Task
 from repro.rt.taskset import TaskSetSpec
 from repro.rt.trace import JobTraceRecord, StageTraceRecord, TraceRecorder
@@ -35,6 +35,13 @@ from repro.scheduler.admission import AdmissionController
 from repro.scheduler.config import DarisConfig
 from repro.scheduler.offline import initialize_timing, populate_contexts
 from repro.scheduler.priorities import stage_queue_key
+from repro.sim.faults import (
+    DEFAULT_POLICY,
+    FaultInjector,
+    FaultSpec,
+    ResiliencePolicy,
+    deferred_launch,
+)
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
 from repro.sim.workload import PERIODIC_WORKLOAD, ReleaseStream, WorkloadSpec
@@ -146,6 +153,8 @@ class DarisScheduler:
         rng: Optional[RngFactory] = None,
         trace: Optional[TraceRecorder] = None,
         workload: Optional[WorkloadSpec] = None,
+        faults: Optional[FaultSpec] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
         self.simulator = simulator
         self.config = config
@@ -161,6 +170,17 @@ class DarisScheduler:
         self.metrics = MetricsCollector()
         self.metrics.set_warmup(config.warmup_ms)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.resilience = resilience if resilience is not None else DEFAULT_POLICY
+        self.injector = FaultInjector(faults, rng=self.rng, policy=self.resilience)
+        # Per-component flags keep the fault-free hot paths untouched.
+        spec = self.injector.spec
+        self._drop_faults = spec.requests is not None and spec.requests.drop_prob > 0.0
+        self._launch_faults = spec.launch is not None and spec.launch.failure_prob > 0.0
+        self._timeout_ms = self.injector.timeout_ms
+        self._shed_degraded = self.resilience.shed_when_degraded and (
+            spec.slowdown is not None or spec.crash is not None
+        )
+        self._timed_out_jobs: set = set()
 
         self.platform = GpuPlatform(
             simulator,
@@ -217,6 +237,7 @@ class DarisScheduler:
         """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
+        self.injector.install(self.simulator, self.platform, horizon_ms)
         stream = ReleaseStream(self.workload, self.rng)
         for task in self.tasks:
             stream.drive(
@@ -233,7 +254,9 @@ class DarisScheduler:
         self.start(horizon_ms)
         self.simulator.run_until(horizon_ms)
         return self.metrics.summarize(
-            horizon_ms, gpu_utilization=self.platform.average_utilization()
+            horizon_ms,
+            gpu_utilization=self.platform.average_utilization(),
+            fault_impact=FaultImpact.from_summary(self.injector.summary()),
         )
 
     # -------------------------------------------------------------- releases
@@ -241,13 +264,24 @@ class DarisScheduler:
     def _on_release(self, task: Task, release_time: float) -> None:
         job = task.release_job(release_time)
         self.metrics.record_release(job)
+        if self._drop_faults and self.injector.drop_request():
+            job.state = JobState.DROPPED
+            self.metrics.record_drop(job)
+            return
         assign_virtual_deadlines(job)
 
-        decision = self.admission.decide(job, self._predicted_finish)
+        finish_inflation = 1.0
+        if self._shed_degraded and self.injector.degraded:
+            factor = self.injector.slowdown_factor
+            if factor < 1.0:
+                finish_inflation = 1.0 / factor
+        decision = self.admission.decide(
+            job, self._predicted_finish, finish_inflation=finish_inflation
+        )
         if not decision.admitted:
             job.state = JobState.REJECTED
             task.jobs_rejected += 1
-            self.metrics.record_rejection(job)
+            self.metrics.record_rejection(job, shed=decision.reason == "shed")
             return
 
         context_index = decision.context_index
@@ -264,6 +298,12 @@ class DarisScheduler:
         self._active_jobs[context_index][job.uid] = job
         self._backlogs[context_index].job_entered(job.task.task_id, job.current_stage_index)
 
+        if self._timeout_ms is not None:
+            self.simulator.schedule_after(
+                self._timeout_ms,
+                lambda _sim, job=job: self._on_request_timeout(job),
+                label="request-timeout",
+            )
         self._enqueue_stage(job.current_stage, context_index)
         self._dispatch(context_index)
 
@@ -306,17 +346,73 @@ class DarisScheduler:
                 return
             _, stage = heapq.heappop(queue)
             self._backlogs[context_index].stage_dequeued(stage.job.task.task_id, stage.stage_index)
+            if self._timed_out_jobs and stage.job.uid in self._timed_out_jobs:
+                # Lazily discard stages of client-abandoned jobs on pop.
+                continue
             stage.dispatch_time = self.simulator.now
             # The unlabeled conversion is memoized on the stage spec; a
             # per-job label would force a fresh KernelSpec per dispatch and
             # is only cosmetic.
             spec = stage.spec.to_kernel_spec()
+            if self._launch_faults:
+                outcome = self.injector.launch_attempt()
+                if outcome.retries:
+                    self.metrics.record_launch_retries(stage.job, outcome.retries)
+                if not outcome.succeeded or outcome.delay_ms > 0.0:
+                    # Hold the stream slot through the retry delay so other
+                    # stages cannot double-book it.
+                    self.platform.reserve_stream(context_index, stream_index)
+                    deferred_launch(
+                        self.simulator,
+                        outcome,
+                        do_launch=lambda ctx=context_index, si=stream_index, sp=spec, st=stage: (
+                            self.platform.launch(
+                                ctx,
+                                si,
+                                sp,
+                                on_complete=lambda kernel, stage=st: self._on_stage_complete(
+                                    stage, kernel
+                                ),
+                            )
+                        ),
+                        on_failed=lambda ctx=context_index, si=stream_index, st=stage: (
+                            self._on_launch_failed(st, ctx, si)
+                        ),
+                    )
+                    continue
             self.platform.launch(
                 context_index,
                 stream_index,
                 spec,
                 on_complete=lambda kernel, stage=stage: self._on_stage_complete(stage, kernel),
             )
+
+    # ---------------------------------------------------------------- faults
+
+    def _on_launch_failed(self, stage: StageInstance, context_index: int, stream_index: int) -> None:
+        """A stage exhausted its launch-retry budget: the owning job dies."""
+        job = stage.job
+        job.state = JobState.FAILED
+        self.metrics.record_failure(job)
+        self._backlogs[job.context_index].job_left(job.task.task_id, job.current_stage_index)
+        self._active_jobs[job.context_index].pop(job.uid, None)
+        self.admission.register_completion(job, job.context_index)
+        self.platform.release_stream(context_index, stream_index)
+        self._dispatch(context_index)
+
+    def _on_request_timeout(self, job: Job) -> None:
+        """Client abandonment: drop a job still waiting for its first dispatch."""
+        if job.state is not JobState.ADMITTED:
+            return
+        if job.current_stage_index > 0 or job.current_stage.dispatch_time is not None:
+            return  # already in service; completion stands
+        job.state = JobState.TIMED_OUT
+        self._timed_out_jobs.add(job.uid)
+        self.metrics.record_timeout(job)
+        context = job.context_index
+        self._backlogs[context].job_left(job.task.task_id, job.current_stage_index)
+        self._active_jobs[context].pop(job.uid, None)
+        self.admission.register_completion(job, context)
 
     # ------------------------------------------------------------ completions
 
@@ -407,6 +503,7 @@ class DarisScheduler:
         if job.missed_deadline:
             task.jobs_missed += 1
         self.metrics.record_completion(job)
+        self.injector.note_completion(now, on_time=not job.missed_deadline)
         self.admission.register_completion(job, job.context_index)
         self._active_jobs[job.context_index].pop(job.uid, None)
         if self.trace.enabled:

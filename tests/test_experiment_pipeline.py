@@ -443,6 +443,7 @@ def test_registry_lists_every_paper_artefact():
         "fig11",
         "sota",
         "backends",
+        "faults",
     ]
     with pytest.raises(KeyError):
         get_experiment("fig99")
