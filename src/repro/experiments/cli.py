@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments run backends --quick --scheduler clockwork
     python -m repro.experiments run backends --quick --workload bursty
     python -m repro.experiments run faults --quick --fault storm
+    python -m repro.experiments run fig4_6 --quick --no-cache --profile
     python -m repro.experiments cache --cache-dir .cache [--prune-max-entries N] [--clear]
     python -m repro.experiments sweep plan --all --shards 8 --seeds 5
     python -m repro.experiments sweep run --all --shard 3/8 --seeds 5
@@ -255,6 +256,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_parser.add_argument("--json", action="store_true", help="emit rows as JSON lines")
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run under cProfile and print the top 25 functions by cumulative"
+            " time; forces --jobs 1 (worker processes are invisible to the"
+            " parent's profiler)"
+        ),
+    )
 
     cache_parser = subparsers.add_parser("cache", help="inspect or trim the result cache")
     cache_parser.add_argument(
@@ -497,6 +507,16 @@ def _command_run(args: argparse.Namespace) -> int:
     cache: Optional[ResultCache] = None if args.no_cache else ResultCache(args.cache_dir)
     params = _params_for(args)
     _warn_unknown_params(specs, params)
+    profiler = None
+    jobs = args.jobs
+    if args.profile:
+        import cProfile
+
+        # Worker processes run their own interpreters; only a serial run
+        # gives the profiler the actual simulation work.
+        jobs = 1
+        profiler = cProfile.Profile()
+        profiler.enable()
     total_simulated = total_hits = total_misses = 0
     for spec in specs:
         report = run_experiment(
@@ -504,7 +524,7 @@ def _command_run(args: argparse.Namespace) -> int:
             quick=args.quick,
             seeds=args.seeds,
             base_seed=args.base_seed,
-            processes=args.jobs,
+            processes=jobs,
             cache=cache,
             params=params,
         )
@@ -512,6 +532,12 @@ def _command_run(args: argparse.Namespace) -> int:
         total_simulated += report.simulated
         total_hits += report.cache_hits
         total_misses += report.cache_misses
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        print("== cProfile: top 25 by cumulative time ==")
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats("cumulative").print_stats(25)
 
     if not args.json:
         print(

@@ -1,4 +1,4 @@
-"""Perf-report helper: persist benchmark timings as ``BENCH_*.json`` files.
+"""Perf-report helper: persist and compare ``BENCH_*.json`` benchmark files.
 
 The substrate benchmarks (``benchmarks/test_bench_substrate.py``) measure the
 simulator itself rather than a paper figure, and the workload benchmarks
@@ -12,19 +12,35 @@ files can also be produced manually::
 
     PYTHONPATH=src pytest benchmarks/test_bench_substrate.py --benchmark-only
 
+The module doubles as a regression gate: compare a freshly produced summary
+against a committed baseline and fail (exit 1) on any benchmark more than
+20% slower::
+
+    PYTHONPATH=src python -m repro.experiments.perf_report \\
+        BENCH_substrate.json --baseline baselines/BENCH_substrate.json
+
 See ``benchmarks/README.md`` for how to read the output.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import sys
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 DEFAULT_REPORT_NAME = "BENCH_substrate.json"
 DEFAULT_REPORT_TITLE = "simulation substrate benchmarks"
+
+#: A benchmark counts as regressed when it is more than this much slower
+#: than the baseline (0.20 == 20% more wall time).
+DEFAULT_REGRESSION_THRESHOLD = 0.20
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_BAD_INPUT = 2
 
 
 def build_bench_summary(
@@ -78,3 +94,132 @@ def write_bench_summary(
         + "\n"
     )
     return target
+
+
+# ------------------------------------------------------- baseline comparison
+
+
+def load_bench_summary(path: Union[str, Path]) -> Dict[str, float]:
+    """Read a ``BENCH_*.json`` file back into a ``{name: seconds}`` map.
+
+    Entries without a usable ``seconds`` field are skipped rather than
+    poisoning the comparison; a malformed file raises ``ValueError`` with
+    the offending path in the message.
+    """
+    target = Path(path)
+    try:
+        data = json.loads(target.read_text())
+        benchmarks = data["benchmarks"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as error:
+        raise ValueError(f"unreadable benchmark summary {target}: {error}") from error
+    timings: Dict[str, float] = {}
+    for entry in benchmarks:
+        name = entry.get("name")
+        seconds = entry.get("seconds")
+        if isinstance(name, str) and isinstance(seconds, (int, float)) and seconds > 0:
+            timings[name] = float(seconds)
+    return timings
+
+
+def compare_bench_summaries(
+    current: Mapping[str, float],
+    baseline: Mapping[str, float],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> List[Dict[str, object]]:
+    """Per-benchmark deltas of ``current`` against ``baseline``.
+
+    Each row carries the benchmark name, both timings, the ``speedup``
+    ratio (baseline over current — above 1.0 is faster) and a ``status``:
+    ``ok``, ``regressed`` (more than ``threshold`` slower), ``new``
+    (no baseline entry) or ``removed`` (baseline only).
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    rows: List[Dict[str, object]] = []
+    for name in sorted(set(current) | set(baseline)):
+        current_s = current.get(name)
+        baseline_s = baseline.get(name)
+        if current_s is None:
+            rows.append({"name": name, "baseline_s": baseline_s, "current_s": None,
+                         "speedup": None, "status": "removed"})
+            continue
+        if baseline_s is None:
+            rows.append({"name": name, "baseline_s": None, "current_s": current_s,
+                         "speedup": None, "status": "new"})
+            continue
+        speedup = baseline_s / current_s
+        regressed = current_s > baseline_s * (1.0 + threshold)
+        rows.append({
+            "name": name,
+            "baseline_s": baseline_s,
+            "current_s": current_s,
+            "speedup": speedup,
+            "status": "regressed" if regressed else "ok",
+        })
+    return rows
+
+
+def format_comparison(rows: Sequence[Mapping[str, object]]) -> str:
+    """Human-readable comparison table for :func:`compare_bench_summaries`."""
+    lines = [f"{'benchmark':<48} {'baseline':>10} {'current':>10} {'speedup':>8}  status"]
+    for row in rows:
+        baseline_s = row["baseline_s"]
+        current_s = row["current_s"]
+        speedup = row["speedup"]
+        lines.append(
+            f"{str(row['name']):<48}"
+            f" {f'{baseline_s * 1e3:.2f}ms' if baseline_s is not None else '-':>10}"
+            f" {f'{current_s * 1e3:.2f}ms' if current_s is not None else '-':>10}"
+            f" {f'{speedup:.2f}x' if speedup is not None else '-':>8}"
+            f"  {row['status']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: compare a benchmark summary against a baseline summary.
+
+    Exits ``1`` when any benchmark present in both files is more than
+    ``--threshold`` slower than its baseline, so CI can gate on the result.
+    New and removed benchmarks are reported but never fail the check — a
+    renamed benchmark should not masquerade as a perf change.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.perf_report",
+        description="Compare BENCH_*.json benchmark summaries against a baseline.",
+    )
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="committed BENCH_*.json to compare against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_REGRESSION_THRESHOLD,
+        help="relative slowdown that counts as a regression (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        current = load_bench_summary(args.current)
+        baseline = load_bench_summary(args.baseline)
+        rows = compare_bench_summaries(current, baseline, threshold=args.threshold)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_BAD_INPUT
+    print(format_comparison(rows))
+    regressed = [row for row in rows if row["status"] == "regressed"]
+    if regressed:
+        names = ", ".join(str(row["name"]) for row in regressed)
+        print(
+            f"perf regression: {len(regressed)} benchmark(s) more than"
+            f" {args.threshold:.0%} slower than baseline: {names}",
+            file=sys.stderr,
+        )
+        return EXIT_REGRESSION
+    return EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

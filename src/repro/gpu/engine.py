@@ -8,24 +8,38 @@ rate equal to its current SM allocation times its efficiency.
 
 Replanning is incremental: the engine maintains per-context running lists and
 caches each context's water-filled allocation, so an event only re-runs the
-water-filling for the context it touched.  When the device is under-subscribed
-(total demand fits in the physical SMs) the cross-context scale factor and the
-contention pressure are constant, and the rates of kernels in untouched
-contexts are provably unchanged — the fast path skips recomputing them
-entirely.  All arithmetic follows the exact operation order of the original
-from-scratch :func:`repro.gpu.allocation.allocate_sms` plan so that optimized
-runs are bit-identical to unoptimized ones (see
+water-filling for the context it touched.  When the cross-context scale factor
+and the contention factor are unchanged by an event, the rates of kernels in
+untouched contexts are provably unchanged — the fast path skips recomputing
+them entirely.  All arithmetic follows the exact operation order of the
+original from-scratch :func:`repro.gpu.allocation.allocate_sms` plan so that
+optimized runs are bit-identical to unoptimized ones (see
 ``tests/test_perf_equivalence.py``).
+
+For wide running sets (``num_contexts * streams_per_context`` well past ten
+concurrently running kernels) the engine additionally keeps the remaining
+work and rates in contiguous numpy arrays (``vectorized_enabled``): progress
+advancement, completion detection and the next-completion ETA then run as
+array expressions instead of per-kernel Python loops.  Every array expression
+mirrors the scalar operation order element for element, so the vectorized
+tier is bit-identical to the scalar tier as well.
+
+Completion events use a generation token instead of a cancellable handle:
+each replan bumps the generation, so a superseded completion callback simply
+fires as a no-op.  This avoids allocating an :class:`Event` plus handle and
+running the cancellation bookkeeping on every replan, which is the hottest
+scheduling site of a scenario run.
 """
 
 from __future__ import annotations
 
 import math
+from heapq import heappush
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.gpu.allocation import water_fill
+from repro.gpu.allocation import water_fill, water_fill_array
 from repro.gpu.calibration import (
     CONTENTION_WEIGHT_BASE,
     CONTENTION_WEIGHT_MEMORY,
@@ -36,10 +50,27 @@ from repro.gpu.context import Context
 from repro.gpu.kernel import KernelInstance, KernelSpec, KernelState
 from repro.gpu.spec import GpuSpec
 from repro.gpu.stream import Stream
+from repro.sim.events import next_sequence
 from repro.sim.simulator import Simulator
 
 _EPSILON_WORK = 1e-9
 _EPSILON_TIME = 1e-9
+
+# Running-set width from which the contiguous-array tier takes over.  Below
+# this the per-kernel Python loops win (no array bookkeeping, no numpy call
+# overhead); well above it the array expressions amortize their fixed cost
+# over the whole running set.
+_VECTOR_MIN_KERNELS = 24
+
+# Per-context demand count from which the array-based water fill takes over
+# in the general replan path; below it the scalar loop is cheaper than the
+# numpy call overhead.
+_ARRAY_FILL_MIN_DEMANDS = 8
+
+# Noise draws are taken from the generator in chunks of this size; the chunk
+# reproduces the scalar draw sequence bit for bit (``normal(0, sigma)`` is
+# ``sigma * standard_normal()`` on the same underlying stream).
+_NOISE_CHUNK = 256
 
 
 class GpuEngine:
@@ -48,6 +79,10 @@ class GpuEngine:
     # Class-level switch for the under-subscription fast path; the equivalence
     # test disables it to force the reference (full) replan on every event.
     fast_path_enabled: bool = True
+    # Class-level switch for the wide-running-set numpy tier.
+    vectorized_enabled: bool = True
+    # Class-level switch for chunked noise draws (scalar draws when False).
+    batched_noise_enabled: bool = True
 
     def __init__(
         self,
@@ -59,7 +94,19 @@ class GpuEngine:
         self.simulator = simulator
         self.spec = spec
         self.calibration = calibration
+        # Plan-time invariants hoisted out of the replan hot loop.  The spec
+        # and calibration are frozen dataclasses, so these never go stale.
+        # ``_heap`` aliases the simulator's event heap (compaction replaces
+        # its contents in place): completion/dispatch events are pushed
+        # directly, skipping a Python call per scheduled event.
+        self._num_sms = spec.num_sms
+        self._min_rate = calibration.min_rate_sms
+        self._contention_penalty = calibration.contention_penalty
+        self._intra_penalty = calibration.intra_stream_penalty
+        self._heap = simulator._heap
         self._noise_rng = noise_rng
+        self._noise_chunk: List[float] = []
+        self._noise_pos = 0
         self._contexts: Dict[int, Context] = {}
         # Quota lookup used by every replan path.  Context.sm_quota is treated
         # as immutable after create_context(); all allocation code reads this
@@ -68,7 +115,6 @@ class GpuEngine:
         self._streams: Dict[int, Dict[int, Stream]] = {}
         self._running: Dict[int, KernelInstance] = {}
         self._last_update: float = simulator.now
-        self._completion_handle = None
         self._next_context_id = 0
         self._utilization_time_integral = 0.0
         self._current_utilization = 0.0
@@ -85,15 +131,28 @@ class GpuEngine:
         self._ctx_alloc: Dict[int, Tuple[List[float], float]] = {}
         self._dirty_contexts: set = set()
         self._last_scale = 1.0
-        self._last_pressure_eff = 0.0  # pressure last used for kernel rates
+        self._last_contention = 0.0  # contention factor last used for rates
         # Observability: how often the fast path skipped rate recomputation.
         self.fast_path_hits = 0
         self.full_replans = 0
+        # Observability: how often the wide-running-set numpy tier activated.
+        self.vector_engagements = 0
+        # Completion scheduling: a monotonically increasing generation token.
+        # Every replan bumps it, so outstanding completion callbacks from
+        # older plans fire as no-ops instead of being cancelled.
+        self._completion_gen = 0
+        # Vectorized tier state (active only while the running set is wide).
+        # ``_vec_kernels`` mirrors the insertion order of ``_running``;
+        # ``_vec_rw`` is the source of truth for remaining work while active
+        # (instance attributes are flushed lazily), ``_vec_rate`` mirrors the
+        # always-current ``current_rate`` attributes.
+        self._vec_active = False
+        self._vec_kernels: List[KernelInstance] = []
+        self._vec_rw: Optional[np.ndarray] = None
+        self._vec_rate: Optional[np.ndarray] = None
         # Invoked as ``callback(context_id, stream_id)`` whenever a stream
         # drains to empty; the platform uses it for O(1) idle-stream tracking.
         self.stream_idle_callback: Optional[Callable[[int, int], None]] = None
-        # One reusable closure instead of a fresh lambda per replan.
-        self._completion_callback = lambda _sim: self._on_completion()
         # Fault injection: global rate multiplier applied while a slowdown
         # (thermal-throttle) window is open.  Exactly 1.0 outside windows, in
         # which case no rate expression is touched — fault-free runs execute
@@ -197,6 +256,18 @@ class GpuEngine:
         kernel.enqueue_time = self.simulator.now
         kernel.effective_work = spec.work
         kernel.remaining_work = spec.work
+        # Plan-time invariants of this kernel: the demand clipped to its
+        # context quota and the memory-intensity contention weight.  Both
+        # expressions match the historical inline forms bit for bit; caching
+        # them removes the spec/quota chasing from every replan.
+        quota = self._quotas[stream.context_id]
+        demand = spec.parallelism
+        if demand > quota:
+            demand = quota
+        kernel.clipped_demand = demand
+        kernel.contention_weight = (
+            CONTENTION_WEIGHT_BASE + CONTENTION_WEIGHT_MEMORY * spec.memory_intensity
+        )
         became_head = stream.push(kernel)
         if became_head:
             self._begin_dispatch(kernel)
@@ -209,26 +280,39 @@ class GpuEngine:
             self.calibration.dispatch_overhead_ms
             + kernel.spec.num_launches * self.spec.launch_overhead_ms
         )
-        simulator = self.simulator
-        now = simulator.now
+        now = self.simulator.now
         free_at = context.dispatcher_free_at
         ready_at = (now if now > free_at else free_at) + launch_cost
         context.dispatcher_free_at = ready_at
         kernel.state = KernelState.DISPATCHING
         kernel.dispatch_ready_time = ready_at
-        simulator.schedule_callback(
-            ready_at,
-            lambda _sim, k=kernel: self._kernel_ready(k),
-            label="dispatch",
+        # Direct push of a fire-and-forget dispatch event (ready_at >= now by
+        # construction, so schedule_callback's past-time guard is vacuous).
+        heappush(
+            self._heap,
+            ((ready_at, 0, next_sequence()), lambda _sim, k=kernel: self._kernel_ready(k)),
         )
 
     def _kernel_ready(self, kernel: KernelInstance) -> None:
         """Transition a dispatched kernel to RUNNING and replan allocations."""
         if kernel.state is KernelState.COMPLETED:  # pragma: no cover - defensive
             return
-        self._advance_progress()
+        # _advance_progress inlined (hot: once per dispatched stage).
+        now = self.simulator.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            self._utilization_time_integral += self._current_utilization * elapsed
+        if elapsed > _EPSILON_TIME:
+            if self._vec_active:
+                remaining = self._vec_rw - self._vec_rate * elapsed
+                self._vec_rw = np.where(remaining > 0.0, remaining, 0.0)
+            else:
+                for running_kernel in self._running.values():
+                    remaining = running_kernel.remaining_work - running_kernel.current_rate * elapsed
+                    running_kernel.remaining_work = remaining if remaining > 0.0 else 0.0
+        self._last_update = now
         kernel.state = KernelState.RUNNING
-        kernel.start_time = self.simulator.now
+        kernel.start_time = now
         context_id = kernel.context_id
         ctx_list = self._ctx_running.get(context_id)
         if self._noise_rng is None:
@@ -252,6 +336,10 @@ class GpuEngine:
             self._ctx_running[context_id] = [kernel]
         else:
             ctx_list.append(kernel)
+        if self._vec_active:
+            self._vec_kernels.append(kernel)
+            self._vec_rw = np.append(self._vec_rw, kernel.remaining_work)
+            self._vec_rate = np.append(self._vec_rate, kernel.current_rate)
         self._dirty_contexts.add(context_id)
         self._replan()
 
@@ -259,7 +347,21 @@ class GpuEngine:
         """Log-normal noise factor with unit mean (deterministic 1.0 without RNG)."""
         if self._noise_rng is None or sigma <= 0:
             return 1.0
-        draw = self._noise_rng.normal(0.0, sigma)
+        if GpuEngine.batched_noise_enabled:
+            # ``normal(0, sigma)`` draws one standard normal and scales it;
+            # taking the standard normals in chunks consumes the generator
+            # identically (the engine owns the "gpu-noise" stream), so the
+            # draw sequence — and hence every noise factor — is unchanged.
+            pos = self._noise_pos
+            chunk = self._noise_chunk
+            if pos >= len(chunk):
+                chunk = self._noise_rng.standard_normal(size=_NOISE_CHUNK).tolist()
+                self._noise_chunk = chunk
+                pos = 0
+            self._noise_pos = pos + 1
+            draw = sigma * chunk[pos]
+        else:
+            draw = self._noise_rng.normal(0.0, sigma)
         return math.exp(draw - 0.5 * sigma * sigma)
 
     # ----------------------------------------------------------------- faults
@@ -294,9 +396,19 @@ class GpuEngine:
         if recovery_ms < 0:
             raise ValueError("recovery_ms must be non-negative")
         self._advance_progress()
+        if self._vec_active:
+            # Settle the array state into the instance attributes before the
+            # per-kernel rework below mutates them.
+            self._vec_writeback()
         kernels = self._ctx_running.get(context_id) or ()
         for kernel in kernels:
             kernel.remaining_work = kernel.effective_work + kernel.current_rate * recovery_ms
+        if self._vec_active and kernels:
+            self._vec_rw = np.fromiter(
+                (k.remaining_work for k in self._vec_kernels),
+                np.float64,
+                count=len(self._vec_kernels),
+            )
         context = self._contexts[context_id]
         now = self.simulator.now
         free_at = context.dispatcher_free_at
@@ -315,10 +427,51 @@ class GpuEngine:
         if elapsed > 0:
             self._utilization_time_integral += self._current_utilization * elapsed
         if elapsed > _EPSILON_TIME:
-            for kernel in self._running.values():
-                remaining = kernel.remaining_work - kernel.current_rate * elapsed
-                kernel.remaining_work = remaining if remaining > 0.0 else 0.0
+            if self._vec_active:
+                # Element-for-element the same two operations and the same
+                # clip conditional as the scalar loop below.
+                remaining = self._vec_rw - self._vec_rate * elapsed
+                self._vec_rw = np.where(remaining > 0.0, remaining, 0.0)
+            else:
+                for kernel in self._running.values():
+                    remaining = kernel.remaining_work - kernel.current_rate * elapsed
+                    kernel.remaining_work = remaining if remaining > 0.0 else 0.0
         self._last_update = now
+
+    # ------------------------------------------------------- vectorized state
+
+    def _vec_enter(self) -> None:
+        """Build the contiguous arrays from the (current) instance attributes."""
+        kernels = list(self._running.values())
+        count = len(kernels)
+        self._vec_kernels = kernels
+        self._vec_rw = np.fromiter((k.remaining_work for k in kernels), np.float64, count=count)
+        self._vec_rate = np.fromiter((k.current_rate for k in kernels), np.float64, count=count)
+        self._vec_active = True
+        self.vector_engagements += 1
+
+    def _vec_writeback(self) -> None:
+        """Flush the remaining-work array back into the instance attributes."""
+        for kernel, remaining in zip(self._vec_kernels, self._vec_rw.tolist()):
+            kernel.remaining_work = remaining
+
+    def _vec_exit(self) -> None:
+        self._vec_writeback()
+        self._vec_active = False
+        self._vec_kernels = []
+        self._vec_rw = None
+        self._vec_rate = None
+
+    # ---------------------------------------------------------------- replans
+
+    def _schedule_completion(self, soonest: float) -> None:
+        """Push the next completion event (fire_at >= now, guard-free push)."""
+        fire_at = self.simulator.now + (soonest if soonest > 0.0 else 0.0)
+        gen = self._completion_gen
+        heappush(
+            self._heap,
+            ((fire_at, 0, next_sequence()), lambda _sim, g=gen: self._on_completion(g)),
+        )
 
     def _replan(self) -> None:
         """Recompute SM allocation and schedule the next completion event.
@@ -327,9 +480,8 @@ class GpuEngine:
         :func:`repro.gpu.allocation.allocate_sms` would return for the current
         running set; it merely avoids redoing work whose inputs are unchanged.
         """
-        if self._completion_handle is not None:
-            self._completion_handle.cancel()
-            self._completion_handle = None
+        # Invalidate any outstanding completion callback.
+        self._completion_gen += 1
 
         running = self._running
         # Track busy time for utilization-style reporting.
@@ -339,17 +491,34 @@ class GpuEngine:
             self._total_busy_time += self.simulator.now - self._busy_time_start
             self._busy_time_start = None
 
+        # Enter or leave the wide-running-set array tier.  Attributes are the
+        # source of truth outside the tier, the arrays inside it; both
+        # transitions preserve the invariant.
+        vec_wanted = GpuEngine.vectorized_enabled and len(running) >= _VECTOR_MIN_KERNELS
+        if vec_wanted != self._vec_active:
+            if vec_wanted:
+                self._vec_enter()
+            else:
+                self._vec_exit()
+
         # Drop contexts whose running set emptied; afterwards every entry of
         # ``_ctx_running`` is non-empty and every dirty context needs only a
         # water-fill refresh.
         dirty = self._dirty_contexts
         ctx_running = self._ctx_running
         if dirty:
-            stale = [cid for cid in dirty if not ctx_running.get(cid)]
-            for cid in stale:
-                ctx_running.pop(cid, None)
-                self._ctx_alloc.pop(cid, None)
-                dirty.remove(cid)
+            stale = None  # plain loop: no comprehension frame on the hot path
+            for cid in dirty:
+                if not ctx_running.get(cid):
+                    if stale is None:
+                        stale = [cid]
+                    else:
+                        stale.append(cid)
+            if stale:
+                for cid in stale:
+                    ctx_running.pop(cid, None)
+                    self._ctx_alloc.pop(cid, None)
+                    dirty.remove(cid)
 
         if not running:
             self._current_utilization = 0.0
@@ -364,14 +533,11 @@ class GpuEngine:
             kernel = next(iter(running.values()))
             cid = kernel.context_id
             if dirty:
-                quota = self._quotas[cid]
-                demand = kernel.spec.parallelism
-                if demand > quota:
-                    demand = quota
+                demand = kernel.clipped_demand
                 self._ctx_alloc[cid] = ([demand], demand)
                 dirty.clear()
             allocation = self._ctx_alloc[cid][1]
-            num_sms = self.spec.num_sms
+            num_sms = self._num_sms
             pressure = allocation / num_sms
             if allocation > num_sms:
                 scale = num_sms / allocation
@@ -384,33 +550,33 @@ class GpuEngine:
             # Recompute the rate unconditionally: with concurrency 1 the intra
             # efficiency is exactly 1.0 and the whole expression is a handful
             # of operations, cheaper than tracking staleness.
-            calibration = self.calibration
-            min_rate = calibration.min_rate_sms
+            min_rate = self._min_rate
             allocated = grant if grant > min_rate else min_rate
-            contention_factor = calibration.contention_penalty * (
+            contention_factor = self._contention_penalty * (
                 pressure - 1.0 if pressure > 1.0 else 0.0
             )
-            efficiency = 1.0 / (
-                1.0
-                    + contention_factor
-                    * (
-                        CONTENTION_WEIGHT_BASE
-                        + CONTENTION_WEIGHT_MEMORY * kernel.spec.memory_intensity
-                    )
-            )
             kernel.allocated_sms = allocated
-            rate = allocated * efficiency
+            if contention_factor == 0.0:
+                # efficiency == 1/(1 + 0) == 1.0 exactly; the multiply is a
+                # bitwise no-op, so skip the division entirely.
+                rate = allocated
+            else:
+                rate = allocated * (
+                    1.0 / (1.0 + contention_factor * kernel.contention_weight)
+                )
             if self._fault_slowdown != 1.0:
                 rate *= self._fault_slowdown
             kernel.current_rate = rate
             self._last_scale = scale
-            self._last_pressure_eff = pressure
+            self._last_contention = contention_factor
             if rate > 0:
+                # _schedule_completion inlined.
                 soonest = kernel.remaining_work / rate
-                simulator = self.simulator
-                fire_at = simulator.now + (soonest if soonest > 0.0 else 0.0)
-                self._completion_handle = simulator.schedule_at(
-                    fire_at, self._completion_callback, label="gpu-completion"
+                fire_at = self.simulator.now + (soonest if soonest > 0.0 else 0.0)
+                gen = self._completion_gen
+                heappush(
+                    self._heap,
+                    ((fire_at, 0, next_sequence()), lambda _sim, g=gen: self._on_completion(g)),
                 )
             return
 
@@ -423,75 +589,101 @@ class GpuEngine:
         if GpuEngine.fast_path_enabled and len(ctx_running) == len(running):
             self.fast_path_hits += 1
             ctx_alloc = self._ctx_alloc
-            quotas = self._quotas
             if dirty:
                 for cid in dirty:
-                    quota = quotas[cid]
-                    demand = ctx_running[cid][0].spec.parallelism
-                    if demand > quota:
-                        demand = quota
+                    demand = ctx_running[cid][0].clipped_demand
                     ctx_alloc[cid] = ([demand], demand)
-                dirty.clear()
-            num_sms = self.spec.num_sms
-            demands = []
-            append = demands.append
+            num_sms = self._num_sms
             total_demand = 0.0
             for kernel in running.values():
-                quota = quotas[kernel.context_id]
-                demand = kernel.spec.parallelism
-                if demand > quota:
-                    demand = quota
-                append(demand)
-                total_demand += demand
+                total_demand += kernel.clipped_demand
             pressure = total_demand / num_sms
             scale = 1.0 if total_demand <= num_sms else num_sms / total_demand
             self._current_pressure = pressure = (
                 max(pressure, 1.0) if total_demand > 0 else 0.0
             )
-            calibration = self.calibration
-            min_rate = calibration.min_rate_sms
-            contention_factor = calibration.contention_penalty * (
+            min_rate = self._min_rate
+            contention_factor = self._contention_penalty * (
                 pressure - 1.0 if pressure > 1.0 else 0.0
             )
-            granted = 0.0
+            fault = self._fault_slowdown
+            # When neither the cross-context scale nor the contention factor
+            # moved, rates of kernels in untouched contexts are reproduced by
+            # their cached values; only dirty contexts need the arithmetic.
+            globals_changed = (
+                scale != self._last_scale or contention_factor != self._last_contention
+            )
+            if globals_changed:
+                granted = 0.0
+                for kernel in running.values():
+                    demand = kernel.clipped_demand
+                    grant = demand if scale == 1.0 else demand * scale
+                    granted += grant
+                    allocated = grant if grant > min_rate else min_rate
+                    kernel.allocated_sms = allocated
+                    if contention_factor == 0.0:
+                        rate = allocated
+                    else:
+                        rate = allocated * (
+                            1.0 / (1.0 + contention_factor * kernel.contention_weight)
+                        )
+                    if fault != 1.0:
+                        rate *= fault
+                    kernel.current_rate = rate
+            else:
+                for cid in dirty:
+                    kernel = ctx_running[cid][0]
+                    demand = kernel.clipped_demand
+                    grant = demand if scale == 1.0 else demand * scale
+                    allocated = grant if grant > min_rate else min_rate
+                    kernel.allocated_sms = allocated
+                    if contention_factor == 0.0:
+                        rate = allocated
+                    else:
+                        rate = allocated * (
+                            1.0 / (1.0 + contention_factor * kernel.contention_weight)
+                        )
+                    if fault != 1.0:
+                        rate *= fault
+                    kernel.current_rate = rate
+                if scale == 1.0:
+                    # grant_i == demand_i, so the granted fold retraces the
+                    # total_demand fold add for add.
+                    granted = total_demand
+                else:
+                    granted = 0.0
+                    for kernel in running.values():
+                        granted += kernel.clipped_demand * scale
+            dirty.clear()
+            self._current_utilization = min(1.0, granted / num_sms) if num_sms else 0.0
+            self._last_scale = scale
+            self._last_contention = contention_factor
+            if self._vec_active:
+                self._finish_replan()
+                return
+            # _finish_replan + _schedule_completion inlined (hottest tail:
+            # once per event at the MPS-policy shape).
             soonest = None
-            for kernel, demand in zip(running.values(), demands):
-                grant = demand if scale == 1.0 else demand * scale
-                granted += grant
-                allocated = grant if grant > min_rate else min_rate
-                efficiency = 1.0 / (
-                    1.0
-                    + contention_factor
-                    * (
-                        CONTENTION_WEIGHT_BASE
-                        + CONTENTION_WEIGHT_MEMORY * kernel.spec.memory_intensity
-                    )
-                )
-                kernel.allocated_sms = allocated
-                rate = allocated * efficiency
-                if self._fault_slowdown != 1.0:
-                    rate *= self._fault_slowdown
-                kernel.current_rate = rate
+            for kernel in running.values():
+                rate = kernel.current_rate
                 if rate > 0:
                     eta = kernel.remaining_work / rate
                     if soonest is None or eta < soonest:
                         soonest = eta
-            self._current_utilization = min(1.0, granted / num_sms) if num_sms else 0.0
-            self._last_scale = scale
-            self._last_pressure_eff = pressure
             if soonest is None:  # pragma: no cover - defensive
                 return
-            simulator = self.simulator
-            fire_at = simulator.now + (soonest if soonest > 0.0 else 0.0)
-            self._completion_handle = simulator.schedule_at(
-                fire_at, self._completion_callback, label="gpu-completion"
+            fire_at = self.simulator.now + (soonest if soonest > 0.0 else 0.0)
+            gen = self._completion_gen
+            heappush(
+                self._heap,
+                ((fire_at, 0, next_sequence()), lambda _sim, g=gen: self._on_completion(g)),
             )
             return
 
         # Context order of the reference plan: order of each context's first
         # running kernel within ``_running`` (global start order).
-        if len(self._ctx_running) == 1:
-            order = list(self._ctx_running)
+        if len(ctx_running) == 1:
+            order = list(ctx_running)
         else:
             order = []
             seen = set()
@@ -502,28 +694,28 @@ class GpuEngine:
                     order.append(cid)
 
         # Refresh the water-fill of every touched context.
-        dirty = self._dirty_contexts
         ctx_alloc = self._ctx_alloc
         for cid in dirty:
-            kernels = self._ctx_running.get(cid)
+            kernels = ctx_running.get(cid)
             if not kernels:
-                self._ctx_running.pop(cid, None)
+                ctx_running.pop(cid, None)
                 ctx_alloc.pop(cid, None)
                 continue
-            quota = self._quotas[cid]
             if len(kernels) == 1:
                 # Water-filling one demand degenerates to min(demand, quota),
                 # and the demand is already clipped to the quota.
-                demand = kernels[0].spec.parallelism
-                if demand > quota:
-                    demand = quota
+                demand = kernels[0].clipped_demand
                 ctx_alloc[cid] = ([demand], demand)
                 continue
-            demands = [min(k.spec.parallelism, quota) for k in kernels]
-            allocations = water_fill(quota, demands)
+            quota = self._quotas[cid]
+            demands = [k.clipped_demand for k in kernels]
+            if self.vectorized_enabled and len(demands) >= _ARRAY_FILL_MIN_DEMANDS:
+                allocations = water_fill_array(quota, demands)
+            else:
+                allocations = water_fill(quota, demands)
             ctx_alloc[cid] = (allocations, sum(allocations))
 
-        num_sms = self.spec.num_sms
+        num_sms = self._num_sms
         total_demand = 0.0
         for cid in order:
             total_demand += ctx_alloc[cid][1]
@@ -545,25 +737,24 @@ class GpuEngine:
 
         # Kernel rates.  A context's rates only change when its own membership
         # changed (water-fill + concurrency) or when a global input changed
-        # (scale, pressure): every input to the pure float rate expression is
-        # otherwise identical, so reusing the stored ``current_rate`` is
-        # bitwise what a full recompute would produce.
+        # (scale, contention factor): every input to the pure float rate
+        # expression is otherwise identical, so reusing the stored
+        # ``current_rate`` is bitwise what a full recompute would produce.
+        min_rate = self._min_rate
+        intra_penalty = self._intra_penalty
+        # contention_efficiency(pressure, mi) inlined with its pressure-only
+        # part hoisted: 1 / (1 + penalty * excess * (base + memory_weight * mi)).
+        contention_factor = self._contention_penalty * (
+            pressure - 1.0 if pressure > 1.0 else 0.0
+        )
         globals_changed = (
             scale != self._last_scale
-            or pressure != self._last_pressure_eff
+            or contention_factor != self._last_contention
             or not GpuEngine.fast_path_enabled
         )
         self._last_scale = scale
-        self._last_pressure_eff = pressure
-        calibration = self.calibration
-        min_rate = calibration.min_rate_sms
-        intra_penalty = calibration.intra_stream_penalty
-        # contention_efficiency(pressure, mi) inlined with its pressure-only
-        # part hoisted: 1 / (1 + penalty * excess * (base + memory_weight * mi)).
-        contention_factor = calibration.contention_penalty * (
-            pressure - 1.0 if pressure > 1.0 else 0.0
-        )
-        ctx_running = self._ctx_running
+        self._last_contention = contention_factor
+        fault = self._fault_slowdown
         for cid in order:
             if not globals_changed and cid not in dirty:
                 self.fast_path_hits += 1
@@ -576,49 +767,87 @@ class GpuEngine:
             for kernel, allocation in zip(kernels, allocations):
                 grant = allocation * scale
                 allocated = grant if grant > min_rate else min_rate
-                efficiency = intra * (
-                    1.0 / (1.0
-                    + contention_factor
-                    * (
-                        CONTENTION_WEIGHT_BASE
-                        + CONTENTION_WEIGHT_MEMORY * kernel.spec.memory_intensity
-                    ))
-                )
                 kernel.allocated_sms = allocated
-                rate = allocated * efficiency
-                if self._fault_slowdown != 1.0:
-                    rate *= self._fault_slowdown
+                if contention_factor == 0.0:
+                    # intra * (1/(1+0)) == intra exactly.
+                    rate = allocated * intra
+                else:
+                    rate = allocated * (
+                        intra
+                        * (1.0 / (1.0 + contention_factor * kernel.contention_weight))
+                    )
+                if fault != 1.0:
+                    rate *= fault
                 kernel.current_rate = rate
         dirty.clear()
+        self._finish_replan()
 
+    def _finish_replan(self) -> None:
+        """Find the earliest completion ETA and schedule its callback."""
+        if self._vec_active:
+            rates = np.fromiter(
+                (k.current_rate for k in self._vec_kernels),
+                np.float64,
+                count=len(self._vec_kernels),
+            )
+            self._vec_rate = rates
+            positive = rates > 0.0
+            if positive.all():
+                soonest = float((self._vec_rw / rates).min())
+            elif positive.any():
+                soonest = float((self._vec_rw[positive] / rates[positive]).min())
+            else:  # pragma: no cover - defensive
+                return
+            self._schedule_completion(soonest)
+            return
         soonest: Optional[float] = None
-        for kernel in running.values():
+        for kernel in self._running.values():
             rate = kernel.current_rate
             if rate > 0:
                 eta = kernel.remaining_work / rate
                 if soonest is None or eta < soonest:
                     soonest = eta
-
         if soonest is None:  # pragma: no cover - defensive
             return
-        simulator = self.simulator
-        fire_at = simulator.now + (soonest if soonest > 0.0 else 0.0)
-        self._completion_handle = simulator.schedule_at(
-            fire_at, self._completion_callback, label="gpu-completion"
-        )
+        self._schedule_completion(soonest)
 
-    def _on_completion(self) -> None:
+    def _on_completion(self, gen: int) -> None:
         """Complete every kernel whose remaining work reached zero, then replan."""
-        self._completion_handle = None
-        self._advance_progress()
-        finished = [
-            kernel
-            for kernel in self._running.values()
-            if kernel.remaining_work <= _EPSILON_WORK
-        ]
+        if gen != self._completion_gen:
+            return  # superseded by a newer plan
+        # _advance_progress inlined (hot: once per live completion event).
+        now = self.simulator.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            self._utilization_time_integral += self._current_utilization * elapsed
+        if elapsed > _EPSILON_TIME:
+            if self._vec_active:
+                remaining = self._vec_rw - self._vec_rate * elapsed
+                self._vec_rw = np.where(remaining > 0.0, remaining, 0.0)
+            else:
+                for kernel in self._running.values():
+                    remaining = kernel.remaining_work - kernel.current_rate * elapsed
+                    kernel.remaining_work = remaining if remaining > 0.0 else 0.0
+        self._last_update = now
+        if self._vec_active:
+            finished_idx = np.nonzero(self._vec_rw <= _EPSILON_WORK)[0]
+            finished = [self._vec_kernels[index] for index in finished_idx.tolist()]
+        else:
+            finished = None  # plain loop: no comprehension frame on the hot path
+            for kernel in self._running.values():
+                if kernel.remaining_work <= _EPSILON_WORK:
+                    if finished is None:
+                        finished = [kernel]
+                    else:
+                        finished.append(kernel)
         if not finished:
             self._replan()
             return
+        if self._vec_active:
+            self._vec_rw = np.delete(self._vec_rw, finished_idx)
+            self._vec_rate = np.delete(self._vec_rate, finished_idx)
+            for index in reversed(finished_idx.tolist()):
+                del self._vec_kernels[index]
         notify_idle = self.stream_idle_callback
         for kernel in finished:
             del self._running[kernel.uid]
@@ -630,7 +859,7 @@ class GpuEngine:
                     break
             self._dirty_contexts.add(context_id)
             kernel.state = KernelState.COMPLETED
-            kernel.finish_time = self.simulator.now
+            kernel.finish_time = now
             kernel.remaining_work = 0.0
             self.completed_kernels += 1
             stream = self._streams[context_id][kernel.stream_id]

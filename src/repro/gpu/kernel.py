@@ -104,6 +104,8 @@ class KernelInstance:
         "noise_factor",
         "allocated_sms",
         "current_rate",
+        "clipped_demand",
+        "contention_weight",
     )
 
     def __init__(
@@ -130,6 +132,11 @@ class KernelInstance:
         self.noise_factor = 1.0
         self.allocated_sms = 0.0
         self.current_rate = 0.0
+        # Plan-time invariants filled in by the engine at launch: the demand
+        # clipped to the context quota and the memory-intensity contention
+        # weight (both cached so replans avoid re-deriving them).
+        self.clipped_demand = spec.parallelism
+        self.contention_weight = 0.0
 
     @property
     def execution_time_ms(self) -> float:

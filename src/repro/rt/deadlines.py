@@ -50,10 +50,19 @@ def assign_virtual_deadlines(job: Job) -> None:
     instance so later analysis (Figure 9) can compare prediction with the
     actually measured execution time.
     """
-    mrets = [job.task.timing.stage_value(i) for i in range(job.num_stages)]
-    shares = virtual_deadline_shares(mrets, job.task.spec.relative_deadline_ms)
+    task = job.task
+    timing = task.timing
+    version = timing.version
+    if version != task._vd_version:
+        # The share split depends only on the MRET snapshot; releases between
+        # two timing-model updates reuse it (identical values, so identical
+        # virtual deadlines).
+        mrets = [timing.stage_value(i) for i in range(job.num_stages)]
+        task._vd_mrets = mrets
+        task._vd_shares = virtual_deadline_shares(mrets, task.spec.relative_deadline_ms)
+        task._vd_version = version
     cumulative = job.release_time
-    for stage, share, mret in zip(job.stages, shares, mrets):
+    for stage, share, mret in zip(job.stages, task._vd_shares, task._vd_mrets):
         cumulative += share
         stage.virtual_deadline = cumulative
         stage.mret_at_release = mret

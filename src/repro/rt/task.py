@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dnn.model import DnnModel
@@ -109,46 +109,54 @@ class TaskSpec:
 
 
 class Task:
-    """Runtime state of a task: timing model, context assignment, counters."""
+    """Runtime state of a task: timing model, context assignment, counters.
+
+    ``task_id``/``name``/``priority``/``num_stages`` are plain instance
+    attributes rather than properties delegating to the spec: the scheduler
+    and admission hot paths read them hundreds of thousands of times per
+    scenario, and the spec-side values are immutable after construction.
+    """
 
     def __init__(self, spec: TaskSpec, stages: Optional[List[StageSpec]] = None, window_size: int = 5):
         self.spec = spec
         self.stages: List[StageSpec] = list(stages) if stages is not None else list(spec.model.stages)
         self.timing = TaskTimingModel(num_stages=len(self.stages), window_size=window_size)
+        self.task_id: int = spec.task_id
+        self.name: str = spec.name
+        self.priority: Priority = spec.priority
+        self.num_stages: int = len(self.stages)
         self.context_index: int = -1
         self.jobs_released = 0
         self.jobs_admitted = 0
         self.jobs_rejected = 0
         self.jobs_completed = 0
         self.jobs_missed = 0
-
-    @property
-    def task_id(self) -> int:
-        """Task id from the spec."""
-        return self.spec.task_id
-
-    @property
-    def name(self) -> str:
-        """Task name from the spec."""
-        return self.spec.name
-
-    @property
-    def priority(self) -> Priority:
-        """Task priority from the spec."""
-        return self.spec.priority
-
-    @property
-    def num_stages(self) -> int:
-        """Number of stages of this task's (possibly merged) DNN."""
-        return len(self.stages)
+        # Utilization memo, keyed by the timing-model version.
+        self._util_version = -1
+        self._util_value = 0.0
+        # Virtual-deadline share memo (see repro.rt.deadlines), same keying:
+        # consecutive releases between MRET updates reuse the share split.
+        self._vd_version = -1
+        self._vd_mrets: List[float] = []
+        self._vd_shares: List[float] = []
 
     def mret_total(self) -> float:
         """Paper Equation 2: sum of per-stage MRETs."""
         return self.timing.total()
 
     def utilization(self) -> float:
-        """Paper Equation 3 (with Equation 10's AFET fallback handled by the timing model)."""
-        return self.mret_total() / self.spec.period_ms
+        """Paper Equation 3 (with Equation 10's AFET fallback handled by the timing model).
+
+        Cached on the timing-model version: the admission test evaluates the
+        utilization of every task in a context per probe, far more often than
+        an MRET window changes.
+        """
+        timing = self.timing
+        version = timing.version
+        if version != self._util_version:
+            self._util_value = timing.total() / self.spec.period_ms
+            self._util_version = version
+        return self._util_value
 
     def release_job(self, release_time: float) -> "Job":
         """Create the next job of this task at ``release_time``."""
@@ -167,7 +175,27 @@ _job_counter = itertools.count()
 
 
 class Job:
-    """One released instance of a task."""
+    """One released instance of a task.
+
+    A ``__slots__`` class: one instance per release, with the priority and
+    stage count denormalized from the task because the admission test and the
+    stage-queue keys read them on every probe.
+    """
+
+    __slots__ = (
+        "uid",
+        "task",
+        "index",
+        "release_time",
+        "absolute_deadline",
+        "state",
+        "context_index",
+        "completion_time",
+        "stages",
+        "current_stage_index",
+        "priority",
+        "num_stages",
+    )
 
     def __init__(self, task: Task, index: int, release_time: float):
         self.uid = next(_job_counter)
@@ -178,21 +206,13 @@ class Job:
         self.state = JobState.RELEASED
         self.context_index: int = task.context_index
         self.completion_time: Optional[float] = None
+        self.priority: Priority = task.priority
         self.stages: List[StageInstance] = [
             StageInstance(job=self, stage_index=i, spec=stage)
             for i, stage in enumerate(task.stages)
         ]
+        self.num_stages: int = len(self.stages)
         self.current_stage_index = 0
-
-    @property
-    def priority(self) -> Priority:
-        """Priority inherited from the owning task."""
-        return self.task.priority
-
-    @property
-    def num_stages(self) -> int:
-        """Number of stages of the job."""
-        return len(self.stages)
 
     @property
     def current_stage(self) -> "StageInstance":
@@ -233,7 +253,7 @@ class Job:
         return f"Job({self.task.name}#{self.index}, state={self.state.value})"
 
 
-@dataclass
+@dataclass(slots=True)
 class StageInstance:
     """One stage of one job: the dispatchable unit of the DARIS scheduler."""
 

@@ -58,6 +58,9 @@ class AdmissionController:
             ]
             for index in range(config.num_contexts)
         ]
+        # Hot-path invariants of the fused probe in :meth:`decide`.
+        self._num_contexts = config.num_contexts
+        self._streams_f = float(config.streams_per_context)
 
     # ----------------------------------------------------------- bookkeeping
 
@@ -82,21 +85,28 @@ class AdmissionController:
 
     def high_priority_utilization(self, context_index: int) -> float:
         """Equation 4: total utilization of HP tasks assigned to the context."""
-        return sum(task.utilization() for task in self._hp_tasks_by_context[context_index])
+        total = 0.0
+        for task in self._hp_tasks_by_context[context_index]:
+            total += task.utilization()
+        return total
 
     def active_low_utilization(self, context_index: int) -> float:
         """Equation 7's LP component: utilization of LP tasks with an active job."""
-        table = self._active_low[context_index]
-        return sum(
-            self._task_by_id[task_id].utilization() for task_id, count in table.items() if count > 0
-        )
+        task_by_id = self._task_by_id
+        total = 0.0
+        for task_id, count in self._active_low[context_index].items():
+            if count > 0:
+                total += task_by_id[task_id].utilization()
+        return total
 
     def active_high_utilization(self, context_index: int) -> float:
         """Utilization of HP tasks with an active job (used by Overload+HPA)."""
-        table = self._active_high[context_index]
-        return sum(
-            self._task_by_id[task_id].utilization() for task_id, count in table.items() if count > 0
-        )
+        task_by_id = self._task_by_id
+        total = 0.0
+        for task_id, count in self._active_high[context_index].items():
+            if count > 0:
+                total += task_by_id[task_id].utilization()
+        return total
 
     def remaining(self, context_index: int) -> float:
         """Equation 11: remaining LP capacity of one context."""
@@ -148,6 +158,30 @@ class AdmissionController:
             )
         return finish_estimate <= job.absolute_deadline + 1e-9
 
+    def _utilization_passes_fused(self, index: int, job_util: float, is_low: bool) -> bool:
+        """Equation 12 with the per-probe method layers flattened.
+
+        Identical arithmetic (same summation order, same comparison) to
+        :meth:`utilization_passes`; exists because :meth:`decide` runs this up
+        to ``num_contexts`` times per release and the method-call tower
+        dominates the probe cost.
+        """
+        task_by_id = self._task_by_id
+        if is_low:
+            hp = 0.0
+            for task in self._hp_tasks_by_context[index]:
+                hp += task.utilization()
+            total = 0.0
+            for task_id, count in self._active_low[index].items():
+                if count > 0:
+                    total += task_by_id[task_id].utilization()
+            return total + job_util < self._streams_f - hp
+        total = 0.0
+        for task_id, count in self._active_high[index].items():
+            if count > 0:
+                total += task_by_id[task_id].utilization()
+        return total + job_util < self._streams_f
+
     def decide(
         self,
         job: Job,
@@ -165,27 +199,58 @@ class AdmissionController:
                 finish times (see :meth:`context_passes`); a rejection under
                 inflation > 1 reports reason ``"shed"``.
         """
+        task = job.task
         needs_test = (
             self.config.admission_enabled
             and (job.priority is Priority.LOW or self.config.hp_admission)
         )
-        home = job.task.context_index
+        home = task.context_index
         if not needs_test:
             return AdmissionDecision(admitted=True, context_index=home, migrated=False, reason="exempt")
 
-        if self.context_passes(job, home, predicted_finish, finish_inflation):
-            return AdmissionDecision(admitted=True, context_index=home, migrated=False, reason="home")
+        is_low = job.priority is Priority.LOW
+        job_util = task.utilization()
+        mret = task.mret_total()
+        deadline = job.absolute_deadline + 1e-9
+        release = job.release_time
 
-        may_migrate = self.config.lp_migration and job.priority is Priority.LOW
+        # Home probe (context_passes flattened).
+        if self._utilization_passes_fused(home, job_util, is_low):
+            finish_estimate = predicted_finish(home) + mret
+            if finish_inflation != 1.0:
+                finish_estimate = release + finish_inflation * (finish_estimate - release)
+            if finish_estimate <= deadline:
+                return AdmissionDecision(
+                    admitted=True, context_index=home, migrated=False, reason="home"
+                )
+
+        may_migrate = self.config.lp_migration and is_low
         if may_migrate:
-            candidates = [
-                index
-                for index in range(self.config.num_contexts)
-                if index != home
-                and self.context_passes(job, index, predicted_finish, finish_inflation)
-            ]
-            if candidates:
-                best = min(candidates, key=lambda index: (predicted_finish(index), index))
+            # Fused probe: test each candidate once, keeping the admissible
+            # one with the earliest predicted finish.  Equivalent to
+            # collecting every passing candidate and taking the min by
+            # ``(predicted_finish, index)`` — candidates are visited in index
+            # order and only a strictly earlier finish displaces the best —
+            # but without a second ``predicted_finish`` evaluation per
+            # candidate, and dominated probes exit before the deadline check.
+            best = -1
+            best_finish = 0.0
+            for index in range(self._num_contexts):
+                if index == home:
+                    continue
+                if not self._utilization_passes_fused(index, job_util, True):
+                    continue
+                predicted = predicted_finish(index)
+                if best >= 0 and predicted >= best_finish:
+                    continue  # dominated: cannot beat the current best
+                finish_estimate = predicted + mret
+                if finish_inflation != 1.0:
+                    finish_estimate = release + finish_inflation * (finish_estimate - release)
+                if finish_estimate > deadline:
+                    continue
+                best = index
+                best_finish = predicted
+            if best >= 0:
                 return AdmissionDecision(
                     admitted=True, context_index=best, migrated=True, reason="migrated"
                 )

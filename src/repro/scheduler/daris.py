@@ -17,6 +17,7 @@ single global queue the paper describes.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -100,6 +101,13 @@ class _ContextBacklog:
     def job_left(self, task_id: int, stage_index: int) -> None:
         self._active[task_id][stage_index] -= 1
         self._entries[task_id] -= 1
+        self._cache[task_id][0] = -1
+
+    def job_advanced(self, task_id: int, old_stage: int, new_stage: int) -> None:
+        """Fused ``job_left(old) + job_entered(new)`` (entry count unchanged)."""
+        active = self._active[task_id]
+        active[old_stage] -= 1
+        active[new_stage] += 1
         self._cache[task_id][0] = -1
 
     def total_ms(self) -> float:
@@ -250,9 +258,24 @@ class DarisScheduler:
             )
 
     def run(self, horizon_ms: float) -> ScenarioMetrics:
-        """Run the scenario and return the summary metrics."""
+        """Run the scenario and return the summary metrics.
+
+        The cyclic garbage collector is paused for the duration of the event
+        loop: a scenario run allocates hundreds of thousands of short-lived
+        objects (jobs, stages, kernels, heap entries), and the resulting
+        generation-0 scans account for ~15% of the wall time.  The deferred
+        cyclic garbage (job <-> stage back references) is collected as soon as
+        the collector is re-enabled.
+        """
         self.start(horizon_ms)
-        self.simulator.run_until(horizon_ms)
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self.simulator.run_until(horizon_ms)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return self.metrics.summarize(
             horizon_ms,
             gpu_utilization=self.platform.average_utilization(),
@@ -333,20 +356,40 @@ class DarisScheduler:
     def _enqueue_stage(self, stage: StageInstance, context_index: int) -> None:
         stage.context_index = context_index
         stage.enqueue_time = self.simulator.now
-        key = stage_queue_key(stage, self.config, next(self._sequence))
+        # stage_queue_key / stage_priority_level inlined (one call per stage
+        # of every admitted job): (fixed level, EDF virtual deadline, FIFO).
+        job = stage.job
+        config = self.config
+        if config.fixed_priority_levels:
+            is_last = stage.stage_index == job.num_stages - 1 and config.prioritize_last_stage
+            predecessor_missed = stage.predecessor_missed and config.boost_missed_predecessor
+            if is_last:
+                within = 0 if predecessor_missed else 1
+            else:
+                within = 2 if predecessor_missed else 3
+            level = within if job.priority is Priority.HIGH else 4 + within
+        else:
+            level = 0
+        key = (level, stage.virtual_deadline, next(self._sequence))
         heapq.heappush(self._queues[context_index], (key, stage))
-        self._backlogs[context_index].stage_enqueued(stage.job.task.task_id, stage.stage_index)
+        self._backlogs[context_index].stage_enqueued(job.task.task_id, stage.stage_index)
 
     def _dispatch(self, context_index: int) -> None:
         """Dispatch ready stages to idle streams of ``context_index``."""
         queue = self._queues[context_index]
+        if not queue:
+            return
+        platform = self.platform
+        backlog = self._backlogs[context_index]
+        timed_out = self._timed_out_jobs
+        pop = heapq.heappop
         while queue:
-            stream_index = self.platform.idle_stream_index(context_index)
+            stream_index = platform.idle_stream_index(context_index)
             if stream_index is None:
                 return
-            _, stage = heapq.heappop(queue)
-            self._backlogs[context_index].stage_dequeued(stage.job.task.task_id, stage.stage_index)
-            if self._timed_out_jobs and stage.job.uid in self._timed_out_jobs:
+            _, stage = pop(queue)
+            backlog.stage_dequeued(stage.job.task.task_id, stage.stage_index)
+            if timed_out and stage.job.uid in timed_out:
                 # Lazily discard stages of client-abandoned jobs on pop.
                 continue
             stage.dispatch_time = self.simulator.now
@@ -380,7 +423,7 @@ class DarisScheduler:
                         ),
                     )
                     continue
-            self.platform.launch(
+            platform.launch(
                 context_index,
                 stream_index,
                 spec,
@@ -451,13 +494,14 @@ class DarisScheduler:
             )
 
         backlog = self._backlogs[job.context_index]
-        backlog.job_left(task.task_id, job.current_stage_index)
-        job.advance()
-        if job.is_finished:
+        old_index = job.current_stage_index
+        job.current_stage_index = new_index = old_index + 1  # job.advance() inlined
+        if new_index >= job.num_stages:
+            backlog.job_left(task.task_id, old_index)
             self._complete_job(job, now)
         else:
-            backlog.job_entered(task.task_id, job.current_stage_index)
-            next_stage = job.current_stage
+            backlog.job_advanced(task.task_id, old_index, new_index)
+            next_stage = job.stages[new_index]
             next_stage.predecessor_missed = stage.missed_virtual_deadline
             next_context = self._next_stage_context(job, stage.context_index)
             self._enqueue_stage(next_stage, next_context)

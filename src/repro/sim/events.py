@@ -17,6 +17,11 @@ from typing import Any, Callable, Optional
 
 _sequence = itertools.count()
 
+#: Bound method used by the simulator to draw sequence numbers for lean
+#: (handle-less) heap entries from the same counter as full events, so the
+#: global deterministic ordering is shared across both payload kinds.
+next_sequence = _sequence.__next__
+
 
 class Event:
     """A single scheduled callback.

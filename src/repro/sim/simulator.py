@@ -10,14 +10,23 @@ popped), but the simulator counts live versus cancelled events and compacts
 the heap when cancelled entries dominate: the GPU engine cancels and
 reschedules its completion event on every replan, which would otherwise grow
 the heap linearly with the number of replans.
+
+Heap entries are ``(key, payload)`` pairs where ``key`` is the usual
+``(time, priority, seq)`` tuple and ``payload`` is either a full
+:class:`Event` (cancellable, labelled, handle-backed) or a bare callback.
+Fire-and-forget paths (:meth:`Simulator.schedule_callback`,
+:meth:`Simulator.schedule_batch`) use the bare form: no ``Event`` object is
+allocated at all, which matters because dispatch/release scheduling is one of
+the hottest allocation sites of a scenario run.  Keys draw sequence numbers
+from the shared event counter, so the deterministic total order is unchanged.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
-from repro.sim.events import Event, EventHandle
+from repro.sim.events import Event, EventHandle, next_sequence
 
 # Compact only once this many cancelled events have accumulated *and* they
 # outnumber the live events: both conditions keep compaction amortized O(1).
@@ -37,7 +46,9 @@ class Simulator:
     """
 
     def __init__(self, start_time: float = 0.0):
-        self._now = float(start_time)
+        # ``now`` is a plain public attribute (read ~50k times per scenario);
+        # components must treat it as read-only — only the run loops advance it.
+        self.now = float(start_time)
         # Heap items are ``(key, event)`` pairs: comparing the precomputed
         # key tuples stays entirely in C, avoiding an Event.__lt__ call per
         # sift step.  Keys are unique (the sequence number is), so the
@@ -47,11 +58,6 @@ class Simulator:
         self._stopped = False
         self._cancelled_in_heap = 0
         self._compactions = 0
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in milliseconds."""
-        return self._now
 
     @property
     def events_fired(self) -> int:
@@ -81,7 +87,7 @@ class Simulator:
         label: str = "",
     ) -> EventHandle:
         """Schedule ``callback`` at absolute simulation time ``time``."""
-        now = self._now
+        now = self.now
         if time < now:
             if time < now - 1e-9:
                 raise SimulationError(
@@ -101,19 +107,19 @@ class Simulator:
     ) -> None:
         """Schedule a fire-and-forget callback (no :class:`EventHandle`).
 
-        Identical to :meth:`schedule_at` except that no handle is created:
-        use it on hot paths where the caller never cancels the event.
+        Identical to :meth:`schedule_at` except that no handle — and no
+        :class:`Event` object — is created: the callback itself is the heap
+        payload.  Use it on hot paths where the caller never cancels the
+        event.  ``label`` is accepted for signature parity but not stored.
         """
-        now = self._now
+        now = self.now
         if time < now:
             if time < now - 1e-9:
                 raise SimulationError(
                     f"cannot schedule event at {time:.6f} ms, current time is {now:.6f} ms"
                 )
             time = now
-        event = Event(time=time, callback=callback, label=label)
-        event.in_heap = True
-        heapq.heappush(self._heap, (event._key, event))
+        heapq.heappush(self._heap, ((time, 0, next_sequence()), callback))
 
     def schedule_after(
         self,
@@ -125,7 +131,36 @@ class Simulator:
         """Schedule ``callback`` after a relative ``delay`` in milliseconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay:.6f} ms")
-        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+        return self.schedule_at(self.now + delay, callback, priority=priority, label=label)
+
+    def schedule_batch(
+        self,
+        entries: Iterable[Tuple[float, int, Callable[["Simulator"], None]]],
+    ) -> int:
+        """Bulk-schedule fire-and-forget ``(time, priority, callback)`` entries.
+
+        Appends every entry and re-heapifies once: O(n + heap) instead of
+        O(n log heap) for n individual pushes.  Pop order is identical to a
+        push-based insertion because keys are unique (the shared sequence
+        counter) and a heap pops uniquely-keyed items in sorted order
+        regardless of its internal arrangement.  Returns the entry count.
+        """
+        heap = self._heap
+        now = self.now
+        count = 0
+        for time, priority, callback in entries:
+            if time < now:
+                if time < now - 1e-9:
+                    raise SimulationError(
+                        f"cannot schedule event at {time:.6f} ms,"
+                        f" current time is {now:.6f} ms"
+                    )
+                time = now
+            heap.append(((time, priority, next_sequence()), callback))
+            count += 1
+        if count:
+            heapq.heapify(heap)
+        return count
 
     def stop(self) -> None:
         """Request the run loop to stop after the current event."""
@@ -147,18 +182,17 @@ class Simulator:
         ``(time, priority, seq)`` with a unique sequence number, so any heap
         holding the same live events pops them in the same order.
         """
-        live = [item for item in self._heap if not item[1].cancelled]
-        self._heap = live
-        heapq.heapify(live)
+        live = [
+            item
+            for item in self._heap
+            if type(item[1]) is not Event or not item[1].cancelled
+        ]
+        # In-place replacement: hot-path producers (the GPU engine) hold a
+        # direct reference to the heap list, which must survive compaction.
+        self._heap[:] = live
+        heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
         self._compactions += 1
-
-    def _pop(self) -> Event:
-        event = heapq.heappop(self._heap)[1]
-        event.in_heap = False
-        if event.cancelled:
-            self._cancelled_in_heap -= 1
-        return event
 
     # ------------------------------------------------------------------- run
 
@@ -172,26 +206,30 @@ class Simulator:
         self._stopped = False
         limit = end_time + 1e-12
         pop = heapq.heappop
-        while True:
-            heap = self._heap  # compaction may replace the list between events
-            if not heap or self._stopped:
-                break
-            event = heap[0][1]
-            if event.time > limit:
+        heap = self._heap  # compaction replaces the contents in place
+        fired = 0
+        while heap and not self._stopped:
+            key, payload = heap[0]
+            time = key[0]
+            if time > limit:
                 break
             pop(heap)
-            event.in_heap = False
-            if event.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            if event.time > self._now:
-                self._now = event.time
-            callback = event.callback
+            if type(payload) is Event:
+                payload.in_heap = False
+                if payload.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                callback = payload.callback
+            else:
+                callback = payload
+            if time > self.now:
+                self.now = time
             if callback is not None:
                 callback(self)
-            self._fired += 1
-        if end_time > self._now:
-            self._now = end_time
+            fired += 1
+        self._fired += fired
+        if end_time > self.now:
+            self.now = end_time
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the queue is empty or ``max_events`` events have fired."""
@@ -199,14 +237,18 @@ class Simulator:
         fired_here = 0
         pop = heapq.heappop
         while self._heap and not self._stopped:
-            event = pop(self._heap)[1]
-            event.in_heap = False
-            if event.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            if event.time > self._now:
-                self._now = event.time
-            callback = event.callback
+            key, payload = pop(self._heap)
+            if type(payload) is Event:
+                payload.in_heap = False
+                if payload.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                callback = payload.callback
+            else:
+                callback = payload
+            time = key[0]
+            if time > self.now:
+                self.now = time
             if callback is not None:
                 callback(self)
             self._fired += 1
@@ -216,11 +258,16 @@ class Simulator:
 
     def peek_next_time(self) -> Optional[float]:
         """Return the timestamp of the next non-cancelled event, if any."""
-        while self._heap and self._heap[0][1].cancelled:
-            self._pop()
-        if not self._heap:
-            return None
-        return self._heap[0][1].time
+        heap = self._heap
+        while heap:
+            key, payload = heap[0]
+            if type(payload) is Event and payload.cancelled:
+                heapq.heappop(heap)
+                payload.in_heap = False
+                self._cancelled_in_heap -= 1
+                continue
+            return key[0]
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self._now:.3f} ms, pending={len(self._heap)})"
+        return f"Simulator(now={self.now:.3f} ms, pending={len(self._heap)})"

@@ -58,12 +58,31 @@ from repro.sim.simulator import Simulator
 ARRIVAL_KINDS = ("periodic", "poisson", "saturated", "mmpp", "trace")
 
 
-@dataclass(frozen=True)
 class ArrivalEvent:
-    """A single job arrival produced by an arrival process."""
+    """A single job arrival produced by an arrival process.
 
-    index: int
-    time: float
+    A ``__slots__`` value type rather than a frozen dataclass: one instance
+    is created per generated release, so construction cost is the floor of
+    every workload benchmark.  Equality and hashing follow the historical
+    ``(index, time)`` field tuple.
+    """
+
+    __slots__ = ("index", "time")
+
+    def __init__(self, index: int, time: float):
+        self.index = index
+        self.time = time
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArrivalEvent):
+            return NotImplemented
+        return self.index == other.index and self.time == other.time
+
+    def __hash__(self) -> int:
+        return hash((self.index, self.time))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrivalEvent(index={self.index!r}, time={self.time!r})"
 
 
 class ArrivalProcess:
@@ -74,17 +93,34 @@ class ArrivalProcess:
     materializes the whole release list.  A finite process (trace replay)
     signals exhaustion by returning events at ``time = inf``, which every
     horizon-bounded consumer treats as "past the horizon".
+
+    ``chunk_safe`` marks a process that may be generated *ahead* of its
+    consumer with no observable effect — either it draws no randomness at
+    all, or it draws from an RNG stream it owns exclusively, so pre-drawing
+    future values cannot perturb any other consumer's sequence.  Batched
+    modulators (the diurnal inverter) use it to decide whether buffering the
+    base process is allowed.
     """
 
-    #: Simulator event label prefix (periodic keeps its historical "release").
-    _event_label: ClassVar[str] = "arrival"
+    chunk_safe: bool = False
 
     def next_arrival(self) -> ArrivalEvent:
         """Produce the next arrival event."""
         raise NotImplementedError
 
+    def prepare(self, horizon: float) -> None:
+        """Hook called once before generating events up to ``horizon``.
+
+        Batched implementations pre-draw RNG chunks here.  In batched mode
+        the caller is expected to consume :meth:`events` to completion —
+        chunks drawn from *shared* streams are sized to the guaranteed
+        consumption for ``horizon``, which an abandoned iteration would
+        undercut.  The default is a no-op.
+        """
+
     def events(self, horizon: float) -> Iterator[ArrivalEvent]:
         """Lazily yield arrivals with ``time <= horizon``, in order."""
+        self.prepare(horizon)
         while True:
             event = self.next_arrival()
             if event.time > horizon:
@@ -100,18 +136,15 @@ class ArrivalProcess:
         """Schedule all arrivals up to ``horizon`` on ``simulator``.
 
         Returns the number of arrivals scheduled.  The callback receives the
-        :class:`ArrivalEvent`; it is invoked at the arrival time.
+        :class:`ArrivalEvent`; it is invoked at the arrival time.  Releases
+        are bulk-inserted (append + one heapify) through
+        :meth:`Simulator.schedule_batch`, which pops identically to the
+        historical per-event pushes but costs O(n) instead of O(n log n).
         """
-        count = 0
-        for event in self.events(horizon):
-            simulator.schedule_at(
-                event.time,
-                lambda _sim, ev=event: callback(ev),
-                priority=-1,
-                label=f"{self._event_label}[{event.index}]",
-            )
-            count += 1
-        return count
+        return simulator.schedule_batch(
+            (event.time, -1, lambda _sim, ev=event: callback(ev))
+            for event in self.events(horizon)
+        )
 
 
 class PeriodicArrival(ArrivalProcess):
@@ -120,9 +153,17 @@ class PeriodicArrival(ArrivalProcess):
     Optional release jitter models the small variability of a real-time
     pipeline's sensor/frame arrival; jitter is bounded to stay strictly below
     one period so job indices remain in release order.
-    """
 
-    _event_label: ClassVar[str] = "release"
+    Jitter draws come from a *shared* stream (consumed across tasks in task
+    order), so batching them must never over-draw: :meth:`prepare` chunks
+    exactly the draws whose consumption is guaranteed for the horizon —
+    every index whose jittered time cannot exceed the horizon is certainly
+    generated, plus the one event that terminates the iteration — and any
+    draws beyond the chunk fall back to scalar calls on the same generator.
+    The chunk is bitwise identical to the scalar sequence
+    (``rng.uniform(0, j, size=k)`` equals ``k`` successive scalar draws), so
+    release times are unchanged draw-for-draw.
+    """
 
     def __init__(
         self,
@@ -140,24 +181,70 @@ class PeriodicArrival(ArrivalProcess):
         self.jitter = float(jitter)
         self._rng = rng
         self._index = 0
+        self._chunk: List[float] = []
+        self._chunk_pos = 0
+        self.chunk_safe = rng is None or self.jitter == 0.0
 
     def nominal_release(self, index: int) -> float:
         """Release time of job ``index`` without jitter."""
         return self.phase + index * self.period
 
+    def prepare(self, horizon: float) -> None:
+        """Pre-draw the jitter chunk guaranteed to be consumed by ``horizon``."""
+        if (
+            self.jitter <= 0.0
+            or self._rng is None
+            or not ReleaseStream.batched_draws_enabled
+            or self._chunk_pos < len(self._chunk)
+            or not math.isfinite(horizon)
+        ):
+            return
+        # Index i is *certainly* generated while nominal(i) + jitter <=
+        # horizon (its jittered time cannot exceed the horizon), and the
+        # consumer always generates one event past the last certain index
+        # before stopping.  Walk the exact float expression to the first
+        # uncertain index: the estimate is off by at most a step or two.
+        period, phase, jitter = self.period, self.phase, self.jitter
+        first = self._index
+        estimate = int((horizon - jitter - phase) / period) if period > 0 else 0
+        index = max(first, estimate - 2)
+        while phase + index * period + jitter <= horizon:
+            index += 1
+        while index > first and phase + (index - 1) * period + jitter > horizon:
+            index -= 1
+        count = max(index - first + 1, 1)
+        self._chunk = self._rng.uniform(0.0, jitter, size=count).tolist()
+        self._chunk_pos = 0
+
     def next_arrival(self) -> ArrivalEvent:
         """Produce the next arrival (with jitter applied if configured)."""
-        base = self.nominal_release(self._index)
+        index = self._index
+        base = self.phase + index * self.period
         offset = 0.0
         if self.jitter > 0 and self._rng is not None:
-            offset = float(self._rng.uniform(0.0, self.jitter))
-        event = ArrivalEvent(index=self._index, time=base + offset)
-        self._index += 1
-        return event
+            pos = self._chunk_pos
+            if pos < len(self._chunk):
+                offset = self._chunk[pos]
+                self._chunk_pos = pos + 1
+            else:
+                offset = float(self._rng.uniform(0.0, self.jitter))
+        self._index = index + 1
+        return ArrivalEvent(index, base + offset)
 
 
 class PoissonArrival(ArrivalProcess):
-    """Memoryless arrival process with a given mean rate (jobs per second)."""
+    """Memoryless arrival process with a given mean rate (jobs per second).
+
+    When :attr:`chunk_safe` is set (the generator is exclusively owned, as
+    the per-task ``poisson-arrivals[i]`` streams are) and batched draws are
+    enabled, inter-arrival gaps are drawn in chunks:
+    ``rng.exponential(scale, size=k)`` is bitwise identical to ``k``
+    successive scalar draws, and over-drawing an exclusive stream is
+    unobservable, so the release times are unchanged draw-for-draw.
+    """
+
+    #: Chunk size for refills after the horizon-sized initial chunk.
+    _REFILL = 256
 
     def __init__(self, rate_jps: float, rng: np.random.Generator, start: float = 0.0):
         if rate_jps <= 0:
@@ -166,14 +253,77 @@ class PoissonArrival(ArrivalProcess):
         self._rng = rng
         self._time = float(start)
         self._index = 0
+        self._chunk: List[float] = []
+        self._chunk_pos = 0
+        self._batch = 0
+
+    def prepare(self, horizon: float) -> None:
+        if not self.chunk_safe or not ReleaseStream.batched_draws_enabled:
+            self._batch = 0
+            return
+        scale = 1000.0 / self.rate_jps
+        if math.isfinite(horizon) and horizon > self._time:
+            expected = (horizon - self._time) / scale
+            self._batch = int(expected * 1.05) + 64
+        else:
+            self._batch = self._REFILL
 
     def next_arrival(self) -> ArrivalEvent:
         """Draw the next arrival using exponential inter-arrival times."""
-        gap_ms = float(self._rng.exponential(1000.0 / self.rate_jps))
-        self._time += gap_ms
-        event = ArrivalEvent(index=self._index, time=self._time)
-        self._index += 1
-        return event
+        pos = self._chunk_pos
+        if pos < len(self._chunk):
+            gap_ms = self._chunk[pos]
+            self._chunk_pos = pos + 1
+        elif self._batch:
+            self._chunk = self._rng.exponential(
+                1000.0 / self.rate_jps, size=self._batch
+            ).tolist()
+            self._batch = self._REFILL
+            gap_ms = self._chunk[0]
+            self._chunk_pos = 1
+        else:
+            gap_ms = float(self._rng.exponential(1000.0 / self.rate_jps))
+        time = self._time + gap_ms
+        self._time = time
+        index = self._index
+        self._index = index + 1
+        return ArrivalEvent(index, time)
+
+    def next_times(self, count: int) -> List[float]:
+        """Times of the next ``count`` arrivals, without the per-event objects.
+
+        Consumes the gap stream exactly like ``count`` successive
+        :meth:`next_arrival` calls — same draws, same sequential
+        ``time += gap`` fold — so the produced times are bit-identical.
+        Buffered consumers (the diurnal inverter) use it to skip one
+        method call and one :class:`ArrivalEvent` allocation per event.
+        """
+        times: List[float] = []
+        append = times.append
+        time = self._time
+        scale = 1000.0 / self.rate_jps
+        rng = self._rng
+        while len(times) < count:
+            pos = self._chunk_pos
+            chunk = self._chunk
+            if pos >= len(chunk):
+                if self._batch:
+                    chunk = rng.exponential(scale, size=self._batch).tolist()
+                    self._chunk = chunk
+                    self._batch = self._REFILL
+                    pos = 0
+                else:
+                    time += float(rng.exponential(scale))
+                    append(time)
+                    continue
+            take = min(len(chunk) - pos, count - len(times))
+            for gap_ms in chunk[pos : pos + take]:
+                time += gap_ms
+                append(time)
+            self._chunk_pos = pos + take
+        self._time = time
+        self._index += count
+        return times
 
 
 def _validate_mmpp_phases(rates: Sequence[float], dwells: Sequence[float]) -> None:
@@ -199,7 +349,15 @@ class MmppArrival(ArrivalProcess):
     Phase switches exploit memorylessness: the pending inter-arrival draw is
     discarded at a switch, which is statistically exact for exponential gaps
     and keeps generation deterministic per RNG stream.
+
+    Batched mode (exclusive stream + :attr:`ReleaseStream.batched_draws_enabled`)
+    pre-draws chunks of *standard* exponentials and applies the per-draw
+    scale as a scalar multiply: ``rng.exponential(s)`` computes exactly
+    ``rng.standard_exponential() * s``, so the interleaved dwell/gap draws
+    stay bitwise identical while the per-draw RNG call cost disappears.
     """
+
+    _REFILL = 256
 
     def __init__(
         self,
@@ -218,19 +376,63 @@ class MmppArrival(ArrivalProcess):
         self._index = 0
         self._phase = 0
         self._dwell_left: Optional[float] = None
+        self._chunk: List[float] = []
+        self._chunk_pos = 0
+        self._batch = 0
+
+    def prepare(self, horizon: float) -> None:
+        if not self.chunk_safe or not ReleaseStream.batched_draws_enabled:
+            self._batch = 0
+            return
+        if math.isfinite(horizon) and horizon > self._time:
+            # One draw per arrival plus two per phase switch, at the
+            # time-averaged rates; the estimate only sizes the first chunk.
+            mean_rate = sum(self.rates_jps) / len(self.rates_jps)
+            mean_dwell = sum(self.dwell_ms) / len(self.dwell_ms)
+            span = horizon - self._time
+            expected = span * mean_rate / 1000.0 + 2.0 * span / mean_dwell
+            self._batch = int(expected * 1.05) + 64
+        else:
+            self._batch = self._REFILL
+
+    def _next_std_exp(self) -> float:
+        """Next standard-exponential draw from the chunk (refilling it)."""
+        pos = self._chunk_pos
+        if pos < len(self._chunk):
+            self._chunk_pos = pos + 1
+            return self._chunk[pos]
+        batch = self._batch
+        if not batch:  # batching turned off with a drained chunk
+            return float(self._rng.standard_exponential())
+        self._chunk = self._rng.standard_exponential(size=batch).tolist()
+        self._batch = self._REFILL
+        self._chunk_pos = 1
+        return self._chunk[0]
 
     def next_arrival(self) -> ArrivalEvent:
+        batched = self._batch or self._chunk_pos < len(self._chunk)
         while True:
             if self._dwell_left is None:
-                self._dwell_left = float(self._rng.exponential(self.dwell_ms[self._phase]))
+                if batched:
+                    self._dwell_left = self._next_std_exp() * self.dwell_ms[self._phase]
+                else:
+                    self._dwell_left = float(
+                        self._rng.exponential(self.dwell_ms[self._phase])
+                    )
             rate = self.rates_jps[self._phase]
-            gap = float(self._rng.exponential(1000.0 / rate)) if rate > 0 else math.inf
+            if rate > 0:
+                if batched:
+                    gap = self._next_std_exp() * (1000.0 / rate)
+                else:
+                    gap = float(self._rng.exponential(1000.0 / rate))
+            else:
+                gap = math.inf
             if gap <= self._dwell_left:
                 self._dwell_left -= gap
                 self._time += gap
-                event = ArrivalEvent(index=self._index, time=self._time)
-                self._index += 1
-                return event
+                index = self._index
+                self._index = index + 1
+                return ArrivalEvent(index, self._time)
             self._time += self._dwell_left
             self._dwell_left = None
             self._phase = (self._phase + 1) % len(self.rates_jps)
@@ -243,6 +445,8 @@ class TraceArrival(ArrivalProcess):
     recorded release the process is exhausted and yields ``inf`` events,
     which horizon-bounded consumers treat as "no more arrivals".
     """
+
+    chunk_safe = True  # replays recorded times; no randomness to perturb
 
     def __init__(self, times_ms: Sequence[float], offset_ms: float = 0.0):
         times = tuple(float(time) for time in times_ms)
@@ -282,6 +486,13 @@ class JitteredArrival(ArrivalProcess):
         self._rng = rng
         self._last = -math.inf
 
+    def prepare(self, horizon: float) -> None:
+        # The jitter draws themselves cannot be chunked: they come from the
+        # shared jitter stream and the draw count is stochastic (one per
+        # *generated* base event), so no consumption bound exists.  The base
+        # still gets its own chunking chance.
+        self._base.prepare(horizon)
+
     def next_arrival(self) -> ArrivalEvent:
         event = self._base.next_arrival()
         if math.isinf(event.time):
@@ -303,20 +514,155 @@ class DiurnalArrival(ArrivalProcess):
     deterministic per seed as its base.
     """
 
+    #: Base events buffered (and Newton-seeded in one numpy pass) per refill.
+    _BUFFER = 512
+
     def __init__(self, base: ArrivalProcess, profile: "DiurnalModulator"):
         self._base = base
         self.profile = profile
         self._last = -math.inf
+        self.chunk_safe = base.chunk_safe
+        self._buffered = False
+        self._resolved: List[float] = []
+        self._pos = 0
+        self._first_index = 0
+        self._tail: Optional[ArrivalEvent] = None
+        # Constants of the inlined crossing scan (see next_arrival), computed
+        # with the exact expressions ``_sin_crossing`` uses so the inlined
+        # predicate stays bitwise identical.  Meaningful for sin profiles
+        # only, which is the only shape the buffered path is gated to.
+        self._angular = 2.0 * math.pi / profile.period_ms
+        self._coeff = profile.amplitude / self._angular
+        self._slack = profile.amplitude * profile.period_ms / math.pi
+
+    def prepare(self, horizon: float) -> None:
+        # The base generates in operational time; events up to the real-time
+        # horizon correspond to base times up to Λ(horizon) (the estimate
+        # only sizes the base's chunks, so float slop is irrelevant).
+        if math.isfinite(horizon):
+            self._base.prepare(self.profile.cumulative(horizon))
+        else:
+            self._base.prepare(horizon)
+        # Buffered vectorized inversion needs a drive-ahead-safe base (the
+        # buffer over-pulls past the consumer) and the Newton sin path: the
+        # numpy pass only produces *candidates*, the per-event crossing scan
+        # (scalar libm, bitwise-identical to the reference bisection) does
+        # the exact inversion.
+        self._buffered = (
+            self.chunk_safe
+            and ReleaseStream.batched_draws_enabled
+            and DiurnalModulator.newton_enabled
+            and self.profile.shape == "sin"
+            and 0.0 < self.profile.amplitude <= 0.9
+        )
+
+    def _refill(self) -> None:
+        base = self._base
+        bulk = getattr(base, "next_times", None)
+        if bulk is not None:
+            # Infinite bases with a bulk accessor (Poisson) fill the buffer
+            # without one ArrivalEvent and one method call per base event.
+            self._first_index = base._index
+            times = bulk(self._BUFFER)
+        else:
+            times = []
+            append = times.append
+            first = -1
+            for _ in range(self._BUFFER):
+                event = base.next_arrival()
+                if math.isinf(event.time):
+                    # Base exhausted: hold the terminal event, stop buffering.
+                    self._tail = event
+                    self._buffered = False
+                    break
+                if first < 0:
+                    first = event.index
+                append(event.time)
+            self._first_index = first
+        self._pos = 0
+        if not times:
+            self._resolved = times
+            return
+        candidates = self.profile._sin_newton_candidates(np.asarray(times)).tolist()
+        # Resolve the whole buffer's crossings in one tight loop —
+        # ``_sin_crossing`` inlined with everything hoisted to locals, paid
+        # once per 512 events instead of per ``next_arrival`` call.  Same
+        # expressions, same evaluation order as the method — bitwise
+        # identical (the per-event monotonic clamp stays in next_arrival,
+        # where consumption order is known).
+        coeff = self._coeff
+        angular = self._angular
+        slack = self._slack
+        bisect = self.profile._sin_bisect
+        cos = math.cos
+        nextafter = math.nextafter
+        inf = math.inf
+        resolved = []
+        append = resolved.append
+        for pos, target in enumerate(times):
+            low0 = target - slack
+            if low0 < 0.0:
+                low0 = 0.0
+            high0 = target + 1e-12
+            candidate = candidates[pos]
+            if candidate < low0:
+                candidate = low0
+            elif candidate > high0:
+                candidate = high0
+            time = None
+            if candidate + coeff * (1.0 - cos(angular * candidate)) >= target:
+                h = candidate
+                for _ in range(64):
+                    l = nextafter(h, -inf)
+                    if l + coeff * (1.0 - cos(angular * l)) < target:
+                        if l >= low0:
+                            time = 0.5 * (l + h)
+                        break
+                    h = l
+            else:
+                l = candidate
+                for _ in range(64):
+                    h = nextafter(l, inf)
+                    if h + coeff * (1.0 - cos(angular * h)) >= target:
+                        if l >= low0:
+                            time = 0.5 * (l + h)
+                        break
+                    l = h
+            if time is None:  # pathological bracket: fall back to the reference
+                time = bisect(target)
+            append(time)
+        self._resolved = resolved
 
     def next_arrival(self) -> ArrivalEvent:
-        event = self._base.next_arrival()
-        if math.isinf(event.time):
-            return event
-        # The numeric inversion is accurate to ~1e-9 relative; clamp so a
-        # pair of near-coincident base events can never come back inverted.
-        time = max(self.profile.inverse_cumulative(event.time), self._last)
-        self._last = time
-        return ArrivalEvent(index=event.index, time=time)
+        pos = self._pos
+        resolved = self._resolved
+        if pos >= len(resolved):
+            if self._buffered:
+                self._refill()
+                pos = self._pos
+                resolved = self._resolved
+            if pos >= len(resolved):
+                # Scalar path: buffering off, or the base is exhausted.
+                if self._tail is not None:
+                    event, self._tail = self._tail, None
+                    return event
+                event = self._base.next_arrival()
+                if math.isinf(event.time):
+                    return event
+                # The numeric inversion is exact to the reference bisection;
+                # clamp so a pair of near-coincident base events can never
+                # come back inverted.
+                time = max(self.profile.inverse_cumulative(event.time), self._last)
+                self._last = time
+                return ArrivalEvent(event.index, time)
+        time = resolved[pos]
+        self._pos = pos + 1
+        last = self._last
+        if time < last:
+            time = last
+        else:
+            self._last = time
+        return ArrivalEvent(self._first_index + pos, time)
 
 
 # --------------------------------------------------------------------------
@@ -515,6 +861,12 @@ class DiurnalModulator:
     which needs no randomness and preserves event order for every base.
     """
 
+    #: Class toggle: Newton-seeded inversion for the sinusoidal profile.
+    #: The 64-step reference bisection remains both the disabled path and
+    #: the runtime fallback; the Newton path reproduces its result *bitwise*
+    #: (see ``_sin_crossing``), so flipping the toggle never changes a trace.
+    newton_enabled: ClassVar[bool] = True
+
     period_ms: float = 1000.0
     amplitude: float = 0.5
     shape: str = "sin"
@@ -572,18 +924,15 @@ class DiurnalModulator:
         """``Λ⁻¹``: the real time at which the cumulative factor hits ``target``."""
         period = self.period_ms
         if self.shape == "sin":
-            # cumulative(t) - t is bounded by amplitude * period / π, so the
-            # root is bracketed; bisection is deterministic and monotone.
-            slack = self.amplitude * period / math.pi
-            low = max(0.0, target - slack)
-            high = target + 1e-12
-            for _ in range(64):
-                mid = 0.5 * (low + high)
-                if self.cumulative(mid) < target:
-                    low = mid
-                else:
-                    high = mid
-            return 0.5 * (low + high)
+            if (
+                DiurnalModulator.newton_enabled
+                and target > 0.0
+                and 0.0 < self.amplitude <= 0.9
+            ):
+                result = self._sin_crossing(target, self._sin_newton(target))
+                if result is not None:
+                    return result
+            return self._sin_bisect(target)
         levels = self._normalized_levels()
         width = period / len(levels)
         cycles, remainder = divmod(target, period)
@@ -595,6 +944,119 @@ class DiurnalModulator:
             remainder -= capacity
             time += width
         return time  # remainder ~ 0 after the last segment (float slack)
+
+    # --------------------------------------------- sinusoidal inversion paths
+
+    def _sin_bisect(self, target: float) -> float:
+        """The reference inversion: 64 bisection steps on the slack bracket.
+
+        cumulative(t) - t is bounded by amplitude * period / π, so the root
+        is bracketed; bisection is deterministic and monotone.  64 halvings
+        shrink the bracket far below one ulp, so the result is the
+        round-to-even midpoint of the adjacent float pair (l, h) straddling
+        the predicate boundary ``cumulative(t) >= target`` — which is what
+        ``_sin_crossing`` reproduces directly.
+        """
+        low = max(0.0, target - self.amplitude * self.period_ms / math.pi)
+        high = target + 1e-12
+        for _ in range(64):
+            mid = 0.5 * (low + high)
+            if self.cumulative(mid) < target:
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
+    def _sin_newton(self, target: float) -> float:
+        """Newton candidate for ``Λ⁻¹(target)``, seeded by the linear inverse.
+
+        Accuracy-only: the exact (bisection-identical) result comes from
+        ``_sin_crossing``, so this just has to land within a few ulp.
+        ``Λ' = 1 + amplitude·sin(ωt) >= 1 - amplitude > 0``, so the
+        iteration is well-conditioned for the amplitudes it is gated to.
+        """
+        angular = 2.0 * math.pi / self.period_ms
+        coeff = self.amplitude / angular
+        amp = self.amplitude
+        cos = math.cos
+        sin = math.sin
+        t = target - coeff * (1.0 - cos(angular * target))
+        if t < 0.0:
+            t = 0.0
+        for _ in range(10):
+            f = t + coeff * (1.0 - cos(angular * t)) - target
+            if f == 0.0:
+                break
+            step = f / (1.0 + amp * sin(angular * t))
+            t -= step
+            if abs(step) <= 4.5e-16 * abs(t):
+                break
+        return t
+
+    def _sin_newton_candidates(self, targets: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`_sin_newton` over a batch of targets.
+
+        numpy trig may differ from libm in the last ulp; that is fine here
+        because these are only candidates — ``_sin_crossing`` does every
+        exactness-bearing evaluation with ``math.cos``.
+        """
+        angular = 2.0 * math.pi / self.period_ms
+        coeff = self.amplitude / angular
+        amp = self.amplitude
+        t = targets - coeff * (1.0 - np.cos(angular * targets))
+        np.maximum(t, 0.0, out=t)
+        for _ in range(5):
+            f = t + coeff * (1.0 - np.cos(angular * t)) - targets
+            t -= f / (1.0 + amp * np.sin(angular * t))
+        return t
+
+    def _sin_crossing(self, target: float, candidate: float) -> Optional[float]:
+        """Bisection-identical inversion from a near-converged candidate.
+
+        Locates the adjacent float pair (l, h) with ``cumulative(l) <
+        target <= cumulative(h)`` by ulp-stepping from the candidate, then
+        returns the same round-to-even midpoint the reference bisection
+        converges to.  Returns ``None`` (caller falls back to the real
+        bisection) when the candidate is too far off, or when the crossing
+        lies at/below the bracket floor ``max(0, target - slack)`` — there
+        the bisection's never-evaluated endpoint takes over and its result
+        is not the crossing midpoint.
+        """
+        period = self.period_ms
+        angular = 2.0 * math.pi / period
+        coeff = self.amplitude / angular
+        low0 = target - self.amplitude * period / math.pi
+        if low0 < 0.0:
+            low0 = 0.0
+        high0 = target + 1e-12
+        if candidate < low0:
+            candidate = low0
+        elif candidate > high0:
+            candidate = high0
+        cos = math.cos
+        nextafter = math.nextafter
+        inf = math.inf
+        # Predicate: cumulative(t) >= target, with cumulative() inlined
+        # bitwise (same expression, same evaluation order).
+        if candidate + coeff * (1.0 - cos(angular * candidate)) >= target:
+            h = candidate
+            for _ in range(64):
+                l = nextafter(h, -inf)
+                if l + coeff * (1.0 - cos(angular * l)) < target:
+                    if l < low0:
+                        return None
+                    return 0.5 * (l + h)
+                h = l
+            return None
+        l = candidate
+        for _ in range(64):
+            h = nextafter(l, inf)
+            if h + coeff * (1.0 - cos(angular * h)) >= target:
+                if l < low0:
+                    return None
+                return 0.5 * (l + h)
+            l = h
+        return None
 
 
 class WorkloadSpec:
@@ -806,16 +1268,20 @@ class WorkloadSpec:
         phase_ms: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         jitter_rng: Optional[np.random.Generator] = None,
+        exclusive_rng: bool = False,
     ) -> ArrivalProcess:
         """Concrete arrival process for one task-shaped release stream.
 
         ``rng`` feeds the base process's draws (poisson/mmpp gaps);
         ``jitter_rng`` feeds the jitter modulator and defaults to ``rng``
-        (the historical single-generator behaviour).  ``saturated``
-        workloads have no arrival process at all (the executor back-to-backs
-        work), so asking for one is an error — callers branch on
-        :attr:`saturated` first.  Randomized processes require their rng;
-        silently running unrandomized would mislabel the scenario.
+        (the historical single-generator behaviour).  ``exclusive_rng``
+        asserts that ``rng`` is consumed by this process alone (a dedicated
+        per-task stream), which permits chunked pre-drawing — over-drawing
+        an exclusive stream is unobservable.  ``saturated`` workloads have
+        no arrival process at all (the executor back-to-backs work), so
+        asking for one is an error — callers branch on :attr:`saturated`
+        first.  Randomized processes require their rng; silently running
+        unrandomized would mislabel the scenario.
         """
         if jitter_rng is None:
             jitter_rng = rng
@@ -828,6 +1294,8 @@ class WorkloadSpec:
                 period=period_ms, phase=phase_ms, jitter=self.jitter_ms, rng=jitter_rng
             )
         process = self.base.build(period_ms, phase_ms, rng)
+        if exclusive_rng and self.base.randomized:
+            process.chunk_safe = True
         if self.diurnal is not None:
             process = DiurnalArrival(process, self.diurnal)
         if self.jitter_ms > 0:
@@ -859,6 +1327,13 @@ class ReleaseStream:
 
     JITTER_STREAM = "release-jitter"
     AGGREGATE_STREAM = "batching-arrivals"
+
+    #: Class toggle for chunked RNG draws (poisson/mmpp gap chunks, the
+    #: bounded periodic-jitter chunk, the diurnal inverter's base buffer).
+    #: Chunked draws reproduce the scalar sequence bitwise, so flipping the
+    #: toggle never changes a release time; the reference scalar path is
+    #: kept for the equivalence tests.
+    batched_draws_enabled: bool = True
 
     def __init__(
         self,
@@ -896,6 +1371,10 @@ class ReleaseStream:
             phase_ms=phase_ms,
             rng=base_rng,
             jitter_rng=self._stream(self.JITTER_STREAM),
+            # Factory mode gives each randomized base its own per-task
+            # stream; legacy fixed-generator mode shares one generator with
+            # everything, so chunked pre-drawing is only safe in the former.
+            exclusive_rng=self._factory is not None,
         )
 
     def drive(

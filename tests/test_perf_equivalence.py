@@ -23,12 +23,14 @@ import pytest
 
 from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
 from repro.experiments.runner import run_daris_scenario
+from repro.experiments.scenarios import named_fault
 from repro.gpu.engine import GpuEngine
 from repro.rt.taskset import table2_taskset
 from repro.scheduler.config import DarisConfig
 from repro.scheduler.daris import DarisScheduler
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
+from repro.sim.workload import DiurnalModulator, ReleaseStream, WorkloadSpec
 
 
 @pytest.fixture
@@ -120,6 +122,121 @@ def test_incremental_backlog_matches_reference_scan():
             assert incremental == pytest.approx(reference, rel=1e-9, abs=1e-9)
             checked += 1
     assert checked > 0
+
+
+# ----------------------------------------------------------- toggle matrix
+#
+# Every optimization tier introduced by the vectorized-substrate work hides
+# behind a class-level toggle.  The matrix below runs one adversarial
+# scenario — stochastic arrivals with jitter and a diurnal profile, under the
+# ``storm`` fault profile — once per toggle configuration and requires the
+# complete trace streams to be bit-identical.  The scenario deliberately
+# exercises every toggled code path at once: batched release draws, the
+# Newton diurnal inversion, the engine fast path and chunked noise draws.
+
+_SUBSTRATE_TOGGLES = (
+    (GpuEngine, "fast_path_enabled"),
+    (GpuEngine, "vectorized_enabled"),
+    (GpuEngine, "batched_noise_enabled"),
+    (ReleaseStream, "batched_draws_enabled"),
+    (DiurnalModulator, "newton_enabled"),
+)
+
+
+@pytest.fixture
+def toggle_guard():
+    """Snapshot and restore every substrate toggle around a test."""
+    saved = [(owner, name, getattr(owner, name)) for owner, name in _SUBSTRATE_TOGGLES]
+    yield
+    for owner, name, value in saved:
+        setattr(owner, name, value)
+
+
+def _set_substrate_toggles(enabled: bool) -> None:
+    for owner, name in _SUBSTRATE_TOGGLES:
+        setattr(owner, name, enabled)
+
+
+def _run_storm_traced(config=None, workload=None, seed: int = 7):
+    return run_daris_scenario(
+        table2_taskset("resnet18"),
+        config if config is not None else DarisConfig.mps_config(6, 6.0),
+        1000.0,
+        seed=seed,
+        with_trace=True,
+        workload=workload
+        if workload is not None
+        else WorkloadSpec("poisson", jitter_ms=0.4).with_diurnal(period_ms=600.0, amplitude=0.6),
+        faults=named_fault("storm"),
+    )
+
+
+def _assert_same_run(left, right):
+    assert left.trace.stage_records == right.trace.stage_records
+    assert left.trace.job_records == right.trace.job_records
+    assert left.metrics == right.metrics
+
+
+def test_toggle_matrix_all_off_matches_all_on_under_storm(toggle_guard):
+    """Reference (all toggles off) and optimized (all on) traces are identical
+    on a fault-injected, jittered, diurnal poisson scenario."""
+    _set_substrate_toggles(True)
+    optimized = _run_storm_traced()
+    _set_substrate_toggles(False)
+    reference = _run_storm_traced()
+    assert len(optimized.trace.stage_records) > 0
+    _assert_same_run(optimized, reference)
+
+
+@pytest.mark.parametrize("toggle_index", range(len(_SUBSTRATE_TOGGLES)))
+def test_toggle_matrix_each_toggle_alone_is_neutral(toggle_guard, toggle_index):
+    """Disabling any single tier while the rest stay on changes nothing —
+    localizes a divergence to one tier instead of the whole matrix."""
+    _set_substrate_toggles(True)
+    optimized = _run_storm_traced()
+    owner, name = _SUBSTRATE_TOGGLES[toggle_index]
+    setattr(owner, name, False)
+    single_off = _run_storm_traced()
+    _assert_same_run(optimized, single_off)
+
+
+def test_vector_tier_wide_config_trace_identical(toggle_guard):
+    """A 32-stream config pushes the running set past the vector-tier
+    threshold; the contiguous-array tier and the array water fill must leave
+    the trace untouched."""
+    config = DarisConfig.str_config(32)
+    workload = WorkloadSpec("poisson")
+    _set_substrate_toggles(True)
+    vectorized = _run_storm_traced(config=config, workload=workload)
+    GpuEngine.vectorized_enabled = False
+    scalar = _run_storm_traced(config=config, workload=workload)
+    _assert_same_run(vectorized, scalar)
+
+
+def test_vector_tier_actually_engages(toggle_guard):
+    """The wide-config scenario genuinely enters the numpy tier (and the
+    fault-free narrow config never does)."""
+    _set_substrate_toggles(True)
+    simulator = Simulator()
+    scheduler = DarisScheduler(
+        simulator,
+        table2_taskset("resnet18"),
+        DarisConfig.str_config(32),
+        rng=RngFactory(1),
+        workload=WorkloadSpec("poisson"),
+    )
+    scheduler.run(800.0)
+    assert scheduler.platform.engine.vector_engagements > 0
+
+    simulator = Simulator()
+    scheduler = DarisScheduler(
+        simulator,
+        table2_taskset("resnet18"),
+        DarisConfig.mps_config(6, 6.0),
+        rng=RngFactory(1),
+    )
+    scheduler.run(800.0)
+    assert scheduler.platform.engine.vector_engagements == 0
 
 
 # ---------------------------------------------------------- heap compaction

@@ -1,0 +1,115 @@
+"""Tests for the BENCH_*.json summary writer and baseline comparison gate."""
+
+import json
+
+import pytest
+
+from repro.experiments.perf_report import (
+    EXIT_BAD_INPUT,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    build_bench_summary,
+    compare_bench_summaries,
+    format_comparison,
+    load_bench_summary,
+    main,
+    write_bench_summary,
+)
+
+
+def test_build_summary_rounds_and_sorts():
+    summary = build_bench_summary({"b": 0.5, "a": 0.25})
+    names = [entry["name"] for entry in summary["benchmarks"]]
+    assert names == ["a", "b"]
+    assert summary["benchmarks"][0]["ops_per_second"] == pytest.approx(4.0)
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = write_bench_summary({"full_run": 0.25, "engine": 0.03}, tmp_path / "BENCH.json")
+    assert load_bench_summary(path) == {"full_run": 0.25, "engine": 0.03}
+
+
+def test_load_skips_unusable_entries(tmp_path):
+    path = tmp_path / "BENCH.json"
+    path.write_text(json.dumps({"benchmarks": [
+        {"name": "good", "seconds": 0.1},
+        {"name": "zero", "seconds": 0.0},
+        {"name": "missing"},
+        {"seconds": 0.5},
+    ]}))
+    assert load_bench_summary(path) == {"good": 0.1}
+
+
+def test_load_rejects_malformed_file(tmp_path):
+    path = tmp_path / "BENCH.json"
+    path.write_text("not json")
+    with pytest.raises(ValueError, match="unreadable"):
+        load_bench_summary(path)
+    with pytest.raises(ValueError, match="unreadable"):
+        load_bench_summary(tmp_path / "absent.json")
+
+
+def test_compare_classifies_every_status():
+    rows = compare_bench_summaries(
+        current={"same": 0.1, "faster": 0.05, "slower": 0.15, "new": 0.2},
+        baseline={"same": 0.1, "faster": 0.1, "slower": 0.1, "gone": 0.3},
+    )
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["same"]["status"] == "ok"
+    assert by_name["faster"]["status"] == "ok"
+    assert by_name["faster"]["speedup"] == pytest.approx(2.0)
+    assert by_name["slower"]["status"] == "regressed"
+    assert by_name["new"]["status"] == "new"
+    assert by_name["gone"]["status"] == "removed"
+
+
+def test_compare_threshold_is_exclusive():
+    # Exactly at the threshold is not a regression; just past it is.
+    at = compare_bench_summaries({"b": 0.12}, {"b": 0.1}, threshold=0.2)
+    past = compare_bench_summaries({"b": 0.121}, {"b": 0.1}, threshold=0.2)
+    assert at[0]["status"] == "ok"
+    assert past[0]["status"] == "regressed"
+
+
+def test_compare_rejects_negative_threshold():
+    with pytest.raises(ValueError):
+        compare_bench_summaries({}, {}, threshold=-0.1)
+
+
+def test_format_comparison_renders_missing_fields():
+    rows = compare_bench_summaries({"new": 0.2}, {"gone": 0.3})
+    text = format_comparison(rows)
+    assert "new" in text and "removed" in text and "-" in text
+
+
+def _write(tmp_path, name, timings):
+    path = tmp_path / name
+    path.write_text(json.dumps({"benchmarks": [
+        {"name": key, "seconds": value} for key, value in timings.items()
+    ]}))
+    return str(path)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    baseline = _write(tmp_path, "base.json", {"run": 0.1})
+    ok = _write(tmp_path, "ok.json", {"run": 0.1})
+    bad = _write(tmp_path, "bad.json", {"run": 0.2})
+
+    assert main([ok, "--baseline", baseline]) == EXIT_OK
+    assert main([bad, "--baseline", baseline]) == EXIT_REGRESSION
+    assert "perf regression" in capsys.readouterr().err
+    assert main([str(tmp_path / "nope.json"), "--baseline", baseline]) == EXIT_BAD_INPUT
+
+
+def test_main_new_and_removed_do_not_fail(tmp_path):
+    baseline = _write(tmp_path, "base.json", {"gone": 0.1})
+    current = _write(tmp_path, "cur.json", {"fresh": 0.2})
+    assert main([current, "--baseline", baseline]) == EXIT_OK
+
+
+def test_main_custom_threshold(tmp_path):
+    baseline = _write(tmp_path, "base.json", {"run": 0.1})
+    slower = _write(tmp_path, "cur.json", {"run": 0.14})
+    assert main([slower, "--baseline", baseline]) == EXIT_REGRESSION
+    assert main([slower, "--baseline", baseline, "--threshold", "0.5"]) == EXIT_OK
+    assert main([slower, "--baseline", baseline, "--threshold", "0.1"]) == EXIT_REGRESSION
