@@ -1,0 +1,281 @@
+"""Pareto-frontier analysis for design-space exploration.
+
+The DSE grid (:mod:`repro.experiments.dse_grid`) sweeps config axes —
+scheduler tunables crossed with GPU hardware points — and every swept point
+lands somewhere in a multi-objective space: deadline-miss rate and tail
+latency should be low, utilization high, hardware cost low.  No single
+scalar ranks such points; the useful output is the **Pareto frontier** —
+the designs not dominated by any other design — plus, for each dominated
+design, how many frontier points beat it.
+
+Dominance here is **confidence-interval aware**.  Replicated experiments
+(``--seeds N``) carry a Student-t 95 % half-width per objective, and a mean
+difference inside the overlap of two CIs is noise, not signal.  Point ``a``
+dominates ``b`` only when ``a`` is at least as good everywhere *by mean*
+and strictly better on some objective *by more than the two CIs combined*:
+
+    a.mean + a.ci < b.mean - b.ci        (for a minimized objective)
+
+With zero CIs (single-seed runs) this degenerates to classic strict Pareto
+dominance.  The conservative direction is deliberate: noisy data yields a
+*larger* frontier, never a design discarded on statistical noise.
+
+GPU cost is not a simulator input — no result depends on it — so it lives
+here as a reference cost model (:func:`gpu_cost_per_hour`) applied at
+analysis time, rather than as a :class:`~repro.gpu.spec.GpuSpec` field that
+would perturb every scenario fingerprint without changing any behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.gpu.spec import GpuSpec, RTX_2080_TI
+
+#: Senses an objective can have.
+MINIMIZE = "min"
+MAXIMIZE = "max"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One axis of the multi-objective space.
+
+    Attributes:
+        name: the key under which points carry this objective's value.
+        sense: ``"min"`` (smaller is better) or ``"max"`` (larger is better).
+        label: display label for tables (defaults to ``name``).
+    """
+
+    name: str
+    sense: str = MINIMIZE
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in (MINIMIZE, MAXIMIZE):
+            raise ValueError(f"sense must be '{MINIMIZE}' or '{MAXIMIZE}', got {self.sense!r}")
+        if not self.label:
+            object.__setattr__(self, "label", self.name)
+
+    def signed(self, value: float) -> float:
+        """The value mapped into minimization space (negated for ``max``)."""
+        return value if self.sense == MINIMIZE else -value
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One evaluated design point.
+
+    Attributes:
+        key: stable identity for reports (e.g. the config-override string).
+        values: objective name -> measured mean.
+        ci: objective name -> 95 % CI half-width (absent/0 = exact).
+        meta: free-form annotations carried through to the frontier rows
+            (axis settings, backend name, ...).
+    """
+
+    key: str
+    values: Mapping[str, float]
+    ci: Mapping[str, float] = field(default_factory=dict)
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def value(self, objective: Objective) -> float:
+        return float(self.values[objective.name])
+
+    def half_width(self, objective: Objective) -> float:
+        return float(self.ci.get(objective.name, 0.0))
+
+
+#: The DSE grid's canonical objective set.  ``utilization`` is the mean GPU
+#: busy fraction — note the Clockwork backend never reports it (always 0),
+#: so frontiers over clockwork-only slices should drop this objective.
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("miss_rate", MINIMIZE, "deadline-miss rate"),
+    Objective("p99_ms", MINIMIZE, "p99 response (ms)"),
+    Objective("utilization", MAXIMIZE, "GPU utilization"),
+    Objective("gpu_cost", MINIMIZE, "GPU cost ($/h)"),
+)
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint, objectives: Sequence[Objective]) -> bool:
+    """CI-aware Pareto dominance: does ``a`` dominate ``b``?
+
+    ``a`` dominates ``b`` iff, in minimization space, ``a``'s mean is no
+    worse on *every* objective and on at least one objective ``a`` is
+    better by more than the combined 95 % half-widths
+    (``a.mean + a.ci < b.mean - b.ci``).  Ties on every objective (and any
+    CI overlap on the would-be strict objective) mean no domination.
+    """
+    strictly_better = False
+    for objective in objectives:
+        a_mean = objective.signed(a.value(objective))
+        b_mean = objective.signed(b.value(objective))
+        if a_mean > b_mean:
+            return False
+        if a_mean + a.half_width(objective) < b_mean - b.half_width(objective):
+            strictly_better = True
+    return strictly_better
+
+
+@dataclass(frozen=True)
+class ParetoResult:
+    """The frontier split of one point set.
+
+    Attributes:
+        frontier: non-dominated points, in input order.
+        dominated: dominated points, in input order.
+        dominated_by: point key -> number of frontier points dominating it
+            (0 for frontier members).
+        objectives: the objective set the split was computed under.
+    """
+
+    frontier: Tuple[ParetoPoint, ...]
+    dominated: Tuple[ParetoPoint, ...]
+    dominated_by: Mapping[str, int]
+    objectives: Tuple[Objective, ...]
+
+
+def pareto_frontier(
+    points: Sequence[ParetoPoint], objectives: Sequence[Objective] = DEFAULT_OBJECTIVES
+) -> ParetoResult:
+    """Split ``points`` into the non-dominated frontier and the rest.
+
+    O(n^2) pairwise dominance — design grids are tens to hundreds of points,
+    so clarity wins over a divide-and-conquer frontier.  Duplicate keys are
+    rejected (the key is the report identity).
+    """
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    seen: set = set()
+    for point in points:
+        if point.key in seen:
+            raise ValueError(f"duplicate point key {point.key!r}")
+        seen.add(point.key)
+        for objective in objectives:
+            if objective.name not in point.values:
+                raise ValueError(
+                    f"point {point.key!r} is missing objective {objective.name!r}"
+                )
+    frontier: List[ParetoPoint] = []
+    dominated: List[ParetoPoint] = []
+    dominated_by: Dict[str, int] = {}
+    for point in points:
+        dominators = sum(
+            1 for other in points if other is not point and dominates(other, point, objectives)
+        )
+        dominated_by[point.key] = dominators
+        (dominated if dominators else frontier).append(point)
+    # dominated_by counts *frontier* dominators for reporting: a point beaten
+    # only by other dominated points is impossible under transitive dominance
+    # with exact values, but CI-aware dominance is not transitive, so recount
+    # against the frontier for a stable, meaningful "beaten by" number.
+    frontier_points = tuple(frontier)
+    for point in dominated:
+        dominated_by[point.key] = sum(
+            1 for other in frontier_points if dominates(other, point, objectives)
+        ) or dominated_by[point.key]
+    return ParetoResult(
+        frontier=frontier_points,
+        dominated=tuple(dominated),
+        dominated_by=dominated_by,
+        objectives=tuple(objectives),
+    )
+
+
+# ------------------------------------------------------------- cost model
+
+#: Reference price of the anchor GPU (RTX 2080 Ti class) in $/hour, the
+#: scale every swept hardware point is priced against.
+ANCHOR_COST_PER_HOUR = 1.50
+
+#: Compute-vs-bandwidth split of the cost model: SMs carry most of the die.
+_SM_WEIGHT = 0.7
+_BW_WEIGHT = 0.3
+
+
+def gpu_cost_per_hour(
+    gpu: GpuSpec, anchor: GpuSpec = RTX_2080_TI, anchor_cost: float = ANCHOR_COST_PER_HOUR
+) -> float:
+    """Deterministic $/hour estimate for a swept GPU hardware point.
+
+    A linear blend of SM count and memory bandwidth relative to the anchor
+    GPU: ``anchor_cost * (0.7 * sms/anchor_sms + 0.3 * bw/anchor_bw)``.
+    The anchor itself therefore costs exactly ``anchor_cost``.  This is an
+    *analysis-time* model — simulation results never depend on it — so
+    changing it re-prices old cached results consistently.
+    """
+    if anchor_cost <= 0:
+        raise ValueError("anchor_cost must be positive")
+    return anchor_cost * (
+        _SM_WEIGHT * gpu.num_sms / anchor.num_sms
+        + _BW_WEIGHT * gpu.memory_bandwidth_gbps / anchor.memory_bandwidth_gbps
+    )
+
+
+# --------------------------------------------------- rows <-> points bridge
+
+def points_from_rows(
+    rows: Sequence[Mapping[str, object]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+    key_columns: Optional[Sequence[str]] = None,
+    ci_suffix: str = "_ci95",
+) -> List[ParetoPoint]:
+    """Lift report rows into :class:`ParetoPoint` objects.
+
+    Rows that lack a numeric value for *any* objective are skipped (e.g. a
+    backend that does not report utilization in a mixed-backend table).
+    ``key_columns`` names the identity columns (defaults to every column
+    that is not an objective or a CI companion); ``<objective><ci_suffix>``
+    columns, when present and numeric, become the point's CI half-widths.
+    """
+    objective_names = {objective.name for objective in objectives}
+    points: List[ParetoPoint] = []
+    for row in rows:
+        values: Dict[str, float] = {}
+        ci: Dict[str, float] = {}
+        usable = True
+        for objective in objectives:
+            value = row.get(objective.name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                usable = False
+                break
+            values[objective.name] = float(value)
+            half = row.get(f"{objective.name}{ci_suffix}")
+            if isinstance(half, (int, float)) and not isinstance(half, bool):
+                ci[objective.name] = float(half)
+        if not usable:
+            continue
+        if key_columns is None:
+            identity = [
+                (column, row[column])
+                for column in row
+                if column not in objective_names
+                and not str(column).endswith(ci_suffix)
+                and not str(column).endswith("_std")
+            ]
+        else:
+            identity = [(column, row.get(column, "-")) for column in key_columns]
+        key = " ".join(f"{column}={value}" for column, value in identity)
+        points.append(
+            ParetoPoint(key=key, values=values, ci=ci, meta=dict(identity))
+        )
+    return points
+
+
+def frontier_rows(result: ParetoResult) -> List[Dict[str, object]]:
+    """Flatten a :class:`ParetoResult` into report rows (frontier first).
+
+    Each row carries the point's meta columns, its objective values, a
+    ``frontier`` yes/no column and ``dominated_by`` (0 on the frontier).
+    """
+    rows: List[Dict[str, object]] = []
+    for group, on_frontier in ((result.frontier, True), (result.dominated, False)):
+        for point in group:
+            row: Dict[str, object] = dict(point.meta)
+            for objective in result.objectives:
+                row[objective.name] = point.value(objective)
+            row["frontier"] = "yes" if on_frontier else "no"
+            row["dominated_by"] = result.dominated_by[point.key]
+            rows.append(row)
+    return rows

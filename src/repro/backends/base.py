@@ -18,7 +18,8 @@ pool — each worker process re-imports the registry and dispatches by name.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, ClassVar, List, Optional, Tuple, Type
+import dataclasses
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Tuple, Type
 
 from repro.dnn.model import DnnModel
 from repro.rt.taskset import TaskSetSpec
@@ -32,6 +33,64 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
 
 class BackendRequestError(ValueError):
     """A request is malformed for the backend it names (config/workload/trace)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class AxisField:
+    """One sweepable configuration field of a backend (or of the GPU spec).
+
+    The design-space-exploration layer treats every fingerprintable dataclass
+    field of a backend's config (and of :class:`~repro.gpu.spec.GpuSpec`) as
+    a potential sweep axis; this is the declaration the CLI vocabulary,
+    ``list --json`` and the ``--set`` validator are built from.
+
+    Attributes:
+        name: the canonical dataclass field name.
+        type_name: the field's value type on the default/probe instance
+            (what ``--set`` coerces the text to).
+        default: the field's default value (``None`` when the field is
+            required and has no default).
+        aliases: accepted alternative spellings (``mret_window`` for
+            DARIS's ``window_size``).
+    """
+
+    name: str
+    type_name: str
+    default: Optional[object] = None
+    aliases: Tuple[str, ...] = ()
+
+
+def axis_fields_of(config_cls: Type) -> Dict[str, AxisField]:
+    """The sweepable fields of one config dataclass, keyed by canonical name.
+
+    Any fingerprintable dataclass field is sweepable; ``FIELD_ALIASES``
+    (when the class declares it) contributes the accepted alternative
+    spellings.  Works for ``DarisConfig``, every ``BackendConfig`` subclass
+    and ``GpuSpec`` — they share the frozen-dataclass + aliases protocol.
+    """
+    aliases_of: Dict[str, List[str]] = {}
+    for alias, target in getattr(config_cls, "FIELD_ALIASES", {}).items():
+        aliases_of.setdefault(target, []).append(alias)
+    axes: Dict[str, AxisField] = {}
+    for config_field in dataclasses.fields(config_cls):
+        default = (
+            config_field.default
+            if config_field.default is not dataclasses.MISSING
+            else None
+        )
+        if default is not None:
+            type_name = type(default).__name__
+        else:
+            # Required fields (and None-defaulted optionals) carry their
+            # annotation instead of a value type.
+            type_name = str(config_field.type).replace("typing.", "")
+        axes[config_field.name] = AxisField(
+            name=config_field.name,
+            type_name=type_name,
+            default=default,
+            aliases=tuple(sorted(aliases_of.get(config_field.name, []))),
+        )
+    return axes
 
 
 class SchedulerBackend(abc.ABC):
@@ -64,6 +123,16 @@ class SchedulerBackend(abc.ABC):
     supports_traces: ClassVar[bool] = False
     deterministic: ClassVar[bool] = False
     resilience: ClassVar[ResiliencePolicy] = DEFAULT_POLICY
+
+    @classmethod
+    def config_axes(cls) -> Dict[str, AxisField]:
+        """The backend's sweepable config fields (its config-axis vocabulary).
+
+        Derived from ``config_type``: every fingerprintable field is a
+        declared axis, addressable as ``<backend>.<field>`` by experiment
+        grids and the CLI's ``--set`` overrides.
+        """
+        return axis_fields_of(cls.config_type)
 
     def seed_sensitive(
         self, workload: WorkloadSpec, faults: Optional[FaultSpec] = None

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import ClassVar, Tuple, Type
 
-from repro.backends.base import SchedulerBackend
+from repro.backends.base import BackendRequestError, SchedulerBackend
 from repro.backends.configs import (
     BatchingConfig,
     ClockworkConfig,
@@ -124,7 +124,11 @@ class ClockworkBackend(SchedulerBackend):
     )
 
     def run(self, request: ScenarioRequest) -> ScenarioResult:
-        server = ClockworkServer(gpu=request.gpu, calibration=request.calibration)
+        server = ClockworkServer(
+            gpu=request.gpu,
+            calibration=request.calibration,
+            admission_slack=request.config.admission_slack,
+        )
         outcome = server.run_taskset(
             request.taskset,
             request.horizon_ms,
@@ -224,11 +228,17 @@ class GSliceBackend(SchedulerBackend):
     def run(self, request: ScenarioRequest) -> ScenarioResult:
         models = self.taskset_models(request.taskset)
         batch_sizes = request.config.batch_sizes
+        if request.config.oversubscription > len(models):
+            raise BackendRequestError(
+                f"gslice oversubscription {request.config.oversubscription:g} exceeds"
+                f" the partition count ({len(models)} model(s) in the task set)"
+            )
         server = GSliceServer(
             models,
             batch_sizes=list(batch_sizes) if batch_sizes is not None else None,
             gpu=request.gpu,
             calibration=request.calibration,
+            oversubscription=request.config.oversubscription,
         )
         outcome = server.run_saturated(
             request.horizon_ms,

@@ -16,8 +16,8 @@ because untagged input unambiguously means DARIS (the RTGPU backend reuses
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import ClassVar, Dict, Mapping, Optional, Tuple, Type, Union
+from dataclasses import MISSING, dataclass, fields, replace
+from typing import ClassVar, Dict, FrozenSet, Mapping, Optional, Tuple, Type, Union
 
 from repro.scheduler.config import DarisConfig
 
@@ -36,17 +36,46 @@ class BackendConfig:
 
     kind: ClassVar[str] = ""
 
+    #: Fields added *after* the config first shipped (config-axis tunables).
+    #: They serialize only when non-default, so every pre-existing request's
+    #: fingerprint — hence its cache key — stays byte-identical while a swept
+    #: (overridden) config still keys its own cache entries.
+    EXTENDED_FIELDS: ClassVar[FrozenSet[str]] = frozenset()
+
+    #: Sweep-axis aliases (``--set <backend>.<alias>=...``), mirroring
+    #: ``DarisConfig.FIELD_ALIASES`` / ``GpuSpec.FIELD_ALIASES``.
+    FIELD_ALIASES: ClassVar[Dict[str, str]] = {}
+
     def label(self) -> str:
         """Human-readable configuration label for report rows."""
         return self.kind
 
     def to_dict(self) -> Dict[str, object]:
-        """Canonical field dictionary, tagged with the owning backend."""
+        """Canonical field dictionary, tagged with the owning backend.
+
+        :data:`EXTENDED_FIELDS` members are emitted only when they differ
+        from their default — the cache-key compatibility rule for tunables
+        added as config axes after the config's first release.
+        """
         data: Dict[str, object] = {"kind": self.kind}
         for config_field in fields(self):
             value = getattr(self, config_field.name)
+            if (
+                config_field.name in self.EXTENDED_FIELDS
+                and config_field.default is not MISSING
+                and value == config_field.default
+            ):
+                continue
             data[config_field.name] = list(value) if isinstance(value, tuple) else value
         return data
+
+    def with_field(self, name: str, value: object) -> "BackendConfig":
+        """Return a copy with one (possibly aliased) field replaced.
+
+        The config-axis entry point; validation is the subclass's own
+        ``__post_init__`` (an out-of-range value raises ``ValueError``).
+        """
+        return replace(self, **{self.FIELD_ALIASES.get(name, name): value})
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "BackendConfig":
@@ -97,12 +126,29 @@ def config_from_dict(data: Mapping[str, object]) -> AnyBackendConfig:
 @_register_config
 @dataclass(frozen=True)
 class ClockworkConfig(BackendConfig):
-    """Clockwork has no tunables: one DNN at a time, EDF, drop-if-late."""
+    """Clockwork: one DNN at a time, EDF, admission by predicted latency.
+
+    ``admission_slack`` scales the predicted completion time the admission
+    test compares against the deadline — the design-space knob between
+    Clockwork's two failure modes.  ``1.0`` is the paper's predictor taken
+    at face value; ``> 1`` is conservative (more shedding, fewer late
+    misses), ``< 1`` optimistic (more admissions, more misses).
+    """
 
     kind: ClassVar[str] = "clockwork"
+    admission_slack: float = 1.0
+
+    EXTENDED_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"admission_slack"})
+    FIELD_ALIASES: ClassVar[Dict[str, str]] = {"slack": "admission_slack"}
+
+    def __post_init__(self) -> None:
+        if not self.admission_slack > 0:
+            raise ValueError("admission_slack must be positive")
 
     def label(self) -> str:
-        return "Clockwork"
+        if self.admission_slack == 1.0:
+            return "Clockwork"
+        return f"Clockwork slack{self.admission_slack:g}"
 
 
 @_register_config
@@ -149,10 +195,20 @@ class GSliceConfig(BackendConfig):
     ``batch_sizes`` pins the per-partition batch size (one entry per distinct
     model in the task set, in order of first appearance); ``None`` uses each
     model's preferred batch size.
+
+    ``oversubscription`` sizes the partitions: it is the MPS SM-quota
+    oversubscription ratio across the per-model contexts.  ``1.0`` is
+    GSlice's strict provisioning (disjoint quotas, full isolation); larger
+    values overlap the partitions so each can borrow idle SMs — the
+    partition-sizing design-space axis.
     """
 
     kind: ClassVar[str] = "gslice"
     batch_sizes: Optional[Tuple[int, ...]] = None
+    oversubscription: float = 1.0
+
+    EXTENDED_FIELDS: ClassVar[FrozenSet[str]] = frozenset({"oversubscription"})
+    FIELD_ALIASES: ClassVar[Dict[str, str]] = {"os": "oversubscription"}
 
     def __post_init__(self) -> None:
         if self.batch_sizes is not None:
@@ -160,6 +216,8 @@ class GSliceConfig(BackendConfig):
                 object.__setattr__(self, "batch_sizes", tuple(self.batch_sizes))
             if any(batch < 1 for batch in self.batch_sizes):
                 raise ValueError("every batch size must be >= 1")
+        if not self.oversubscription >= 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
 
     def label(self) -> str:
         if self.batch_sizes is None:

@@ -100,9 +100,13 @@ class ClockworkServer:
         self,
         gpu: GpuSpec = RTX_2080_TI,
         calibration: GpuCalibration = DEFAULT_CALIBRATION,
+        admission_slack: float = 1.0,
     ):
+        if not admission_slack > 0:
+            raise ValueError("admission_slack must be positive")
         self.gpu = gpu
         self.calibration = calibration
+        self.admission_slack = admission_slack
         self.completed = 0
         self.dropped = 0
         self.missed = 0
@@ -169,7 +173,9 @@ class ClockworkServer:
         def predicted_latency(model: DnnModel) -> float:
             # One DNN at a time on the whole GPU: the isolated latency *is*
             # the (deterministic) worst case, which is Clockwork's core idea.
-            return model.isolated_latency_ms(self.calibration)
+            # The admission slack scales the prediction the test uses —
+            # > 1 sheds earlier (conservative), < 1 admits deeper (optimistic).
+            return model.isolated_latency_ms(self.calibration) * self.admission_slack
 
         def start_next() -> None:
             while queue and not busy["running"]:

@@ -65,6 +65,7 @@ class GSliceServer:
         batch_sizes: Optional[Sequence[int]] = None,
         gpu: GpuSpec = RTX_2080_TI,
         calibration: GpuCalibration = DEFAULT_CALIBRATION,
+        oversubscription: float = 1.0,
     ):
         if not models:
             raise ValueError("at least one model is required")
@@ -73,9 +74,14 @@ class GSliceServer:
             batch_sizes = [model.profile.preferred_batch_size for model in self.models]
         if len(batch_sizes) != len(self.models):
             raise ValueError("one batch size per model is required")
+        if not 1.0 <= oversubscription <= max(1.0, float(len(self.models))):
+            raise ValueError(
+                f"oversubscription must be in [1, {len(self.models)}], got {oversubscription}"
+            )
         self.batch_sizes = list(batch_sizes)
         self.gpu = gpu
         self.calibration = calibration
+        self.oversubscription = oversubscription
         self.completed_jobs: Dict[str, int] = {}
 
     def run_saturated(
@@ -104,7 +110,7 @@ class GSliceServer:
             PlatformConfig(
                 num_contexts=num_partitions,
                 streams_per_context=1,
-                oversubscription=1.0,
+                oversubscription=self.oversubscription,
             ),
             spec=self.gpu,
             calibration=self.calibration,

@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments run backends --quick --scheduler clockwork
     python -m repro.experiments run backends --quick --workload bursty
     python -m repro.experiments run faults --quick --fault storm
+    python -m repro.experiments run fig9 --quick --set daris.mret_window=8 --set gpu.sm_count=40
+    python -m repro.experiments dse --quick --seeds 3 --cache-dir .cache
     python -m repro.experiments run fig4_6 --quick --no-cache --profile
     python -m repro.experiments cache --cache-dir .cache [--prune-max-entries N] [--clear]
     python -m repro.experiments sweep plan --all --shards 8 --seeds 5
@@ -145,6 +147,24 @@ def _fault_label(text: str) -> str:
     return text
 
 
+def _config_override(text: str) -> str:
+    """argparse type for ``--set TARGET.FIELD=VALUE``: a validated config axis.
+
+    Parse-time validation catches unknown targets/fields, wrong value types
+    and out-of-range values (a negative SM count, a zero batching cap) as a
+    clean usage error listing the axis vocabulary — not a traceback out of
+    the engine mid-sweep.  The canonical string form (aliases resolved) is
+    what flows into the spec params, so the sweep manifest and the cache see
+    one spelling per axis point.
+    """
+    from repro.experiments.scenarios import parse_config_override
+
+    try:
+        return parse_config_override(text).spec_string()
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _shard_spec(text: str) -> Tuple[int, int]:
     """argparse type for ``--shard i/N``: 0-based index out of N shards."""
     try:
@@ -219,6 +239,21 @@ def _add_selection_arguments(parser: argparse.ArgumentParser) -> None:
             " labels are a usage error listing the vocabulary"
         ),
     )
+    parser.add_argument(
+        "--set",
+        dest="config_overrides",
+        type=_config_override,
+        action="append",
+        default=None,
+        metavar="TARGET.FIELD=VALUE",
+        help=(
+            "override one config axis on every request the grid builds, e.g."
+            " --set daris.mret_window=8 --set gpu.sm_count=40 (repeatable;"
+            " backend overrides apply to that backend's requests, gpu"
+            " overrides to all); unknown axes, wrong types and out-of-range"
+            " values are a usage error listing the axis vocabulary"
+        ),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -264,6 +299,68 @@ def _build_parser() -> argparse.ArgumentParser:
             " time; forces --jobs 1 (worker processes are invisible to the"
             " parent's profiler)"
         ),
+    )
+
+    dse_parser = subparsers.add_parser(
+        "dse",
+        help="run the design-space exploration grid and render its Pareto frontier",
+    )
+    grid = dse_parser.add_mutually_exclusive_group()
+    grid.add_argument(
+        "--quick",
+        dest="quick",
+        action="store_true",
+        default=True,
+        help="reduced design grid (default)",
+    )
+    grid.add_argument(
+        "--full", dest="quick", action="store_false", help="the full design grid"
+    )
+    dse_parser.add_argument(
+        "--seeds",
+        type=_positive_int,
+        default=1,
+        help="replication count; > 1 makes the frontier CI-aware (default 1)",
+    )
+    dse_parser.add_argument(
+        "--base-seed", type=_nonnegative_int, default=1, help="first seed (default 1)"
+    )
+    dse_parser.add_argument(
+        "--scheduler",
+        type=_backend_name,
+        default=None,
+        help="restrict the design grid to one backend lane (daris/clockwork)",
+    )
+    dse_parser.add_argument(
+        "--set",
+        dest="config_overrides",
+        type=_config_override,
+        action="append",
+        default=None,
+        metavar="TARGET.FIELD=VALUE",
+        help="override one config axis on every design point (repeatable)",
+    )
+    dse_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes (default: one per CPU; 1 = serial)",
+    )
+    dse_parser.add_argument(
+        "--cache-dir",
+        default=".cache/experiments",
+        help="result cache directory (default .cache/experiments)",
+    )
+    dse_parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache entirely"
+    )
+    dse_parser.add_argument(
+        "--expect-cached",
+        action="store_true",
+        help=f"exit {EXIT_NOT_CACHED} if any scenario had to be simulated",
+    )
+    dse_parser.add_argument(
+        "--json", action="store_true", help="emit frontier-annotated rows as JSON lines"
     )
 
     cache_parser = subparsers.add_parser("cache", help="inspect or trim the result cache")
@@ -351,12 +448,33 @@ def _command_list(args: argparse.Namespace) -> int:
 
     specs = all_experiments()
     backends = all_backends()
+
+    def _json_default(value: object) -> object:
+        # Spec defaults / axis levels may carry non-JSON values (enums);
+        # their string form is the canonical CLI spelling anyway.
+        return getattr(value, "value", str(value))
+
     if args.json:
         print(
             json.dumps(
                 {
                     "experiments": [
-                        {"name": spec.name, "title": spec.title, "replicable": spec.replicable}
+                        {
+                            "name": spec.name,
+                            "title": spec.title,
+                            "replicable": spec.replicable,
+                            # The spec's declared parameters (defaults double
+                            # as the declaration) and swept config axes.
+                            "params": dict(spec.defaults),
+                            "axes": [
+                                {
+                                    "axis": axis.spec_string(),
+                                    "values": list(axis.values),
+                                    "description": axis.description,
+                                }
+                                for axis in spec.axes
+                            ],
+                        }
                         for spec in specs
                     ],
                     "backends": [
@@ -385,7 +503,8 @@ def _command_list(args: argparse.Namespace) -> int:
                         }
                         for name, spec in NAMED_FAULTS.items()
                     ],
-                }
+                },
+                default=_json_default,
             )
         )
         return EXIT_OK
@@ -393,11 +512,27 @@ def _command_list(args: argparse.Namespace) -> int:
         {
             "name": spec.name,
             "seeds_axis": "yes" if spec.replicable else "no (deterministic)",
+            "params": ",".join(sorted(spec.defaults)) or "-",
             "title": spec.title,
         }
         for spec in specs
     ]
     print(format_table(rows))
+    axis_specs = [spec for spec in specs if spec.axes]
+    if axis_specs:
+        print()
+        print("declared config axes (override any axis with --set TARGET.FIELD=VALUE):")
+        axis_rows = [
+            {
+                "experiment": spec.name,
+                "axis": axis.spec_string(),
+                "values": ",".join(str(value) for value in axis.values) or "-",
+                "description": axis.description,
+            }
+            for spec in axis_specs
+            for axis in spec.axes
+        ]
+        print(format_table(axis_rows))
     print()
     print("scheduler backends (run ... --scheduler NAME where a spec declares it):")
     backend_rows = [
@@ -485,6 +620,8 @@ def _params_for(args: argparse.Namespace) -> Optional[dict]:
         params["workload"] = args.workload
     if getattr(args, "fault", None):
         params["fault"] = args.fault
+    if getattr(args, "config_overrides", None):
+        params["config_overrides"] = tuple(args.config_overrides)
     return params or None
 
 
@@ -549,6 +686,80 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.expect_cached and (total_misses > 0 or args.no_cache):
         print(
             f"--expect-cached: {total_misses} cacheable scenario(s) had to be simulated",
+            file=sys.stderr,
+        )
+        return EXIT_NOT_CACHED
+    return EXIT_OK
+
+
+def _command_dse(args: argparse.Namespace) -> int:
+    """Run the DSE grid and render its CI-aware Pareto frontier."""
+    from repro.analysis.pareto import frontier_rows
+    from repro.experiments.dse_grid import SPEC, frontier_from_rows
+
+    params = {}
+    if args.scheduler:
+        params["scheduler"] = args.scheduler
+    if args.config_overrides:
+        params["config_overrides"] = tuple(args.config_overrides)
+    cache: Optional[ResultCache] = None if args.no_cache else ResultCache(args.cache_dir)
+    report = run_experiment(
+        SPEC,
+        quick=args.quick,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        processes=args.jobs,
+        cache=cache,
+        params=params or None,
+    )
+    result = frontier_from_rows(report.rows)
+    annotated = frontier_rows(result)
+    if args.json:
+        for row in annotated:
+            print(json.dumps({"experiment": SPEC.name, **row}))
+    else:
+        seeds_note = (
+            f"seeds {report.seeds[0]}..{report.seeds[-1]}"
+            if report.replicated
+            else f"seed {report.seeds[0]}"
+        )
+        print(
+            f"== dse — {SPEC.title}"
+            f" [{'quick' if report.quick else 'full'}, {seeds_note}] =="
+        )
+        renderer = format_replicated_table if report.replicated else format_table
+        print(renderer(report.rows))
+        print()
+        objectives = " x ".join(
+            f"{objective.label} ({objective.sense})" for objective in result.objectives
+        )
+        print(f"Pareto frontier over {objectives}:")
+        print(format_table([row for row in annotated if row["frontier"] == "yes"]))
+        dominated = [row for row in annotated if row["frontier"] == "no"]
+        print(
+            f"frontier: {len(result.frontier)} design point(s);"
+            f" dominated: {len(dominated)}"
+            + (
+                " (max dominated_by "
+                + str(max(row["dominated_by"] for row in dominated))
+                + ")"
+                if dominated
+                else ""
+            )
+        )
+        if report.replicated:
+            print(
+                "dominance is CI-aware: a point is dominated only when it loses"
+                " by more than the combined 95% CIs on some objective"
+            )
+        print(
+            f"scenarios: {report.cache_hits} cached, {report.simulated} simulated"
+            f" ({report.uncached} uncacheable)"
+        )
+    if args.expect_cached and (report.cache_misses > 0 or args.no_cache):
+        print(
+            f"--expect-cached: {report.cache_misses} cacheable scenario(s)"
+            " had to be simulated",
             file=sys.stderr,
         )
         return EXIT_NOT_CACHED
@@ -736,6 +947,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_list(args)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "dse":
+        return _command_dse(args)
     if args.command == "sweep":
         handlers = {
             "plan": _command_sweep_plan,

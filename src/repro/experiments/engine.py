@@ -207,6 +207,24 @@ def expand_experiment(
         raise ValueError("seeds must be >= 1")
     merged_params = spec.merged_params(params)
     plan = spec.build(BuildContext(quick=quick, seed=base_seed, params=merged_params))
+    override_specs = merged_params.get("config_overrides") or ()
+    if override_specs:
+        # Config axes are applied here — after the spec built its grid — so
+        # every experiment gets `--set target.field=value` support without
+        # knowing about it, and the sharded sweep (which re-expands the same
+        # grid from the manifest's params) sees the exact same requests.
+        from repro.experiments.scenarios import (
+            apply_config_overrides,
+            parse_config_overrides,
+        )
+
+        overrides = parse_config_overrides(override_specs)
+        plan = ExperimentPlan(
+            requests=[
+                apply_config_overrides(request, overrides) for request in plan.requests
+            ],
+            make_rows=plan.make_rows,
+        )
     seed_values = (
         [base_seed + offset for offset in range(seeds)] if spec.replicable else [base_seed]
     )

@@ -46,6 +46,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.sota_comparison",
     "repro.experiments.backend_grid",
     "repro.experiments.faults_grid",
+    "repro.experiments.dse_grid",
 )
 
 
@@ -85,6 +86,28 @@ class ExperimentPlan:
 
 
 @dataclass(frozen=True)
+class ConfigAxis:
+    """One config dimension a spec sweeps (or accepts overrides on).
+
+    An axis addresses one fingerprintable field of a config dataclass by
+    its ``target.field`` spelling from the shared axis vocabulary
+    (:func:`repro.experiments.scenarios.config_axis_vocabulary`) — e.g.
+    ``daris.window_size``, ``clockwork.admission_slack``, ``gpu.num_sms``.
+    ``values`` lists the levels a declared grid crosses (empty for a
+    free-form axis that only accepts ``--set`` overrides).
+    """
+
+    target: str
+    field: str
+    values: Sequence[object] = ()
+    description: str = ""
+
+    def spec_string(self) -> str:
+        """The canonical ``target.field`` spelling of this axis."""
+        return f"{self.target}.{self.field}"
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """Declarative description of one paper artefact's experiment.
 
@@ -97,6 +120,8 @@ class ExperimentSpec:
             purely analytic experiments whose output is seed-independent.
         defaults: default ``params`` merged under any caller-supplied ones
             (e.g. ``{"model_name": "resnet18"}``).
+        axes: the config axes the spec's grid crosses (design-space
+            dimensions); shown by ``list`` and exported by ``list --json``.
     """
 
     name: str
@@ -105,6 +130,7 @@ class ExperimentSpec:
     highlights: Mapping[str, object] = field(default_factory=dict)
     replicable: bool = True
     defaults: Mapping[str, object] = field(default_factory=dict)
+    axes: Sequence[ConfigAxis] = ()
 
     def merged_params(self, params: Optional[Mapping[str, object]] = None) -> Dict[str, object]:
         """Spec defaults overlaid with caller-supplied parameters."""
@@ -121,10 +147,14 @@ class ExperimentSpec:
         certainly ignored by ``build`` — e.g. ``--model`` applied to a spec
         that sweeps no model.  Callers use this to warn instead of silently
         dropping the parameter.
+
+        ``config_overrides`` is reserved: the engine applies it to every
+        spec's requests generically (``--set`` config axes), so it is never
+        unknown.
         """
         if not params:
             return []
-        return sorted(set(params) - set(self.defaults))
+        return sorted(set(params) - set(self.defaults) - {"config_overrides"})
 
 
 _REGISTRY: Dict[str, ExperimentSpec] = {}
@@ -166,6 +196,7 @@ _CANONICAL_ORDER = (
     "sota",
     "backends",
     "faults",
+    "dse",
 )
 
 

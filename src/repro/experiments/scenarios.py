@@ -8,11 +8,23 @@ by the benchmark suite.
 :data:`NAMED_WORKLOADS` is the matching vocabulary for the *workload* half of
 a scenario: the canonical, CLI-addressable arrival processes the sweepable
 grids (and the ``--workload`` slice flag) use as columns.
+
+The **config-axis** vocabulary lives here too: every fingerprintable field
+of a backend's config (``daris.window_size``, ``clockwork.admission_slack``,
+``gslice.oversubscription``, ...) and of the GPU spec (``gpu.num_sms``,
+``gpu.memory_bandwidth_gbps``, ...) is addressable as ``target.field``.
+:func:`parse_config_override` turns one ``target.field=value`` assignment
+into a validated :class:`ConfigOverride` (unknown target/field, a value of
+the wrong type, or an out-of-range value — negative SM count, zero batching
+cap — all raise ``ValueError`` with the vocabulary, *before* any simulation
+starts), and :func:`apply_config_overrides` rewrites a request with the
+overrides that address it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.scheduler.config import DarisConfig, Policy
 from repro.sim.faults import (
@@ -156,3 +168,230 @@ def horizon_ms(quick: bool = False) -> float:
 def policy_name(config: DarisConfig) -> str:
     """Short policy name for report rows."""
     return config.policy.value
+
+
+# --------------------------------------------------------------- config axes
+
+#: The pseudo-target addressing :class:`~repro.gpu.spec.GpuSpec` fields —
+#: hardware axes apply to *every* request of a grid, not one backend's.
+GPU_AXIS_TARGET = "gpu"
+
+
+class ConfigOverride(Tuple[str, str, object]):
+    """One validated ``target.field=value`` assignment (value-typed tuple).
+
+    ``target`` is a registered backend name or :data:`GPU_AXIS_TARGET`,
+    ``field`` the *canonical* dataclass field name (aliases already
+    resolved), ``value`` the coerced, range-checked value.  Being a plain
+    tuple keeps overrides hashable and trivially serializable.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, target: str, field: str, value: object) -> "ConfigOverride":
+        return super().__new__(cls, (target, field, value))
+
+    @property
+    def target(self) -> str:
+        return self[0]
+
+    @property
+    def field(self) -> str:
+        return self[1]
+
+    @property
+    def value(self) -> object:
+        return self[2]
+
+    def spec_string(self) -> str:
+        """The canonical ``target.field=value`` text form."""
+        value = self.value
+        if isinstance(value, Policy):
+            value = value.value
+        elif isinstance(value, tuple):
+            value = ",".join(str(item) for item in value)
+        elif isinstance(value, bool):
+            value = "true" if value else "false"
+        return f"{self.target}.{self.field}={value}"
+
+
+def _axis_targets() -> Dict[str, type]:
+    """Axis target -> config class: every registered backend plus ``gpu``."""
+    from repro.backends import all_backends
+    from repro.gpu.spec import GpuSpec
+
+    targets: Dict[str, type] = {
+        backend.name: backend.config_type for backend in all_backends()
+    }
+    targets[GPU_AXIS_TARGET] = GpuSpec
+    return targets
+
+
+def config_axis_vocabulary() -> Dict[str, Dict[str, object]]:
+    """Every addressable axis: target -> canonical field -> :class:`AxisField`."""
+    from repro.backends.base import axis_fields_of
+
+    return {
+        target: axis_fields_of(config_cls)
+        for target, config_cls in sorted(_axis_targets().items())
+    }
+
+
+def format_axis_vocabulary() -> str:
+    """One-line-per-target summary of the axis vocabulary (error messages)."""
+    lines = []
+    for target, axes in config_axis_vocabulary().items():
+        names = []
+        for axis in axes.values():
+            names.append(
+                axis.name if not axis.aliases else f"{axis.name}|{'|'.join(axis.aliases)}"
+            )
+        lines.append(f"  {target}: {', '.join(names)}")
+    return "\n".join(lines)
+
+
+def _probe_instance(target: str, config_cls: type) -> object:
+    """A constructible default instance range checks are probed against."""
+    from repro.gpu.spec import RTX_2080_TI
+
+    if target == GPU_AXIS_TARGET:
+        return RTX_2080_TI
+    if config_cls is DarisConfig:
+        # DarisConfig has no no-argument default; probe the widest MPS shape
+        # so per-field range checks (window >= 1, OS within [1, Nc]) engage.
+        return DarisConfig.mps_config(8, 1.0)
+    return config_cls()
+
+
+def _coerce_value(text: str, reference: object, annotation: str, field: str) -> object:
+    """Coerce override text to the field's value type; ValueError on mismatch."""
+    lowered = text.strip().lower()
+    if isinstance(reference, bool) or annotation == "bool":
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ValueError(f"expected a boolean for {field!r}, got {text!r}")
+    if isinstance(reference, int) or annotation == "int":
+        try:
+            return int(text)
+        except ValueError:
+            raise ValueError(f"expected an integer for {field!r}, got {text!r}") from None
+    if isinstance(reference, float) or annotation == "float":
+        try:
+            return float(text)
+        except ValueError:
+            raise ValueError(f"expected a number for {field!r}, got {text!r}") from None
+    if isinstance(reference, Policy) or annotation == "Policy":
+        try:
+            return Policy(text)
+        except ValueError:
+            options = "/".join(policy.value for policy in Policy)
+            raise ValueError(
+                f"expected a policy ({options}) for {field!r}, got {text!r}"
+            ) from None
+    if isinstance(reference, str) or annotation == "str":
+        return text
+    # Optional / tuple-valued fields (no reference value): literal parsing.
+    if lowered in ("none", "null"):
+        return None
+    tuple_valued = isinstance(reference, tuple) or "Tuple" in annotation
+    if tuple_valued or "," in text:
+        items = [item.strip() for item in text.split(",") if item.strip()]
+        try:
+            return tuple(int(item) for item in items)
+        except ValueError:
+            try:
+                return tuple(float(item) for item in items)
+            except ValueError:
+                raise ValueError(
+                    f"expected a comma-separated number list for {field!r}, got {text!r}"
+                ) from None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_config_override(text: str) -> ConfigOverride:
+    """Parse and validate one ``target.field=value`` assignment.
+
+    Raises ``ValueError`` — listing the axis vocabulary — for an unknown
+    target or field, a value that does not coerce to the field's type, or a
+    value the config itself rejects (the range check is probed by applying
+    the override to the target's default instance, so a negative SM count or
+    a zero batching cap fails here, not as a traceback mid-sweep).
+    """
+    assignment, separator, value_text = text.partition("=")
+    target, dot, field_text = assignment.partition(".")
+    if not separator or not dot or not target or not field_text:
+        raise ValueError(
+            f"expected TARGET.FIELD=VALUE (e.g. daris.mret_window=8), got {text!r}"
+        )
+    targets = _axis_targets()
+    if target not in targets:
+        raise ValueError(
+            f"unknown config-axis target {target!r}; known targets and fields:\n"
+            + format_axis_vocabulary()
+        )
+    from repro.backends.base import axis_fields_of
+
+    config_cls = targets[target]
+    canonical = getattr(config_cls, "FIELD_ALIASES", {}).get(field_text, field_text)
+    axes = axis_fields_of(config_cls)
+    if canonical not in axes:
+        raise ValueError(
+            f"unknown config axis {target}.{field_text}; known targets and fields:\n"
+            + format_axis_vocabulary()
+        )
+    axis = axes[canonical]
+    value = _coerce_value(value_text, axis.default, axis.type_name, canonical)
+    # Range probe: the dataclasses' own __post_init__ validation, surfaced
+    # at parse time against the target's default instance.  Cross-field
+    # constraints are re-checked against each grid's real configs when the
+    # override is applied.
+    probe = _probe_instance(target, config_cls)
+    try:
+        probe.with_field(canonical, value)
+    except (ValueError, TypeError) as error:
+        raise ValueError(f"invalid value for {target}.{canonical}: {error}") from None
+    return ConfigOverride(target, canonical, value)
+
+
+def parse_config_overrides(texts: Sequence[object]) -> Tuple[ConfigOverride, ...]:
+    """Parse several override strings (the ``config_overrides`` spec param).
+
+    Already-parsed :class:`ConfigOverride` instances pass through, so the
+    parameter can carry either canonical strings (what the CLI and the sweep
+    manifest serialize) or parsed overrides (programmatic callers).
+    """
+    return tuple(
+        text if isinstance(text, ConfigOverride) else parse_config_override(str(text))
+        for text in texts
+    )
+
+
+def apply_config_overrides(
+    request, overrides: Sequence[ConfigOverride]
+):
+    """Rewrite one request with every override that addresses it.
+
+    ``gpu`` overrides apply to every request (hardware is scenario-global);
+    backend overrides apply only to requests dispatched to that backend, so
+    one override list can shape a heterogeneous grid.  Returns the request
+    unchanged (same object) when nothing addresses it.
+    """
+    changed = request
+    for override in overrides:
+        if override.target == GPU_AXIS_TARGET:
+            changed = replace(changed, gpu=changed.gpu.with_field(override.field, override.value))
+        elif changed.scheduler == override.target:
+            changed = replace(
+                changed, config=changed.config.with_field(override.field, override.value)
+            )
+    return changed

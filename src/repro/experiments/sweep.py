@@ -36,6 +36,16 @@ be neither cached nor stored; they are excluded from the shardable units and
 re-simulated by ``merge``, exactly as plain ``run`` re-simulates them on
 every invocation.
 
+**Config sweeps need no special handling here.**  ``--set`` config-axis
+overrides (see :mod:`repro.experiments.scenarios`) travel inside ``params``
+as the reserved ``config_overrides`` tuple and are applied by
+:func:`~repro.experiments.engine.expand_experiment` when the grid is
+(re-)expanded — so ``plan`` / ``run --shard`` / ``merge`` invoked with the
+same ``--set`` flags all see the exact same overridden requests, the grid
+fingerprint (built from the requests' cache keys) distinguishes every
+override combination, and ``merge == run`` byte-equality holds for design
+grids exactly as for scenario grids.
+
 Store layout::
 
     <sweep_dir>/

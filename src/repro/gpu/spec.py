@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Dict, Mapping
+from dataclasses import dataclass, fields, replace
+from typing import ClassVar, Dict, Mapping
 
 
 @dataclass(frozen=True)
@@ -37,6 +37,14 @@ class GpuSpec:
     launch_overhead_ms: float = 0.015
     mps_supported: bool = True
 
+    #: Sweep-axis aliases: the design-space-exploration layer addresses
+    #: hardware fields as ``gpu.<name>`` axes.
+    FIELD_ALIASES: ClassVar[Dict[str, str]] = {
+        "sm_count": "num_sms",
+        "sms": "num_sms",
+        "mem_bw_gbps": "memory_bandwidth_gbps",
+    }
+
     def __post_init__(self) -> None:
         if self.num_sms <= 0:
             raise ValueError(f"num_sms must be positive, got {self.num_sms}")
@@ -51,6 +59,15 @@ class GpuSpec:
     def from_dict(cls, data: Mapping[str, object]) -> "GpuSpec":
         """Rebuild a spec from :meth:`to_dict` output."""
         return cls(**{spec_field.name: data[spec_field.name] for spec_field in fields(cls)})
+
+    def with_field(self, name: str, value: object) -> "GpuSpec":
+        """Return a copy with one (possibly aliased) field replaced.
+
+        The hardware-axis entry point: ``--set gpu.sm_count=40`` builds a
+        down-binned variant of this device.  Validation is the dataclass's
+        own ``__post_init__`` (a negative SM count raises ``ValueError``).
+        """
+        return replace(self, **{self.FIELD_ALIASES.get(name, name): value})
 
 
 RTX_2080_TI = GpuSpec(name="NVIDIA GeForce RTX 2080 Ti", num_sms=68)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, fields, replace
-from typing import Dict, Mapping
+from typing import ClassVar, Dict, Mapping
 
 
 class Policy(enum.Enum):
@@ -70,6 +70,15 @@ class DarisConfig:
     afet_mode: str = "analytic"
     warmup_ms: float = 500.0
 
+    #: Sweep-axis aliases: the design-space-exploration layer addresses
+    #: config fields as ``daris.<name>`` axes, and these map the paper's
+    #: vocabulary onto the dataclass field names (``mret_window`` is the
+    #: MRET sliding-window size ``ws``).
+    FIELD_ALIASES: ClassVar[Dict[str, str]] = {
+        "mret_window": "window_size",
+        "os": "oversubscription",
+    }
+
     def __post_init__(self) -> None:
         if self.num_contexts < 1 or self.streams_per_context < 1:
             raise ValueError("num_contexts and streams_per_context must be >= 1")
@@ -107,6 +116,16 @@ class DarisConfig:
     def with_overrides(self, **kwargs) -> "DarisConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    def with_field(self, name: str, value: object) -> "DarisConfig":
+        """Return a copy with one (possibly aliased) field replaced.
+
+        The config-axis entry point: ``name`` may be a dataclass field or a
+        :data:`FIELD_ALIASES` key, so ``--set daris.mret_window=8`` lands on
+        ``window_size``.  Validation is the dataclass's own ``__post_init__``
+        (an out-of-range value raises ``ValueError`` as usual).
+        """
+        return replace(self, **{self.FIELD_ALIASES.get(name, name): value})
 
     def to_dict(self) -> Dict[str, object]:
         """Canonical field dictionary (stable key order, JSON-safe values).

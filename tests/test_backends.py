@@ -669,3 +669,113 @@ def test_seed_insensitive_replicates_share_one_request_and_simulation(tmp_path):
     again = run_experiment(spec, quick=True, seeds=3, processes=1, cache=str(tmp_path / "c"))
     assert again.simulated == 0 and again.cache_hits == 9
     assert again.rows == report.rows
+
+
+#: Acceptance pin (PR 8): default-config cache keys for every backend,
+#: computed on the PR 7 code before the config-axis fields existed.  New
+#: tunables (Clockwork's admission_slack, GSlice's oversubscription) follow
+#: the EXTENDED_FIELDS only-when-non-default rule, so these keys must stay
+#: byte-identical — no pre-existing cache entry is ever invalidated.
+PINNED_PR7_DEFAULT_CONFIG_KEYS = {
+    "daris": "df7c3e31e7f4fafd9213c76169d5b49533007c1e12b03e972a3e8350228e861f",
+    "rtgpu": "d07ffb43db5a14203ea17e87b9640209ba8076afe46ff0f47457cb276a14013e",
+    "clockwork": "28df04d8cac290175ee5f646d17a541c31c9458847a2ce7c0010522fb2c2a44d",
+    "single": "b7288065ae118fca859b186f1f1ff5bdd8bd1dc8f38705bbab6ad5b55f36f521",
+    "batching_server": "e67f1aae47bc3c2d4e6876ee3a8be6480e4b86e94e3cfc069db0b755648cb861",
+    "gslice": "8cfc3abcedb25e2240e7674a1edc1cd54ea47f5e3860b5e76595e0e68485edb0",
+}
+
+
+def test_default_config_cache_keys_for_every_backend_are_pinned_to_pr7():
+    from repro.rt.taskset import make_taskset
+
+    model = build_model("resnet18")
+    taskset = make_taskset([model], num_high=1, num_low=2, task_jps=20.0, name="pin")
+    horizon = 400.0
+    daris_config = DarisConfig.mps_config(2, 2.0)
+    requests = {
+        "daris": ScenarioRequest(taskset, daris_config, horizon, seed=3),
+        "rtgpu": ScenarioRequest(
+            taskset, daris_config, horizon, seed=3, scheduler="rtgpu",
+            workload=POISSON_WORKLOAD,
+        ),
+        "clockwork": ScenarioRequest(
+            taskset, ClockworkConfig(), horizon, seed=3, scheduler="clockwork",
+            workload=POISSON_WORKLOAD,
+        ),
+        "single": ScenarioRequest(
+            taskset, SingleConfig(), horizon, seed=3, scheduler="single",
+            workload=SATURATED_WORKLOAD,
+        ),
+        "batching_server": ScenarioRequest(
+            taskset, BatchingConfig(), horizon, seed=3, scheduler="batching_server",
+            workload=SATURATED_WORKLOAD,
+        ),
+        "gslice": ScenarioRequest(
+            taskset, GSliceConfig(), horizon, seed=3, scheduler="gslice",
+            workload=SATURATED_WORKLOAD,
+        ),
+    }
+    assert {name: request.cache_key() for name, request in requests.items()} == (
+        PINNED_PR7_DEFAULT_CONFIG_KEYS
+    )
+
+
+def test_extended_config_fields_serialize_only_when_non_default():
+    # Default values leave the fingerprint exactly as it was before the
+    # field existed; non-default values must show up (distinct cache keys).
+    assert ClockworkConfig().to_dict() == {"kind": "clockwork"}
+    assert ClockworkConfig(admission_slack=1.25).to_dict() == {
+        "kind": "clockwork",
+        "admission_slack": 1.25,
+    }
+    assert GSliceConfig().to_dict() == {"kind": "gslice", "batch_sizes": None}
+    assert GSliceConfig(oversubscription=2.0).to_dict() == {
+        "kind": "gslice",
+        "batch_sizes": None,
+        "oversubscription": 2.0,
+    }
+
+
+def test_extended_config_fields_are_range_checked():
+    with pytest.raises(ValueError):
+        ClockworkConfig(admission_slack=0.0)
+    with pytest.raises(ValueError):
+        GSliceConfig(oversubscription=0.5)
+
+
+def test_clockwork_admission_slack_changes_admission_behavior():
+    taskset = _taskset()
+    strict = ScenarioRequest(
+        taskset, ClockworkConfig(admission_slack=5.0), HORIZON, seed=3,
+        scheduler="clockwork", workload=POISSON_WORKLOAD,
+    )
+    default = ScenarioRequest(
+        taskset, ClockworkConfig(), HORIZON, seed=3,
+        scheduler="clockwork", workload=POISSON_WORKLOAD,
+    )
+    strict_result, default_result = run_cached_scenarios([strict, default])
+    strict_rejected = (
+        strict_result.metrics.high.rejected + strict_result.metrics.low.rejected
+    )
+    default_rejected = (
+        default_result.metrics.high.rejected + default_result.metrics.low.rejected
+    )
+    # A 5x-inflated latency prediction must shed at least as aggressively.
+    assert strict_rejected >= default_rejected
+    strict_completed = (
+        strict_result.metrics.high.completed + strict_result.metrics.low.completed
+    )
+    default_completed = (
+        default_result.metrics.high.completed + default_result.metrics.low.completed
+    )
+    assert strict_completed <= default_completed
+
+
+def test_gslice_oversubscription_beyond_partition_count_is_a_request_error():
+    request = ScenarioRequest(
+        _taskset(), GSliceConfig(oversubscription=4.0), HORIZON, seed=3,
+        scheduler="gslice", workload=SATURATED_WORKLOAD,
+    )
+    with pytest.raises(BackendRequestError, match="oversubscription"):
+        get_backend("gslice").execute(request)

@@ -444,6 +444,7 @@ def test_registry_lists_every_paper_artefact():
         "sota",
         "backends",
         "faults",
+        "dse",
     ]
     with pytest.raises(KeyError):
         get_experiment("fig99")

@@ -1,0 +1,298 @@
+"""Pareto-frontier analysis: dominance, CI awareness, the DSE grid bridge.
+
+Covers :mod:`repro.analysis.pareto` (hand-built 2D/4D frontiers, ties,
+CI-overlap cases, a property test that dominated points never appear in the
+frontier) and the :mod:`repro.experiments.dse_grid` slice end to end
+through the cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.pareto import (
+    DEFAULT_OBJECTIVES,
+    MAXIMIZE,
+    MINIMIZE,
+    Objective,
+    ParetoPoint,
+    dominates,
+    frontier_rows,
+    gpu_cost_per_hour,
+    pareto_frontier,
+    points_from_rows,
+)
+from repro.gpu.spec import RTX_2080_TI
+
+
+MIN2 = (Objective("cost"), Objective("latency"))
+
+
+def _point(key, **values):
+    ci = values.pop("ci", None)
+    return ParetoPoint(key=key, values=values, ci=ci or {})
+
+
+# ------------------------------------------------------------- dominance
+
+
+def test_strict_dominance_in_2d():
+    better = _point("a", cost=1.0, latency=1.0)
+    worse = _point("b", cost=2.0, latency=2.0)
+    assert dominates(better, worse, MIN2)
+    assert not dominates(worse, better, MIN2)
+
+
+def test_equal_points_do_not_dominate_each_other():
+    a = _point("a", cost=1.0, latency=1.0)
+    b = _point("b", cost=1.0, latency=1.0)
+    assert not dominates(a, b, MIN2)
+    assert not dominates(b, a, MIN2)
+
+
+def test_tradeoff_points_do_not_dominate():
+    cheap = _point("cheap", cost=1.0, latency=9.0)
+    fast = _point("fast", cost=9.0, latency=1.0)
+    assert not dominates(cheap, fast, MIN2)
+    assert not dominates(fast, cheap, MIN2)
+
+
+def test_tie_on_one_objective_still_dominates():
+    a = _point("a", cost=1.0, latency=1.0)
+    b = _point("b", cost=1.0, latency=5.0)
+    assert dominates(a, b, MIN2)
+    assert not dominates(b, a, MIN2)
+
+
+def test_maximize_sense_flips_the_comparison():
+    objectives = (Objective("throughput", MAXIMIZE),)
+    high = _point("high", throughput=10.0)
+    low = _point("low", throughput=5.0)
+    assert dominates(high, low, objectives)
+    assert not dominates(low, high, objectives)
+
+
+def test_bad_sense_is_rejected():
+    with pytest.raises(ValueError, match="sense"):
+        Objective("x", "upward")
+
+
+def test_ci_overlap_blocks_domination():
+    # Means differ (1.0 vs 2.0) but the CIs overlap (1.0+0.8 > 2.0-0.8):
+    # the difference is statistical noise, so no domination either way.
+    a = _point("a", cost=1.0, latency=1.0, ci={"cost": 0.8, "latency": 0.8})
+    b = _point("b", cost=2.0, latency=2.0, ci={"cost": 0.8, "latency": 0.8})
+    assert not dominates(a, b, MIN2)
+    assert not dominates(b, a, MIN2)
+
+
+def test_ci_separation_on_one_objective_suffices():
+    # Tight CIs on cost (separated), overlapping on latency: a still wins
+    # because dominance needs mean-no-worse everywhere + CI-better somewhere.
+    a = _point("a", cost=1.0, latency=1.0, ci={"cost": 0.1, "latency": 5.0})
+    b = _point("b", cost=2.0, latency=2.0, ci={"cost": 0.1, "latency": 5.0})
+    assert dominates(a, b, MIN2)
+
+
+def test_zero_ci_degenerates_to_strict_pareto():
+    a = _point("a", cost=1.0, latency=1.0, ci={"cost": 0.0, "latency": 0.0})
+    b = _point("b", cost=1.0 + 1e-9, latency=1.0, ci={"cost": 0.0, "latency": 0.0})
+    assert dominates(a, b, MIN2)
+
+
+# --------------------------------------------------------------- frontier
+
+
+def test_2d_frontier_hand_built():
+    points = [
+        _point("best-cost", cost=1.0, latency=9.0),
+        _point("balanced", cost=4.0, latency=4.0),
+        _point("best-latency", cost=9.0, latency=1.0),
+        _point("dominated", cost=5.0, latency=5.0),  # beaten by balanced
+        _point("awful", cost=10.0, latency=10.0),  # beaten by everything
+    ]
+    result = pareto_frontier(points, MIN2)
+    assert {point.key for point in result.frontier} == {
+        "best-cost",
+        "balanced",
+        "best-latency",
+    }
+    assert {point.key for point in result.dominated} == {"dominated", "awful"}
+    assert result.dominated_by["balanced"] == 0
+    assert result.dominated_by["dominated"] == 1
+    assert result.dominated_by["awful"] == 3
+
+
+def test_4d_frontier_with_mixed_senses():
+    objectives = DEFAULT_OBJECTIVES  # miss_rate/p99 down, utilization up, cost down
+    good = _point("good", miss_rate=0.01, p99_ms=50.0, utilization=0.9, gpu_cost=1.0)
+    tradeoff = _point(
+        "tradeoff", miss_rate=0.005, p99_ms=80.0, utilization=0.7, gpu_cost=1.5
+    )
+    bad = _point("bad", miss_rate=0.02, p99_ms=60.0, utilization=0.8, gpu_cost=1.2)
+    result = pareto_frontier([good, tradeoff, bad], objectives)
+    assert {point.key for point in result.frontier} == {"good", "tradeoff"}
+    assert result.dominated_by["bad"] == 1  # only `good` beats it everywhere
+
+
+def test_all_tied_points_form_one_big_frontier():
+    points = [_point(f"p{i}", cost=1.0, latency=1.0) for i in range(4)]
+    result = pareto_frontier(points, MIN2)
+    assert len(result.frontier) == 4 and not result.dominated
+
+
+def test_duplicate_keys_are_rejected():
+    points = [_point("same", cost=1.0, latency=1.0), _point("same", cost=2.0, latency=2.0)]
+    with pytest.raises(ValueError, match="duplicate"):
+        pareto_frontier(points, MIN2)
+
+
+def test_missing_objective_is_rejected():
+    with pytest.raises(ValueError, match="missing objective"):
+        pareto_frontier([_point("a", cost=1.0)], MIN2)
+
+
+def test_empty_objectives_are_rejected():
+    with pytest.raises(ValueError, match="objective"):
+        pareto_frontier([_point("a", cost=1.0)], ())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_frontier_members_are_never_dominated(values):
+    points = [
+        _point(f"p{i}", cost=cost, latency=latency)
+        for i, (cost, latency) in enumerate(values)
+    ]
+    result = pareto_frontier(points, MIN2)
+    # Partition is exact and frontier members are dominated by nobody.
+    assert len(result.frontier) + len(result.dominated) == len(points)
+    assert result.frontier  # a finite point set always has a frontier
+    for member in result.frontier:
+        assert not any(
+            dominates(other, member, MIN2) for other in points if other is not member
+        )
+    # Every dominated point is beaten by at least one frontier member
+    # (transitivity holds for exact, CI-free values).
+    for loser in result.dominated:
+        assert any(dominates(member, loser, MIN2) for member in result.frontier)
+        assert result.dominated_by[loser.key] >= 1
+
+
+# -------------------------------------------------------------- cost model
+
+
+def test_anchor_gpu_costs_exactly_the_anchor_price():
+    assert gpu_cost_per_hour(RTX_2080_TI) == pytest.approx(1.50)
+
+
+def test_fewer_sms_cost_less_and_cost_is_monotone():
+    small = RTX_2080_TI.with_field("num_sms", 40)
+    mid = RTX_2080_TI.with_field("num_sms", 54)
+    assert (
+        gpu_cost_per_hour(small) < gpu_cost_per_hour(mid) < gpu_cost_per_hour(RTX_2080_TI)
+    )
+
+
+def test_cost_model_rejects_nonpositive_anchor_cost():
+    with pytest.raises(ValueError):
+        gpu_cost_per_hour(RTX_2080_TI, anchor_cost=0.0)
+
+
+# ------------------------------------------------------- rows <-> points
+
+
+def test_points_from_rows_reads_ci_companions_and_skips_unusable_rows():
+    rows = [
+        {"backend": "daris", "miss_rate": 0.1, "miss_rate_ci95": 0.02, "p99_ms": 50.0},
+        {"backend": "broken", "miss_rate": "-", "p99_ms": 50.0},  # skipped
+    ]
+    objectives = (Objective("miss_rate"), Objective("p99_ms"))
+    points = points_from_rows(rows, objectives, key_columns=("backend",))
+    assert len(points) == 1
+    assert points[0].key == "backend=daris"
+    assert points[0].ci == {"miss_rate": 0.02}
+    assert points[0].meta == {"backend": "daris"}
+
+
+def test_frontier_rows_round_trip():
+    points = [
+        _point("a", cost=1.0, latency=1.0),
+        _point("b", cost=2.0, latency=2.0),
+    ]
+    result = pareto_frontier(points, MIN2)
+    rows = frontier_rows(result)
+    assert [row["frontier"] for row in rows] == ["yes", "no"]
+    assert rows[0]["dominated_by"] == 0 and rows[1]["dominated_by"] == 1
+
+
+# ------------------------------------------------- dse grid, end to end
+
+
+def test_dse_grid_slice_through_cache(tmp_path):
+    from repro.experiments.dse_grid import SPEC, frontier_from_rows
+    from repro.experiments.engine import run_experiment
+
+    cache_dir = str(tmp_path / "cache")
+    report = run_experiment(
+        SPEC, quick=True, processes=1, cache=cache_dir, params={"scheduler": "daris"}
+    )
+    assert report.simulated == 8  # 2 windows x 2 OS x 2 SM counts
+    # Heatmap-ready rows: every axis setting is a column.
+    for row in report.rows:
+        assert {"backend", "window", "os", "slack", "sms"} <= set(row)
+        assert row["slack"] == "-"  # daris-only slice
+    result = frontier_from_rows(report.rows)
+    assert result.frontier and len(result.frontier) + len(result.dominated) == 8
+    frontier_keys = {point.key for point in result.frontier}
+    for point in result.dominated:
+        assert point.key not in frontier_keys
+        assert result.dominated_by[point.key] >= 1
+    # Second run: everything served from cache, rows identical.
+    again = run_experiment(
+        SPEC, quick=True, processes=1, cache=cache_dir, params={"scheduler": "daris"}
+    )
+    assert again.simulated == 0 and again.cache_hits == 8
+    assert again.rows == report.rows
+
+
+def test_dse_grid_declares_its_axes():
+    from repro.experiments.dse_grid import SPEC
+
+    axes = {axis.spec_string() for axis in SPEC.axes}
+    assert axes == {
+        "daris.window_size",
+        "daris.oversubscription",
+        "clockwork.admission_slack",
+        "gpu.num_sms",
+    }
+    # >= 2 backend-config axes crossed with >= 1 hardware axis (acceptance).
+    assert sum(1 for axis in SPEC.axes if axis.target != "gpu") >= 2
+    assert any(axis.target == "gpu" for axis in SPEC.axes)
+
+
+def test_dse_replicated_rows_carry_ci_companions_into_the_frontier(tmp_path):
+    from repro.experiments.dse_grid import SPEC, frontier_from_rows
+    from repro.experiments.engine import run_experiment
+
+    report = run_experiment(
+        SPEC,
+        quick=True,
+        seeds=2,
+        processes=1,
+        cache=str(tmp_path / "cache"),
+        params={"scheduler": "daris"},
+    )
+    assert any("miss_rate_ci95" in row for row in report.rows)
+    result = frontier_from_rows(report.rows)
+    assert any(point.ci for point in result.frontier + result.dominated)
