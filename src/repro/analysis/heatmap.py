@@ -1,0 +1,117 @@
+"""Text-grid ablation heatmaps over experiment report rows.
+
+Turns a flat list of dict rows (the shape every experiment's ``run()``
+returns and ``--json`` emits) into a two-axis matrix: one categorical row
+column on the y axis, one on the x axis, and the mean of a numeric metric
+column in each cell.  Rendering is plain aligned text — the terminal
+counterpart of a matplotlib ``imshow`` ablation figure — plus a CSV matrix
+export for spreadsheets/plotting.
+
+Aggregation is the arithmetic mean because a (y, x) cell may cover several
+rows (e.g. the DSE grid's ``miss_rate`` over ``window`` x ``sms`` averages
+across the remaining swept axes); cells with no rows render as ``-`` (CSV:
+empty).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+def _check_columns(rows: Sequence[Mapping[str, object]], *names: str) -> None:
+    if not rows:
+        raise ValueError("no rows to render a heatmap from")
+    available = list(rows[0].keys())
+    for name in names:
+        if name not in rows[0]:
+            raise ValueError(
+                f"unknown heatmap column {name!r}; available: {', '.join(available)}"
+            )
+
+
+def _axis_values(rows: Sequence[Mapping[str, object]], column: str) -> List[object]:
+    """Distinct axis values in first-appearance order (stable, seed-free)."""
+    seen: List[object] = []
+    for row in rows:
+        value = row[column]
+        if value not in seen:
+            seen.append(value)
+    return seen
+
+
+def heatmap_cells(
+    rows: Sequence[Mapping[str, object]],
+    x: str,
+    y: str,
+    metric: str,
+) -> Tuple[List[object], List[object], Dict[Tuple[object, object], float]]:
+    """Group ``rows`` into a ``(y, x) -> mean(metric)`` matrix.
+
+    Returns ``(x_values, y_values, cells)``; missing combinations are simply
+    absent from ``cells``.
+    """
+    _check_columns(rows, x, y, metric)
+    x_values = _axis_values(rows, x)
+    y_values = _axis_values(rows, y)
+    sums: Dict[Tuple[object, object], float] = {}
+    counts: Dict[Tuple[object, object], int] = {}
+    for row in rows:
+        value = row[metric]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(
+                f"heatmap metric {metric!r} must be numeric; got {value!r}"
+            )
+        key = (row[y], row[x])
+        sums[key] = sums.get(key, 0.0) + float(value)
+        counts[key] = counts.get(key, 0) + 1
+    cells = {key: sums[key] / counts[key] for key in sums}
+    return x_values, y_values, cells
+
+
+def _format_value(value: float) -> str:
+    text = f"{value:.4f}".rstrip("0").rstrip(".")
+    return text if text and text != "-0" else "0"
+
+
+def render_heatmap(
+    rows: Sequence[Mapping[str, object]],
+    x: str,
+    y: str,
+    metric: str,
+) -> str:
+    """Render the mean of ``metric`` over ``y`` (rows) x ``x`` (columns)."""
+    x_values, y_values, cells = heatmap_cells(rows, x, y, metric)
+    header_cells = [f"{y}\\{x}"] + [str(value) for value in x_values]
+    lines: List[List[str]] = [header_cells]
+    for y_value in y_values:
+        line = [str(y_value)]
+        for x_value in x_values:
+            mean = cells.get((y_value, x_value))
+            line.append("-" if mean is None else _format_value(mean))
+        lines.append(line)
+    widths = [max(len(line[i]) for line in lines) for i in range(len(header_cells))]
+    rendered = [
+        " | ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in lines
+    ]
+    rendered.insert(1, "-+-".join("-" * width for width in widths))
+    title = f"mean {metric} over {y} (rows) x {x} (cols)"
+    return "\n".join([title] + rendered)
+
+
+def heatmap_csv(
+    rows: Sequence[Mapping[str, object]],
+    x: str,
+    y: str,
+    metric: str,
+) -> str:
+    """The same matrix as :func:`render_heatmap`, as CSV (empty = no rows)."""
+    x_values, y_values, cells = heatmap_cells(rows, x, y, metric)
+    lines = [",".join([f"{y}\\{x}"] + [str(value) for value in x_values])]
+    for y_value in y_values:
+        cols = [str(y_value)]
+        for x_value in x_values:
+            mean = cells.get((y_value, x_value))
+            cols.append("" if mean is None else repr(mean))
+        lines.append(",".join(cols))
+    return "\n".join(lines) + "\n"

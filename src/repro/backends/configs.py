@@ -117,6 +117,13 @@ def config_from_dict(data: Mapping[str, object]) -> AnyBackendConfig:
         return DarisConfig.from_dict(data)
     config_cls = _CONFIG_KINDS.get(str(kind))
     if config_cls is None:
+        # Config kinds registered outside this module (e.g. the cluster
+        # backend's) appear once their backend module is imported.
+        from repro.backends.registry import load_all_backends
+
+        load_all_backends()
+        config_cls = _CONFIG_KINDS.get(str(kind))
+    if config_cls is None:
         raise KeyError(
             f"unknown backend config kind {kind!r}; known: {', '.join(sorted(_CONFIG_KINDS))}"
         )

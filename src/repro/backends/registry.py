@@ -2,8 +2,9 @@
 
 Backends register themselves by name; the scenario runner dispatches each
 request through :func:`get_backend`.  The built-in backends (DARIS plus the
-five baseline systems) live in :mod:`repro.backends.builtin` and are loaded
-on first use, so importing the registry stays cheap and cycle-free.
+five baseline systems) live in :mod:`repro.backends.builtin`, the composite
+multi-GPU backend in :mod:`repro.cluster.backend`; both are loaded on first
+use, so importing the registry stays cheap and cycle-free.
 """
 
 from __future__ import annotations
@@ -14,13 +15,22 @@ from typing import Dict, List
 from repro.backends.base import SchedulerBackend
 
 #: Modules that register backends on import.
-BACKEND_MODULES = ("repro.backends.builtin",)
+BACKEND_MODULES = ("repro.backends.builtin", "repro.cluster.backend")
 
 _REGISTRY: Dict[str, SchedulerBackend] = {}
 
 #: Canonical listing order: the paper's system first, then its baselines
-#: alphabetically; later user-registered backends trail, stably.
-_CANONICAL_ORDER = ("daris", "batching_server", "clockwork", "gslice", "rtgpu", "single")
+#: alphabetically, then the composite cluster backend; later user-registered
+#: backends trail, stably.
+_CANONICAL_ORDER = (
+    "daris",
+    "batching_server",
+    "clockwork",
+    "gslice",
+    "rtgpu",
+    "single",
+    "cluster",
+)
 
 
 def register_backend(backend: SchedulerBackend) -> SchedulerBackend:

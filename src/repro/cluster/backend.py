@@ -1,0 +1,81 @@
+"""The ``cluster`` scheduler backend: the composite over N per-GPU loops.
+
+Registered like any other backend, so cluster scenarios inherit caching,
+``--seeds`` replication, parallel fan-out, sharded sweeps and the DSE/Pareto
+machinery unchanged.  ``ClusterConfig`` is a new config kind, so no
+pre-existing (non-cluster) request fingerprint changes.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import TYPE_CHECKING, ClassVar, Tuple, Type
+
+from repro.backends.base import BackendRequestError, SchedulerBackend
+from repro.backends.registry import register_backend
+from repro.cluster.config import ClusterConfig
+from repro.cluster.server import ClusterServer
+from repro.sim.faults import ResiliencePolicy
+from repro.sim.rng import RngFactory
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.experiments.parallel import ScenarioRequest
+    from repro.experiments.runner import ScenarioResult
+
+
+class ClusterBackend(SchedulerBackend):
+    """N simulated GPUs behind a pluggable router, one event graph."""
+
+    name: ClassVar[str] = "cluster"
+    title: ClassVar[str] = (
+        "Cluster serving: N simulated GPUs behind a router"
+        " (least-loaded / round-robin / deadline-aware)"
+    )
+    config_type: ClassVar[Type] = ClusterConfig
+    deterministic: ClassVar[bool] = True
+    supported_arrivals: ClassVar[Tuple[str, ...]] = ("periodic", "poisson", "mmpp", "trace")
+    # Per-device executors run the Clockwork discipline, so the cluster
+    # answers faults the same way: one quick retry, then shed by the
+    # degradation-inflated predicted latency.
+    resilience: ClassVar[ResiliencePolicy] = ResiliencePolicy(
+        max_launch_retries=1, shed_when_degraded=True
+    )
+
+    def validate_request(self, request: "ScenarioRequest") -> None:
+        super().validate_request(request)
+        config: ClusterConfig = request.config
+        if request.faults.gpu is not None and request.faults.gpu >= config.num_gpus:
+            raise BackendRequestError(
+                f"the fault spec targets GPU {request.faults.gpu},"
+                f" but the cluster has only {config.num_gpus}"
+                f" device{'s' if config.num_gpus != 1 else ''} (0..{config.num_gpus - 1})"
+            )
+        if config.num_gpus == 1:
+            warnings.warn(
+                "a 1-GPU 'cluster' is equivalent to the plain 'clockwork'"
+                " backend (plus per-GPU telemetry); use it directly unless"
+                " you want the cluster metrics shape",
+                stacklevel=2,
+            )
+
+    def run(self, request: "ScenarioRequest") -> "ScenarioResult":
+        from repro.experiments.runner import ScenarioResult
+
+        server = ClusterServer(
+            config=request.config,
+            gpu=request.gpu,
+            calibration=request.calibration,
+        )
+        metrics = server.serve(
+            request.taskset,
+            request.horizon_ms,
+            workload=request.workload,
+            rng=RngFactory(request.seed),
+            faults=request.faults,
+            resilience=self.resilience,
+        )
+        label = request.label if request.label is not None else request.config.label()
+        return ScenarioResult(label=label, config=request.config, metrics=metrics)
+
+
+CLUSTER_BACKEND = register_backend(ClusterBackend())

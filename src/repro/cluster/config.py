@@ -1,0 +1,79 @@
+"""Fingerprintable configuration of the multi-GPU cluster backend.
+
+``ClusterConfig`` is an ordinary :class:`~repro.backends.configs.BackendConfig`
+— every field is a first-class config axis (``cluster.num_gpus``,
+``cluster.router``, ``cluster.placement``, ``cluster.migration_backlog``,
+``cluster.migration_window_ms``), addressable by ``--set``, experiment grids,
+sharded sweeps and the DSE machinery without any special-casing.  The kind is
+new, so no pre-existing (non-cluster) request fingerprint can change: cluster
+fields fingerprint only for requests that name the ``cluster`` backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Dict
+
+from repro.backends.configs import BackendConfig, _register_config
+
+#: Router dispatch policies (``cluster.router`` vocabulary).
+ROUTER_POLICIES = ("least_loaded", "round_robin", "deadline_aware")
+
+#: Model-placement policies (``cluster.placement`` vocabulary).
+PLACEMENT_POLICIES = ("replicated", "partitioned")
+
+
+@_register_config
+@dataclass(frozen=True)
+class ClusterConfig(BackendConfig):
+    """N simulated GPUs behind a router, with placement and migration axes.
+
+    Attributes:
+        num_gpus: devices in the cluster (each a full simulated GPU).
+        router: dispatch policy — ``least_loaded`` picks the device with the
+            least outstanding predicted work, ``round_robin`` rotates over
+            the eligible devices, ``deadline_aware`` bin-packs onto the most
+            loaded device that still meets the request's deadline.
+        placement: ``replicated`` serves every model on every device;
+            ``partitioned`` pins each distinct model to a disjoint device
+            subset.
+        migration_backlog: queue-depth threshold that triggers moving a
+            model's queue to the least-loaded device (0 disables migration).
+        migration_window_ms: how long the backlog must stay at or above the
+            threshold before the queue actually moves.
+    """
+
+    kind: ClassVar[str] = "cluster"
+
+    num_gpus: int = 2
+    router: str = "least_loaded"
+    placement: str = "replicated"
+    migration_backlog: int = 0
+    migration_window_ms: float = 100.0
+
+    FIELD_ALIASES: ClassVar[Dict[str, str]] = {"gpus": "num_gpus", "policy": "router"}
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if self.router not in ROUTER_POLICIES:
+            raise ValueError(
+                f"unknown router {self.router!r}; choose from {', '.join(ROUTER_POLICIES)}"
+            )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement {self.placement!r};"
+                f" choose from {', '.join(PLACEMENT_POLICIES)}"
+            )
+        if self.migration_backlog < 0:
+            raise ValueError("migration_backlog must be >= 0 (0 disables migration)")
+        if not self.migration_window_ms > 0:
+            raise ValueError("migration_window_ms must be positive")
+
+    def label(self) -> str:
+        text = f"Cluster {self.num_gpus}x {self.router}"
+        if self.placement != "replicated":
+            text += f" {self.placement}"
+        if self.migration_backlog > 0:
+            text += f" mig{self.migration_backlog}"
+        return text

@@ -1,0 +1,472 @@
+"""The cluster runtime: N per-GPU executors behind one router.
+
+One :class:`~repro.sim.simulator.Simulator` hosts the whole cluster — each
+device is a :class:`~repro.gpu.platform.GpuPlatform` (with its own engine)
+on that shared event graph, and a :class:`_GpuWorker` drives it with the
+Clockwork discipline: one DNN at a time, EDF order, admission by predicted
+completion time.  Releases enter at the cluster level through the shared
+:class:`~repro.sim.workload.ReleaseStream`, the router picks a device, and
+the request becomes an event in that device's loop; completions re-arm the
+device's executor.  There is no wall-clock interleaving anywhere — every
+cross-device dependency is a simulator event — so runs are bit-identical
+per seed under the established RNG-stream discipline.
+
+RNG streams: arrivals and request-level fault draws come from the run's
+root :class:`~repro.sim.rng.RngFactory` (the exact streams a single-GPU
+Clockwork run consumes, which is what makes a 1-GPU cluster reproduce the
+``clockwork`` backend's counters); device-level fault timelines of a
+multi-GPU cluster come from per-device ``spawn``-derived factories, so each
+device degrades independently without perturbing any other stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.placement import PlacementSpec
+from repro.cluster.router import GpuLoadView, make_router
+from repro.dnn.model import DnnModel
+from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
+from repro.gpu.platform import GpuPlatform, PlatformConfig
+from repro.gpu.spec import GpuSpec, RTX_2080_TI
+from repro.rt.metrics import FaultImpact, GpuTelemetry, PriorityMetrics, ScenarioMetrics
+from repro.rt.task import Priority
+from repro.rt.taskset import TaskSetSpec
+from repro.sim.faults import (
+    DEFAULT_POLICY,
+    FaultInjector,
+    FaultSpec,
+    NO_FAULTS,
+    ResiliencePolicy,
+    deferred_launch,
+)
+from repro.sim.rng import RngFactory
+from repro.sim.simulator import Simulator
+from repro.sim.workload import PERIODIC_WORKLOAD, ReleaseStream, WorkloadSpec
+
+
+@dataclass(order=True)
+class _QueuedRequest:
+    deadline: float
+    seq: int
+    release: float = field(compare=False)
+    model: DnnModel = field(compare=False, default=None)
+    priority: Priority = field(compare=False, default=Priority.LOW)
+    task_name: str = field(compare=False, default="")
+    predicted_ms: float = field(compare=False, default=0.0)
+
+
+class _GpuWorker:
+    """One device's executor: the Clockwork loop bound to a shared simulator.
+
+    Keeps a ledger of outstanding predicted work (the router's load signal)
+    and per-device telemetry; the headline counters go to the cluster-shared
+    per-priority buckets so the merged metrics match what one big Clockwork
+    run over the same event sequence would have produced.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        simulator: Simulator,
+        platform: GpuPlatform,
+        injector: FaultInjector,
+        policy: ResiliencePolicy,
+        timeout_ms: Optional[float],
+        per_priority: Dict[Priority, PriorityMetrics],
+        per_task_completed: Dict[str, int],
+    ):
+        self.index = index
+        self.simulator = simulator
+        self.platform = platform
+        self.injector = injector
+        self.policy = policy
+        self.timeout_ms = timeout_ms
+        self.per_priority = per_priority
+        self.per_task_completed = per_task_completed
+        self.queue: List[_QueuedRequest] = []
+        self.running = False
+        self.outstanding_ms = 0.0
+        # Telemetry.
+        self.routed = 0
+        self.completed = 0
+        self.missed = 0
+        self.max_queue_depth = 0
+        self.migrations = 0
+
+    # ------------------------------------------------------------- load view
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests queued or running on this device."""
+        return len(self.queue) + (1 if self.running else 0)
+
+    @property
+    def alive(self) -> bool:
+        """False while degraded (crash recovery or slowdown window)."""
+        return not self.injector.degraded
+
+    def load_view(self) -> GpuLoadView:
+        """Snapshot handed to the router at dispatch time."""
+        return GpuLoadView(
+            index=self.index,
+            outstanding_ms=self.outstanding_ms,
+            queue_depth=self.queue_depth,
+            alive=self.alive,
+        )
+
+    # --------------------------------------------------------------- ingress
+
+    def enqueue(self, request: _QueuedRequest) -> None:
+        """Accept a routed request and start serving if idle."""
+        heapq.heappush(self.queue, request)
+        self.outstanding_ms += request.predicted_ms
+        self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+        self.start_next()
+
+    def take_queued(self, model_name: str) -> List[_QueuedRequest]:
+        """Remove (and return) every queued request of one model.
+
+        The migration primitive: the running request (if any) stays — only
+        the waiting queue moves.
+        """
+        taken = [request for request in self.queue if request.model.name == model_name]
+        if taken:
+            self.queue = [
+                request for request in self.queue if request.model.name != model_name
+            ]
+            heapq.heapify(self.queue)
+            for request in taken:
+                self.outstanding_ms -= request.predicted_ms
+        return taken
+
+    # -------------------------------------------------------------- executor
+
+    def start_next(self) -> None:
+        """Pop and serve EDF-first requests until busy (the Clockwork loop)."""
+        simulator = self.simulator
+        injector = self.injector
+        policy = self.policy
+        while self.queue and not self.running:
+            request = heapq.heappop(self.queue)
+            bucket = self.per_priority[request.priority]
+            if (
+                self.timeout_ms is not None
+                and simulator.now - request.release > self.timeout_ms + 1e-9
+            ):
+                # The client gave up while the request sat queued; it
+                # entered the system, so it counts admitted + timed out.
+                bucket.admitted += 1
+                bucket.timed_out += 1
+                self.outstanding_ms -= request.predicted_ms
+                continue
+            latency = request.predicted_ms
+            effective = latency
+            if policy.shed_when_degraded and injector.degraded:
+                factor = injector.slowdown_factor
+                if 0.0 < factor < 1.0:
+                    effective = latency / factor
+            if simulator.now + effective > request.deadline + 1e-9:
+                bucket.rejected += 1
+                if simulator.now + latency <= request.deadline + 1e-9:
+                    # Only the degradation-inflated prediction failed:
+                    # this is a shed, not a plain rejection.
+                    bucket.shed += 1
+                self.outstanding_ms -= request.predicted_ms
+                continue
+            self.running = True
+            bucket.admitted += 1
+            state = {"stage": 0}
+
+            def on_stage_done(_kernel, request=request, state=state) -> None:
+                state["stage"] += 1
+                if state["stage"] < request.model.num_stages:
+                    submit_stage(request, state)
+                    return
+                self.running = False
+                self.completed += 1
+                bucket = self.per_priority[request.priority]
+                bucket.completed += 1
+                self.per_task_completed[request.task_name] = (
+                    self.per_task_completed.get(request.task_name, 0) + 1
+                )
+                response = simulator.now - request.release
+                bucket.response_times.append(response)
+                late = simulator.now > request.deadline + 1e-9
+                if late:
+                    self.missed += 1
+                    bucket.missed += 1
+                self.outstanding_ms -= request.predicted_ms
+                injector.note_completion(simulator.now, on_time=not late)
+                self.start_next()
+
+            def submit_stage(request=request, state=state) -> None:
+                stage = request.model.stages[state["stage"]]
+                self.platform.launch(
+                    0,
+                    0,
+                    stage.to_kernel_spec(),
+                    on_complete=lambda kernel: on_stage_done(kernel),
+                )
+
+            outcome = injector.launch_attempt()
+            if outcome.retries:
+                bucket.launch_retries += outcome.retries
+            if not outcome.succeeded or outcome.delay_ms > 0.0:
+
+                def on_launch_failed(request=request) -> None:
+                    self.per_priority[request.priority].failed += 1
+                    self.running = False
+                    self.outstanding_ms -= request.predicted_ms
+                    self.start_next()
+
+                deferred_launch(
+                    simulator,
+                    outcome,
+                    lambda request=request, state=state: submit_stage(request, state),
+                    on_launch_failed,
+                )
+                return
+            submit_stage(request, state)
+            return
+
+    def telemetry(self) -> GpuTelemetry:
+        """Per-device breakdown after the run."""
+        return GpuTelemetry(
+            gpu=self.index,
+            routed=self.routed,
+            completed=self.completed,
+            missed=self.missed,
+            utilization=self.platform.average_utilization(),
+            max_queue_depth=self.max_queue_depth,
+            migrations=self.migrations,
+        )
+
+
+def _request_spec(faults: FaultSpec) -> FaultSpec:
+    """The request-level (pre-routing) slice of a fault spec."""
+    if faults.requests is None:
+        return NO_FAULTS
+    return FaultSpec(requests=faults.requests)
+
+
+def _device_spec(faults: FaultSpec, gpu_index: int) -> FaultSpec:
+    """The device-level slice of a fault spec as seen by one device.
+
+    A targeted spec (``faults.gpu``) lands its slowdown/launch/crash
+    components on that device only; untargeted device faults apply to every
+    device (each drawing its own timeline).
+    """
+    if faults.gpu is not None and faults.gpu != gpu_index:
+        return NO_FAULTS
+    if faults.slowdown is None and faults.launch is None and faults.crash is None:
+        return NO_FAULTS
+    return FaultSpec(slowdown=faults.slowdown, launch=faults.launch, crash=faults.crash)
+
+
+def _merged_impact(
+    active: bool, injectors: List[FaultInjector]
+) -> Optional[FaultImpact]:
+    """Cluster-wide fault impact: episodes/downtime summed over devices."""
+    if not active:
+        return None
+    episodes = 0
+    downtime = 0.0
+    recover_means: List[float] = []
+    for injector in injectors:
+        summary = injector.summary()
+        if summary is None:
+            continue
+        episodes += int(summary["episodes"])
+        downtime += float(summary["downtime_ms"])
+        if summary["time_to_recover_ms"] is not None:
+            recover_means.append(float(summary["time_to_recover_ms"]))
+    recover = sum(recover_means) / len(recover_means) if recover_means else None
+    return FaultImpact(
+        episodes=episodes, downtime_ms=downtime, time_to_recover_ms=recover
+    )
+
+
+class ClusterServer:
+    """N simulated GPUs behind a router, one event graph, one metrics merge."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        gpu: GpuSpec = RTX_2080_TI,
+        calibration: GpuCalibration = DEFAULT_CALIBRATION,
+    ):
+        self.config = config
+        self.gpu = gpu
+        self.calibration = calibration
+
+    def serve(
+        self,
+        taskset: TaskSetSpec,
+        horizon_ms: float,
+        workload: Optional[WorkloadSpec] = None,
+        rng: Optional[RngFactory] = None,
+        faults: Optional[FaultSpec] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        on_dispatch: Optional[
+            Callable[[float, str, int, Tuple[GpuLoadView, ...]], None]
+        ] = None,
+    ) -> ScenarioMetrics:
+        """Serve a task set across the cluster; returns the merged metrics.
+
+        ``on_dispatch(now, model_name, chosen, views)`` (when given) observes
+        every routing decision with the candidate views the router saw — the
+        hook the router-invariant tests use.
+        """
+        if horizon_ms <= 0:
+            raise ValueError("horizon must be positive")
+        workload = workload if workload is not None else PERIODIC_WORKLOAD
+        if workload.saturated:
+            raise ValueError(
+                "the cluster backend is deadline-driven; saturated workloads do not apply"
+            )
+        rng = rng if rng is not None else RngFactory(0)
+        faults = faults if faults is not None else NO_FAULTS
+        policy = resilience if resilience is not None else DEFAULT_POLICY
+        config = self.config
+        num_gpus = config.num_gpus
+
+        simulator = Simulator()
+        # Request-level faults (drops, client timeouts) happen before
+        # routing, from the root factory's historical streams.
+        cluster_injector = FaultInjector(_request_spec(faults), rng=rng, policy=policy)
+        timeout_ms = cluster_injector.timeout_ms
+
+        per_priority = {
+            Priority.HIGH: PriorityMetrics(),
+            Priority.LOW: PriorityMetrics(),
+        }
+        per_task_completed: Dict[str, int] = {}
+
+        workers: List[_GpuWorker] = []
+        device_injectors: List[FaultInjector] = []
+        for index in range(num_gpus):
+            platform = GpuPlatform(
+                simulator,
+                PlatformConfig(num_contexts=1, streams_per_context=1, oversubscription=1.0),
+                spec=self.gpu,
+                calibration=self.calibration,
+            )
+            # A 1-GPU cluster keeps the root factory so its fault streams
+            # are exactly the single-device (clockwork) ones.
+            device_rng = rng if num_gpus == 1 else rng.spawn(f"cluster-gpu[{index}]")
+            injector = FaultInjector(
+                _device_spec(faults, index), rng=device_rng, policy=policy
+            )
+            injector.install(simulator, platform, horizon_ms)
+            workers.append(
+                _GpuWorker(
+                    index,
+                    simulator,
+                    platform,
+                    injector,
+                    policy,
+                    timeout_ms,
+                    per_priority,
+                    per_task_completed,
+                )
+            )
+            device_injectors.append(injector)
+
+        model_names: List[str] = []
+        for task in taskset.tasks:
+            if task.model.name not in model_names:
+                model_names.append(task.model.name)
+        placement = PlacementSpec.build(config.placement, model_names, num_gpus)
+        router = make_router(config.router)
+        backlog_since: Dict[str, float] = {}
+        seq = {"value": 0}
+
+        def migrate(model_name: str, eligible: Tuple[int, ...], now: float) -> None:
+            others = [g for g in range(num_gpus) if g not in eligible]
+            if not others:
+                backlog_since.pop(model_name, None)
+                return
+            target = min(others, key=lambda g: (workers[g].outstanding_ms, g))
+            moved: List[_QueuedRequest] = []
+            for g in eligible:
+                moved.extend(workers[g].take_queued(model_name))
+                workers[g].migrations += 1
+            placement.reassign(model_name, (target,))
+            backlog_since.pop(model_name, None)
+            receiver = workers[target]
+            for request in moved:
+                heapq.heappush(receiver.queue, request)
+                receiver.outstanding_ms += request.predicted_ms
+            receiver.max_queue_depth = max(
+                receiver.max_queue_depth, receiver.queue_depth
+            )
+            receiver.start_next()
+
+        def maybe_migrate(model_name: str, now: float) -> None:
+            if config.migration_backlog <= 0 or num_gpus < 2:
+                return
+            eligible = placement.gpus_for(model_name)
+            best_depth = min(workers[g].queue_depth for g in eligible)
+            if best_depth < config.migration_backlog:
+                backlog_since.pop(model_name, None)
+                return
+            since = backlog_since.get(model_name)
+            if since is None:
+                backlog_since[model_name] = now
+            elif now - since >= config.migration_window_ms:
+                migrate(model_name, eligible, now)
+
+        def on_release(task, release_time: float) -> None:
+            bucket = per_priority[task.priority]
+            bucket.released += 1
+            if cluster_injector.drop_request():
+                bucket.dropped += 1
+                return
+            model_name = task.model.name
+            maybe_migrate(model_name, release_time)
+            eligible = placement.gpus_for(model_name)
+            views = tuple(workers[g].load_view() for g in eligible)
+            candidates = tuple(view for view in views if view.alive) or views
+            predicted = task.model.isolated_latency_ms(self.calibration)
+            deadline = release_time + task.relative_deadline_ms
+            choice = router.select(release_time, deadline, predicted, candidates)
+            if on_dispatch is not None:
+                on_dispatch(release_time, model_name, choice, candidates)
+            seq["value"] += 1
+            worker = workers[choice]
+            worker.routed += 1
+            worker.enqueue(
+                _QueuedRequest(
+                    deadline=deadline,
+                    seq=seq["value"],
+                    release=release_time,
+                    model=task.model,
+                    priority=task.priority,
+                    task_name=task.name,
+                    predicted_ms=predicted,
+                )
+            )
+
+        ReleaseStream(workload, rng).drive_taskset(
+            simulator,
+            horizon_ms,
+            taskset.tasks,
+            lambda task, event: on_release(task, event.time),
+        )
+        simulator.run_until(horizon_ms)
+
+        breakdown = tuple(worker.telemetry() for worker in workers)
+        utilization = sum(gpu.utilization for gpu in breakdown) / len(breakdown)
+        return ScenarioMetrics.from_priority_metrics(
+            horizon_ms,
+            high=per_priority[Priority.HIGH],
+            low=per_priority[Priority.LOW],
+            per_task_completed=per_task_completed,
+            gpu_utilization=utilization,
+            fault_impact=_merged_impact(faults.active, device_injectors),
+            gpu_breakdown=breakdown,
+        )

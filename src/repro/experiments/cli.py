@@ -362,6 +362,36 @@ def _build_parser() -> argparse.ArgumentParser:
     dse_parser.add_argument(
         "--json", action="store_true", help="emit frontier-annotated rows as JSON lines"
     )
+    dse_parser.add_argument(
+        "--heatmap",
+        action="store_true",
+        help="render a text ablation heatmap of the design grid after the frontier",
+    )
+    dse_parser.add_argument(
+        "--heatmap-x",
+        default="sms",
+        metavar="COLUMN",
+        help="heatmap column axis (a row column; default sms)",
+    )
+    dse_parser.add_argument(
+        "--heatmap-y",
+        default="window",
+        metavar="COLUMN",
+        help="heatmap row axis (a row column; default window)",
+    )
+    dse_parser.add_argument(
+        "--heatmap-metric",
+        default="miss_rate",
+        metavar="COLUMN",
+        help="numeric row column averaged into each cell (default miss_rate)",
+    )
+    dse_parser.add_argument(
+        "--csv",
+        dest="heatmap_csv",
+        default=None,
+        metavar="PATH",
+        help="also write the heatmap matrix as CSV to PATH (implies --heatmap)",
+    )
 
     cache_parser = subparsers.add_parser("cache", help="inspect or trim the result cache")
     cache_parser.add_argument(
@@ -714,6 +744,27 @@ def _command_dse(args: argparse.Namespace) -> int:
     )
     result = frontier_from_rows(report.rows)
     annotated = frontier_rows(result)
+    heatmap_text: Optional[str] = None
+    if args.heatmap or args.heatmap_csv:
+        from repro.analysis.heatmap import heatmap_csv, render_heatmap
+
+        try:
+            heatmap_text = render_heatmap(
+                report.rows, args.heatmap_x, args.heatmap_y, args.heatmap_metric
+            )
+            if args.heatmap_csv:
+                with open(args.heatmap_csv, "w", encoding="utf-8") as handle:
+                    handle.write(
+                        heatmap_csv(
+                            report.rows,
+                            args.heatmap_x,
+                            args.heatmap_y,
+                            args.heatmap_metric,
+                        )
+                    )
+        except ValueError as error:
+            print(f"--heatmap: {error}", file=sys.stderr)
+            return EXIT_UNKNOWN_EXPERIMENT
     if args.json:
         for row in annotated:
             print(json.dumps({"experiment": SPEC.name, **row}))
@@ -752,10 +803,15 @@ def _command_dse(args: argparse.Namespace) -> int:
                 "dominance is CI-aware: a point is dominated only when it loses"
                 " by more than the combined 95% CIs on some objective"
             )
+        if heatmap_text is not None:
+            print()
+            print(heatmap_text)
         print(
             f"scenarios: {report.cache_hits} cached, {report.simulated} simulated"
             f" ({report.uncached} uncacheable)"
         )
+    if args.heatmap_csv:
+        print(f"heatmap CSV written to {args.heatmap_csv}", file=sys.stderr)
     if args.expect_cached and (report.cache_misses > 0 or args.no_cache):
         print(
             f"--expect-cached: {report.cache_misses} cacheable scenario(s)"

@@ -47,6 +47,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.backend_grid",
     "repro.experiments.faults_grid",
     "repro.experiments.dse_grid",
+    "repro.experiments.cluster_grid",
 )
 
 
@@ -197,6 +198,7 @@ _CANONICAL_ORDER = (
     "backends",
     "faults",
     "dse",
+    "cluster",
 )
 
 

@@ -19,7 +19,7 @@ cached entry is invalidated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -187,6 +187,59 @@ class FaultImpact:
 
 
 @dataclass(frozen=True)
+class GpuTelemetry:
+    """Per-device breakdown of one cluster GPU's share of a run.
+
+    Produced only by the ``cluster`` backend (single-GPU backends carry no
+    breakdown); folded into :class:`ScenarioMetrics.gpu_breakdown` and
+    serialized only when present, so single-GPU metrics stay byte-identical
+    to their pre-cluster form.
+
+    Attributes:
+        gpu: device index within the cluster.
+        routed: requests the router dispatched to this device.
+        completed: requests this device finished.
+        missed: late completions this device contributed.
+        utilization: the device's time-averaged SM utilization.
+        max_queue_depth: deepest backlog observed on the device's queue.
+        migrations: model queues migrated *away* from this device.
+    """
+
+    gpu: int
+    routed: int = 0
+    completed: int = 0
+    missed: int = 0
+    utilization: float = 0.0
+    max_queue_depth: int = 0
+    migrations: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless dictionary form (JSON-safe)."""
+        return {
+            "gpu": self.gpu,
+            "routed": self.routed,
+            "completed": self.completed,
+            "missed": self.missed,
+            "utilization": self.utilization,
+            "max_queue_depth": self.max_queue_depth,
+            "migrations": self.migrations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "GpuTelemetry":
+        """Rebuild per-device telemetry from :meth:`to_dict` output."""
+        return cls(
+            gpu=int(data["gpu"]),
+            routed=int(data.get("routed", 0)),
+            completed=int(data.get("completed", 0)),
+            missed=int(data.get("missed", 0)),
+            utilization=float(data.get("utilization", 0.0)),
+            max_queue_depth=int(data.get("max_queue_depth", 0)),
+            migrations=int(data.get("migrations", 0)),
+        )
+
+
+@dataclass(frozen=True)
 class ScenarioMetrics:
     """Immutable summary of one scheduling run."""
 
@@ -197,6 +250,7 @@ class ScenarioMetrics:
     per_task_completed: Dict[str, int]
     average_gpu_utilization: float = 0.0
     fault_impact: Optional[FaultImpact] = None
+    gpu_breakdown: Optional[Tuple[GpuTelemetry, ...]] = None
 
     @property
     def total_completed(self) -> int:
@@ -225,8 +279,9 @@ class ScenarioMetrics:
     def to_dict(self) -> Dict[str, object]:
         """Lossless dictionary form (JSON-safe); inverse of :meth:`from_dict`.
 
-        ``fault_impact`` serializes only when present, keeping fault-free
-        output byte-identical to the pre-fault schema.
+        ``fault_impact`` and ``gpu_breakdown`` serialize only when present,
+        keeping fault-free / single-GPU output byte-identical to the
+        pre-fault (pre-cluster) schema.
         """
         data: Dict[str, object] = {
             "horizon_ms": self.horizon_ms,
@@ -238,12 +293,15 @@ class ScenarioMetrics:
         }
         if self.fault_impact is not None:
             data["fault_impact"] = self.fault_impact.to_dict()
+        if self.gpu_breakdown is not None:
+            data["gpu_breakdown"] = [gpu.to_dict() for gpu in self.gpu_breakdown]
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ScenarioMetrics":
         """Rebuild a summary from :meth:`to_dict` output."""
         impact = data.get("fault_impact")
+        breakdown = data.get("gpu_breakdown")
         return cls(
             horizon_ms=float(data["horizon_ms"]),
             total_jps=float(data["total_jps"]),
@@ -252,6 +310,9 @@ class ScenarioMetrics:
             per_task_completed={str(k): int(v) for k, v in dict(data["per_task_completed"]).items()},
             average_gpu_utilization=float(data["average_gpu_utilization"]),
             fault_impact=None if impact is None else FaultImpact.from_dict(impact),
+            gpu_breakdown=None
+            if breakdown is None
+            else tuple(GpuTelemetry.from_dict(gpu) for gpu in breakdown),
         )
 
     @classmethod
@@ -263,6 +324,7 @@ class ScenarioMetrics:
         per_task_completed: Optional[Dict[str, int]] = None,
         gpu_utilization: float = 0.0,
         fault_impact: Optional[FaultImpact] = None,
+        gpu_breakdown: Optional[Tuple[GpuTelemetry, ...]] = None,
     ) -> "ScenarioMetrics":
         """Summary from already-accumulated per-priority counters.
 
@@ -286,6 +348,7 @@ class ScenarioMetrics:
             per_task_completed=dict(per_task_completed or {}),
             average_gpu_utilization=gpu_utilization,
             fault_impact=fault_impact,
+            gpu_breakdown=gpu_breakdown,
         )
 
 

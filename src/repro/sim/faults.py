@@ -216,12 +216,24 @@ class FaultSpec:
     absent) is the fault-free scenario; its serialized form is the empty
     dict, and requests carrying it fingerprint exactly as they did before
     faults existed.
+
+    ``gpu`` optionally targets the *device-level* components (slowdown,
+    launch, crash) at one device of a multi-GPU cluster; request-level
+    faults (drops, timeouts) happen before routing and ignore it.  Only the
+    ``cluster`` backend interprets the target — single-device backends run
+    on the one GPU there is.  It serializes only when set, so untargeted
+    specs fingerprint exactly as before.
     """
 
     slowdown: Optional[SlowdownFault] = None
     launch: Optional[LaunchFault] = None
     crash: Optional[CrashFault] = None
     requests: Optional[RequestFaults] = None
+    gpu: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.gpu is not None and self.gpu < 0:
+            raise ValueError("gpu target must be non-negative when set")
 
     # -------------------------------------------------------------- builders
 
@@ -266,30 +278,38 @@ class FaultSpec:
 
     def with_slowdown(self, slowdown: SlowdownFault) -> "FaultSpec":
         """Copy of this spec with the slowdown component replaced."""
-        return FaultSpec(slowdown, self.launch, self.crash, self.requests)
+        return FaultSpec(slowdown, self.launch, self.crash, self.requests, self.gpu)
 
     def with_launch(self, launch: LaunchFault) -> "FaultSpec":
         """Copy of this spec with the launch-failure component replaced."""
-        return FaultSpec(self.slowdown, launch, self.crash, self.requests)
+        return FaultSpec(self.slowdown, launch, self.crash, self.requests, self.gpu)
 
     def with_crash(self, crash: CrashFault) -> "FaultSpec":
         """Copy of this spec with the crash component replaced."""
-        return FaultSpec(self.slowdown, self.launch, crash, self.requests)
+        return FaultSpec(self.slowdown, self.launch, crash, self.requests, self.gpu)
 
     def with_requests(self, requests: RequestFaults) -> "FaultSpec":
         """Copy of this spec with the request-fault component replaced."""
-        return FaultSpec(self.slowdown, self.launch, self.crash, requests)
+        return FaultSpec(self.slowdown, self.launch, self.crash, requests, self.gpu)
+
+    def targeting(self, gpu: Optional[int]) -> "FaultSpec":
+        """Copy of this spec with its device-fault target replaced.
+
+        ``gpu=None`` clears the target (device faults apply cluster-wide).
+        """
+        return FaultSpec(self.slowdown, self.launch, self.crash, self.requests, gpu)
 
     # ------------------------------------------------------------ properties
 
     @property
     def is_default(self) -> bool:
-        """True for the fault-free spec (every component absent)."""
+        """True for the fault-free spec (every component absent, no target)."""
         return (
             self.slowdown is None
             and self.launch is None
             and self.crash is None
             and self.requests is None
+            and self.gpu is None
         )
 
     @property
@@ -314,16 +334,26 @@ class FaultSpec:
             for kind, component in zip(FAULT_KINDS, self._components())
             if component is not None
         ]
-        return "+".join(present) if present else "none"
+        text = "+".join(present) if present else "none"
+        if self.gpu is not None:
+            text += f"@gpu{self.gpu}"
+        return text
 
     # --------------------------------------------------------- serialization
 
     def to_dict(self) -> Dict[str, object]:
-        """Serialized form: one key per *present* component, nothing else."""
+        """Serialized form: one key per *present* component, nothing else.
+
+        The ``gpu`` target likewise appears only when set, so untargeted
+        specs — every spec that predates cluster targeting — serialize
+        byte-identically to their historical form.
+        """
         data: Dict[str, object] = {}
         for kind, component in zip(FAULT_KINDS, self._components()):
             if component is not None:
                 data[kind] = component.to_dict()
+        if self.gpu is not None:
+            data["gpu"] = self.gpu
         return data
 
     @classmethod
@@ -334,6 +364,9 @@ class FaultSpec:
             payload = data.get(kind)
             if payload is not None:
                 kwargs[kind] = _COMPONENT_TYPES[kind](**dict(payload))
+        gpu = data.get("gpu")
+        if gpu is not None:
+            kwargs["gpu"] = int(gpu)
         return cls(**kwargs)
 
     def fingerprint(self) -> Dict[str, object]:

@@ -27,6 +27,7 @@ from repro.baselines.clockwork import ClockworkServer
 from repro.baselines.gslice import GSliceServer
 from repro.baselines.rtgpu import RtgpuScheduler
 from repro.baselines.single import SingleTenantExecutor
+from repro.cluster.config import ClusterConfig
 from repro.experiments.engine import run_cached_scenarios, run_experiment
 from repro.experiments.parallel import ScenarioRequest
 from repro.experiments.runner import ScenarioResult
@@ -60,6 +61,7 @@ def test_registry_lists_the_builtin_backends():
         "gslice",
         "rtgpu",
         "single",
+        "cluster",
     ]
 
 
@@ -395,6 +397,7 @@ def _grid_config_for(backend_name: str):
         "batching_server": BatchingConfig(batch_size=4),
         "single": SingleConfig(),
         "gslice": GSliceConfig(),
+        "cluster": ClusterConfig(),
     }[backend_name]
 
 
@@ -425,8 +428,8 @@ def test_new_workload_kinds_run_deterministically_on_every_backend():
             second = backend.execute(request)
             assert first.metrics == second.metrics, (name, workload.label())
             covered += 1
-    # daris/rtgpu/clockwork/batching_server each cover all three kinds.
-    assert covered == 12
+    # daris/rtgpu/clockwork/batching_server/cluster each cover all three kinds.
+    assert covered == 15
 
 
 # ------------------------------------------------------- typed baseline shims
@@ -561,7 +564,9 @@ def test_backend_grid_spec_expands_and_filters(tmp_path):
 
     full = expand_experiment("backends", quick=True)
     grid_backends = {request.scheduler for request in full.requests}
-    assert grid_backends == set(backend_names())
+    # The cluster backend has its own dedicated grid (the ``cluster``
+    # experiment); the single-GPU backend grid covers everything else.
+    assert grid_backends == set(backend_names()) - {"cluster"}
     assert {request.workload.arrival for request in full.requests} == {
         "saturated",
         "poisson",
@@ -685,6 +690,14 @@ PINNED_PR7_DEFAULT_CONFIG_KEYS = {
     "gslice": "8cfc3abcedb25e2240e7674a1edc1cd54ea47f5e3860b5e76595e0e68485edb0",
 }
 
+#: PR 9 pin: the cluster backend's default-config key on the same pin
+#: scenario.  ClusterConfig is a new kind with no EXTENDED_FIELDS, so every
+#: field always serializes; this key must only change with a deliberate
+#: config-shape change.
+PINNED_PR9_CLUSTER_DEFAULT_KEY = (
+    "9b731342b2af134259060392fa29aab20ff70045c9c199c474cf031d33d16568"
+)
+
 
 def test_default_config_cache_keys_for_every_backend_are_pinned_to_pr7():
     from repro.rt.taskset import make_taskset
@@ -719,6 +732,11 @@ def test_default_config_cache_keys_for_every_backend_are_pinned_to_pr7():
     assert {name: request.cache_key() for name, request in requests.items()} == (
         PINNED_PR7_DEFAULT_CONFIG_KEYS
     )
+    cluster = ScenarioRequest(
+        taskset, ClusterConfig(), horizon, seed=3, scheduler="cluster",
+        workload=POISSON_WORKLOAD,
+    )
+    assert cluster.cache_key() == PINNED_PR9_CLUSTER_DEFAULT_KEY
 
 
 def test_extended_config_fields_serialize_only_when_non_default():

@@ -103,10 +103,13 @@ def test_parse_config_overrides_passes_parsed_instances_through():
 def test_vocabulary_covers_every_backend_and_the_gpu():
     vocabulary = config_axis_vocabulary()
     assert set(vocabulary) == {
-        "daris", "rtgpu", "clockwork", "single", "batching_server", "gslice", "gpu",
+        "daris", "rtgpu", "clockwork", "single", "batching_server", "gslice",
+        "cluster", "gpu",
     }
     assert "window_size" in vocabulary["daris"]
     assert vocabulary["daris"]["window_size"].aliases == ("mret_window",)
+    assert "num_gpus" in vocabulary["cluster"]
+    assert vocabulary["cluster"]["num_gpus"].aliases == ("gpus",)
     assert "num_sms" in vocabulary["gpu"]
     text = format_axis_vocabulary()
     assert "admission_slack|slack" in text

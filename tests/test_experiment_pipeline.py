@@ -364,6 +364,7 @@ def _backend_matrix():
         GSliceConfig,
         SingleConfig,
     )
+    from repro.cluster.config import ClusterConfig
     from repro.sim.workload import POISSON_WORKLOAD, SATURATED_WORKLOAD, WorkloadSpec
 
     periodic = WorkloadSpec()
@@ -378,6 +379,8 @@ def _backend_matrix():
         ("batching_server", BatchingConfig(batch_size=4), SATURATED_WORKLOAD),
         ("batching_server", BatchingConfig(batch_size=4), POISSON_WORKLOAD),
         ("gslice", GSliceConfig(), SATURATED_WORKLOAD),
+        ("cluster", ClusterConfig(), periodic),
+        ("cluster", ClusterConfig(), POISSON_WORKLOAD),
     ]
 
 
@@ -445,6 +448,7 @@ def test_registry_lists_every_paper_artefact():
         "backends",
         "faults",
         "dse",
+        "cluster",
     ]
     with pytest.raises(KeyError):
         get_experiment("fig99")
@@ -477,8 +481,11 @@ def test_cli_list_json_includes_backends(capsys):
     listing = json.loads(capsys.readouterr().out)
     assert {spec["name"] for spec in listing["experiments"]} >= {"fig4_6", "sota", "backends"}
     backends = {entry["name"]: entry for entry in listing["backends"]}
-    assert set(backends) == {"daris", "batching_server", "clockwork", "gslice", "rtgpu", "single"}
+    assert set(backends) == {
+        "daris", "batching_server", "clockwork", "gslice", "rtgpu", "single", "cluster",
+    }
     assert backends["gslice"]["workloads"] == ["saturated"]
+    assert backends["cluster"]["config"] == "ClusterConfig"
     assert backends["rtgpu"]["config"] == "DarisConfig"
     assert backends["daris"]["workloads"] == ["periodic", "poisson", "mmpp", "trace"]
     workloads = {entry["name"]: entry for entry in listing["workloads"]}
