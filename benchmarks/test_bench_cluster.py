@@ -1,12 +1,16 @@
-"""Cluster-backend scaling benchmark: one serving scenario at 1/2/4/8 GPUs.
+"""Cluster-backend scaling benchmark: one serving scenario at 1..64 GPUs.
 
 Times the composite ``cluster`` backend end to end — release generation,
 routing, N per-GPU EDF loops and telemetry assembly on one simulator — with
 the offered load scaled to the cluster size, so the per-GPU event volume is
 constant and the timing isolates the cost of the cluster layer itself as
-devices are added.  When the benchmarks actually time (not
-``--benchmark-disable`` smoke mode), the results are written to
-``BENCH_cluster.json`` through the shared perf-report helper.
+devices are added.  With the indexed dispatch tier
+(``ClusterServer.indexed_dispatch_enabled``) the per-release cost is O(1) in
+cluster size, so ``jobs_per_wall_second`` should hold near-flat from 1 to 64
+GPUs; the 16/32/64 rows exist to catch any reintroduced O(num_gpus) scan.
+When the benchmarks actually time (not ``--benchmark-disable`` smoke mode),
+the results are written to ``BENCH_cluster.json`` through the shared
+perf-report helper and gated by the perf-smoke CI lane.
 """
 
 import math
@@ -24,7 +28,7 @@ from repro.sim.rng import RngFactory
 from repro.sim.workload import POISSON_WORKLOAD
 
 HORIZON_MS = 4_000.0
-GPU_COUNTS = (1, 2, 4, 8)
+GPU_COUNTS = (1, 2, 4, 8, 16, 32, 64)
 LOAD_FACTOR = 0.7
 
 #: label -> (seconds, completed jobs), filled as the parametrized runs time.

@@ -13,6 +13,9 @@ parallel fan-out and sharded sweeps unchanged.
 * :mod:`repro.cluster.placement` — model -> device-subset placement
   (``replicated`` / ``partitioned``) plus the migration reassignment
   primitive.
+* :mod:`repro.cluster.ledger` — the O(1)-per-event dispatch index behind
+  ``ClusterServer.indexed_dispatch_enabled`` (incremental load heap / bisect
+  ordering / backlog counters).
 * :mod:`repro.cluster.server` — the runtime: per-GPU Clockwork-style
   executors, cluster-level release routing, GPU-targetable fault injection,
   per-device telemetry, metrics merge.
@@ -21,6 +24,7 @@ parallel fan-out and sharded sweeps unchanged.
 
 from repro.cluster.backend import ClusterBackend
 from repro.cluster.config import PLACEMENT_POLICIES, ROUTER_POLICIES, ClusterConfig
+from repro.cluster.ledger import DeviceGroup, DispatchLedger
 from repro.cluster.placement import PlacementSpec
 from repro.cluster.router import (
     DeadlineAwareRouter,
@@ -39,6 +43,8 @@ __all__ = [
     "ClusterConfig",
     "ClusterServer",
     "DeadlineAwareRouter",
+    "DeviceGroup",
+    "DispatchLedger",
     "GpuLoadView",
     "LeastLoadedRouter",
     "PlacementSpec",

@@ -79,6 +79,16 @@ class RoundRobinRouter(RouterPolicy):
 
     The rotation counter is per-run state, so the dispatch sequence is a
     pure function of the release sequence — deterministic per seed.
+
+    Rotation semantics under *filtered* views: the cursor counts dispatches,
+    not device positions.  When the eligible list shrinks (a device dies or
+    a partitioned/migrated placement narrows it) the policy keeps selecting
+    position ``cursor mod len(eligible)`` of whatever list it is handed, so
+    traffic stays uniform over the *current* eligible devices; it does not
+    try to resume where a vanished device left off.  When the list grows
+    back the rotation re-covers every device within one lap.  The dedicated
+    unit test (``test_round_robin_rotation_under_filtered_views``) pins this
+    distribution.
     """
 
     name: ClassVar[str] = "round_robin"
@@ -94,6 +104,17 @@ class RoundRobinRouter(RouterPolicy):
         gpus: Sequence[GpuLoadView],
     ) -> int:
         choice = gpus[self._cursor % len(gpus)].index
+        self._cursor += 1
+        return choice
+
+    def select_index(self, devices: Sequence[int]) -> int:
+        """View-free rotation over raw device indexes (the indexed fast path).
+
+        Shares ``_cursor`` with :meth:`select`, so a run that mixes indexed
+        dispatches with view-built fallbacks (e.g. inside fault windows)
+        rotates exactly like an all-reference run.
+        """
+        choice = devices[self._cursor % len(devices)]
         self._cursor += 1
         return choice
 

@@ -11,6 +11,19 @@ device's executor.  There is no wall-clock interleaving anywhere — every
 cross-device dependency is a simulator event — so runs are bit-identical
 per seed under the established RNG-stream discipline.
 
+Per-event cost: dispatch is O(1) in the cluster size.  The default
+*indexed* tier (``ClusterServer.indexed_dispatch_enabled``) resolves each
+release through the run's :class:`~repro.cluster.ledger.DispatchLedger` —
+per-task constants (predicted latency, deadline, kernel specs, metric
+bucket) are memoized once per run in a :class:`_TaskProfile`, routing reads
+the ledger's incremental min-heap / bisect ordering / cursor instead of
+materializing ``GpuLoadView`` tuples, and the sustained-backlog migration
+trigger is a per-group counter compare instead of a device scan.  The
+PR 9 reference path (fresh view tuples + lambda-keyed router scans) stays
+alive behind the toggle and whenever an ``on_dispatch`` observer needs the
+views; ``tests/test_perf_equivalence.py`` pins both paths bit-identical
+across the router x placement x fault x migration matrix.
+
 RNG streams: arrivals and request-level fault draws come from the run's
 root :class:`~repro.sim.rng.RngFactory` (the exact streams a single-GPU
 Clockwork run consumes, which is what makes a 1-GPU cluster reproduce the
@@ -23,12 +36,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from itertools import count
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple
 
 from repro.cluster.config import ClusterConfig
+from repro.cluster.ledger import DispatchLedger
 from repro.cluster.placement import PlacementSpec
-from repro.cluster.router import GpuLoadView, make_router
-from repro.dnn.model import DnnModel
+from repro.cluster.router import GpuLoadView, RoundRobinRouter, make_router
 from repro.gpu.calibration import DEFAULT_CALIBRATION, GpuCalibration
 from repro.gpu.platform import GpuPlatform, PlatformConfig
 from repro.gpu.spec import GpuSpec, RTX_2080_TI
@@ -48,15 +62,41 @@ from repro.sim.simulator import Simulator
 from repro.sim.workload import PERIODIC_WORKLOAD, ReleaseStream, WorkloadSpec
 
 
-@dataclass(order=True)
+class _TaskProfile:
+    """Dispatch constants of one task, resolved once per run.
+
+    PR 9 recomputed ``isolated_latency_ms`` (a sum over stages), the
+    relative deadline and the per-priority bucket lookup on *every* release;
+    all of them are pure functions of the immutable task/model/calibration,
+    so the memoized values are bit-identical to recomputation.
+    """
+
+    __slots__ = (
+        "model_name",
+        "task_name",
+        "bucket",
+        "predicted_ms",
+        "relative_deadline_ms",
+        "kernels",
+        "num_stages",
+    )
+
+    def __init__(self, task, bucket: PriorityMetrics, predicted_ms: float, kernels):
+        self.model_name = task.model.name
+        self.task_name = task.name
+        self.bucket = bucket
+        self.predicted_ms = predicted_ms
+        self.relative_deadline_ms = task.relative_deadline_ms
+        self.kernels = kernels
+        self.num_stages = len(kernels)
+
+
+@dataclass(order=True, slots=True)
 class _QueuedRequest:
     deadline: float
     seq: int
     release: float = field(compare=False)
-    model: DnnModel = field(compare=False, default=None)
-    priority: Priority = field(compare=False, default=Priority.LOW)
-    task_name: str = field(compare=False, default="")
-    predicted_ms: float = field(compare=False, default=0.0)
+    profile: _TaskProfile = field(compare=False, default=None)
 
 
 class _GpuWorker:
@@ -65,8 +105,37 @@ class _GpuWorker:
     Keeps a ledger of outstanding predicted work (the router's load signal)
     and per-device telemetry; the headline counters go to the cluster-shared
     per-priority buckets so the merged metrics match what one big Clockwork
-    run over the same event sequence would have produced.
+    run over the same event sequence would have produced.  One request runs
+    at a time, so the in-flight state lives in two slots
+    (``_active``/``_stage``) instead of per-request closures, and every load
+    / queue-depth delta is mirrored into the run's
+    :class:`~repro.cluster.ledger.DispatchLedger` when one is bound.
     """
+
+    __slots__ = (
+        "index",
+        "simulator",
+        "platform",
+        "_engine",
+        "_stream",
+        "injector",
+        "policy",
+        "timeout_ms",
+        "per_task_completed",
+        "queue",
+        "outstanding_ms",
+        "depth",
+        "ledger",
+        "_track_load",
+        "_track_depth",
+        "_active",
+        "_stage",
+        "routed",
+        "completed",
+        "missed",
+        "max_queue_depth",
+        "migrations",
+    )
 
     def __init__(
         self,
@@ -76,20 +145,32 @@ class _GpuWorker:
         injector: FaultInjector,
         policy: ResiliencePolicy,
         timeout_ms: Optional[float],
-        per_priority: Dict[Priority, PriorityMetrics],
         per_task_completed: Dict[str, int],
     ):
         self.index = index
         self.simulator = simulator
         self.platform = platform
+        # The worker owns its device outright and serializes requests itself
+        # (one in flight, always slot (0, 0)), so stages launch straight on
+        # the engine; the platform's idle-stream bookkeeping — maintained for
+        # backends that hunt for free slots — is dead weight here and its
+        # drain callback is unhooked.  Pure plumbing removal: event times and
+        # kernel arithmetic are untouched.
+        self._engine = platform.engine
+        self._stream = platform.stream(0, 0)
+        self._engine.stream_idle_callback = None
         self.injector = injector
         self.policy = policy
         self.timeout_ms = timeout_ms
-        self.per_priority = per_priority
         self.per_task_completed = per_task_completed
         self.queue: List[_QueuedRequest] = []
-        self.running = False
         self.outstanding_ms = 0.0
+        self.depth = 0  # requests queued or running (incremental)
+        self.ledger: Optional[DispatchLedger] = None
+        self._track_load = False
+        self._track_depth = False
+        self._active: Optional[_QueuedRequest] = None
+        self._stage = 0
         # Telemetry.
         self.routed = 0
         self.completed = 0
@@ -97,12 +178,23 @@ class _GpuWorker:
         self.max_queue_depth = 0
         self.migrations = 0
 
+    def bind_ledger(self, ledger: DispatchLedger) -> None:
+        """Mirror this device's load/depth deltas into the dispatch ledger."""
+        self.ledger = ledger
+        self._track_load = ledger.track_load
+        self._track_depth = ledger.backlog > 0
+
     # ------------------------------------------------------------- load view
+
+    @property
+    def running(self) -> bool:
+        """True while a request occupies the device."""
+        return self._active is not None
 
     @property
     def queue_depth(self) -> int:
         """Requests queued or running on this device."""
-        return len(self.queue) + (1 if self.running else 0)
+        return self.depth
 
     @property
     def alive(self) -> bool:
@@ -110,21 +202,37 @@ class _GpuWorker:
         return not self.injector.degraded
 
     def load_view(self) -> GpuLoadView:
-        """Snapshot handed to the router at dispatch time."""
+        """Snapshot handed to the router at dispatch time (reference path)."""
         return GpuLoadView(
             index=self.index,
             outstanding_ms=self.outstanding_ms,
-            queue_depth=self.queue_depth,
-            alive=self.alive,
+            queue_depth=self.depth,
+            alive=not self.injector.degraded,
         )
+
+    # ------------------------------------------------------------ bookkeeping
+
+    def _add_load(self, delta: float) -> None:
+        self.outstanding_ms += delta
+        if self._track_load:
+            self.ledger.load_changed(self.index, self.outstanding_ms)
+
+    def _depth_delta(self, delta: int) -> None:
+        old = self.depth
+        new = old + delta
+        self.depth = new
+        if delta > 0 and new > self.max_queue_depth:
+            self.max_queue_depth = new
+        if self._track_depth:
+            self.ledger.depth_changed(self.index, old, new)
 
     # --------------------------------------------------------------- ingress
 
     def enqueue(self, request: _QueuedRequest) -> None:
         """Accept a routed request and start serving if idle."""
         heapq.heappush(self.queue, request)
-        self.outstanding_ms += request.predicted_ms
-        self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+        self._add_load(request.profile.predicted_ms)
+        self._depth_delta(1)
         self.start_next()
 
     def take_queued(self, model_name: str) -> List[_QueuedRequest]:
@@ -133,15 +241,29 @@ class _GpuWorker:
         The migration primitive: the running request (if any) stays — only
         the waiting queue moves.
         """
-        taken = [request for request in self.queue if request.model.name == model_name]
+        queue = self.queue
+        taken = [r for r in queue if r.profile.model_name == model_name]
         if taken:
-            self.queue = [
-                request for request in self.queue if request.model.name != model_name
-            ]
+            self.queue = [r for r in queue if r.profile.model_name != model_name]
             heapq.heapify(self.queue)
             for request in taken:
-                self.outstanding_ms -= request.predicted_ms
+                self.outstanding_ms -= request.profile.predicted_ms
+            if self._track_load:
+                self.ledger.load_changed(self.index, self.outstanding_ms)
+            self._depth_delta(-len(taken))
         return taken
+
+    def receive_migrated(self, moved: List[_QueuedRequest]) -> None:
+        """Absorb a migrated queue and start serving it."""
+        queue = self.queue
+        for request in moved:
+            heapq.heappush(queue, request)
+            self.outstanding_ms += request.profile.predicted_ms
+        if moved:
+            if self._track_load:
+                self.ledger.load_changed(self.index, self.outstanding_ms)
+            self._depth_delta(len(moved))
+        self.start_next()
 
     # -------------------------------------------------------------- executor
 
@@ -150,20 +272,24 @@ class _GpuWorker:
         simulator = self.simulator
         injector = self.injector
         policy = self.policy
-        while self.queue and not self.running:
-            request = heapq.heappop(self.queue)
-            bucket = self.per_priority[request.priority]
+        timeout_ms = self.timeout_ms
+        queue = self.queue
+        while queue and self._active is None:
+            request = heapq.heappop(queue)
+            profile = request.profile
+            bucket = profile.bucket
             if (
-                self.timeout_ms is not None
-                and simulator.now - request.release > self.timeout_ms + 1e-9
+                timeout_ms is not None
+                and simulator.now - request.release > timeout_ms + 1e-9
             ):
                 # The client gave up while the request sat queued; it
                 # entered the system, so it counts admitted + timed out.
                 bucket.admitted += 1
                 bucket.timed_out += 1
-                self.outstanding_ms -= request.predicted_ms
+                self._add_load(-profile.predicted_ms)
+                self._depth_delta(-1)
                 continue
-            latency = request.predicted_ms
+            latency = profile.predicted_ms
             effective = latency
             if policy.shed_when_degraded and injector.degraded:
                 factor = injector.slowdown_factor
@@ -175,66 +301,65 @@ class _GpuWorker:
                     # Only the degradation-inflated prediction failed:
                     # this is a shed, not a plain rejection.
                     bucket.shed += 1
-                self.outstanding_ms -= request.predicted_ms
+                self._add_load(-profile.predicted_ms)
+                self._depth_delta(-1)
                 continue
-            self.running = True
+            self._active = request
+            self._stage = 0
             bucket.admitted += 1
-            state = {"stage": 0}
-
-            def on_stage_done(_kernel, request=request, state=state) -> None:
-                state["stage"] += 1
-                if state["stage"] < request.model.num_stages:
-                    submit_stage(request, state)
-                    return
-                self.running = False
-                self.completed += 1
-                bucket = self.per_priority[request.priority]
-                bucket.completed += 1
-                self.per_task_completed[request.task_name] = (
-                    self.per_task_completed.get(request.task_name, 0) + 1
-                )
-                response = simulator.now - request.release
-                bucket.response_times.append(response)
-                late = simulator.now > request.deadline + 1e-9
-                if late:
-                    self.missed += 1
-                    bucket.missed += 1
-                self.outstanding_ms -= request.predicted_ms
-                injector.note_completion(simulator.now, on_time=not late)
-                self.start_next()
-
-            def submit_stage(request=request, state=state) -> None:
-                stage = request.model.stages[state["stage"]]
-                self.platform.launch(
-                    0,
-                    0,
-                    stage.to_kernel_spec(),
-                    on_complete=lambda kernel: on_stage_done(kernel),
-                )
-
             outcome = injector.launch_attempt()
             if outcome.retries:
                 bucket.launch_retries += outcome.retries
             if not outcome.succeeded or outcome.delay_ms > 0.0:
-
-                def on_launch_failed(request=request) -> None:
-                    self.per_priority[request.priority].failed += 1
-                    self.running = False
-                    self.outstanding_ms -= request.predicted_ms
-                    self.start_next()
-
                 deferred_launch(
-                    simulator,
-                    outcome,
-                    lambda request=request, state=state: submit_stage(request, state),
-                    on_launch_failed,
+                    simulator, outcome, self._submit_stage, self._launch_failed
                 )
                 return
-            submit_stage(request, state)
+            self._submit_stage()
             return
 
+    def _submit_stage(self) -> None:
+        self._engine.launch(
+            self._stream,
+            self._active.profile.kernels[self._stage],
+            on_complete=self._on_stage_done,
+        )
+
+    def _launch_failed(self) -> None:
+        request = self._active
+        request.profile.bucket.failed += 1
+        self._active = None
+        self._add_load(-request.profile.predicted_ms)
+        self._depth_delta(-1)
+        self.start_next()
+
+    def _on_stage_done(self, _kernel) -> None:
+        self._stage += 1
+        request = self._active
+        profile = request.profile
+        if self._stage < profile.num_stages:
+            self._submit_stage()
+            return
+        self._active = None
+        self.completed += 1
+        bucket = profile.bucket
+        bucket.completed += 1
+        per_task = self.per_task_completed
+        per_task[profile.task_name] = per_task.get(profile.task_name, 0) + 1
+        simulator = self.simulator
+        now = simulator.now
+        bucket.response_times.append(now - request.release)
+        late = now > request.deadline + 1e-9
+        if late:
+            self.missed += 1
+            bucket.missed += 1
+        self._add_load(-profile.predicted_ms)
+        self._depth_delta(-1)
+        self.injector.note_completion(now, on_time=not late)
+        self.start_next()
+
     def telemetry(self) -> GpuTelemetry:
-        """Per-device breakdown after the run."""
+        """Per-device breakdown, rolled up once at run end."""
         return GpuTelemetry(
             gpu=self.index,
             routed=self.routed,
@@ -293,6 +418,12 @@ def _merged_impact(
 class ClusterServer:
     """N simulated GPUs behind a router, one event graph, one metrics merge."""
 
+    #: Class toggle for the O(1) indexed-dispatch tier (PR 7 discipline).
+    #: Off = the PR 9 reference path: fresh ``GpuLoadView`` tuples per
+    #: release, lambda-keyed router scans and the per-release migration
+    #: backlog scan.  Pinned trace-identical by ``tests/test_perf_equivalence``.
+    indexed_dispatch_enabled: ClassVar[bool] = True
+
     def __init__(
         self,
         config: ClusterConfig,
@@ -302,6 +433,9 @@ class ClusterServer:
         self.config = config
         self.gpu = gpu
         self.calibration = calibration
+        #: Dispatches resolved through the indexed tier in the last
+        #: ``serve`` run (the ``vector_engagements``-style engagement probe).
+        self.indexed_engagements = 0
 
     def serve(
         self,
@@ -319,7 +453,9 @@ class ClusterServer:
 
         ``on_dispatch(now, model_name, chosen, views)`` (when given) observes
         every routing decision with the candidate views the router saw — the
-        hook the router-invariant tests use.
+        hook the router-invariant tests use.  Observed dispatches always run
+        the reference view-building path, so the hook sees exactly what a
+        reference run's router would.
         """
         if horizon_ms <= 0:
             raise ValueError("horizon must be positive")
@@ -333,12 +469,16 @@ class ClusterServer:
         policy = resilience if resilience is not None else DEFAULT_POLICY
         config = self.config
         num_gpus = config.num_gpus
+        indexed = type(self).indexed_dispatch_enabled
+        self.indexed_engagements = 0
 
         simulator = Simulator()
         # Request-level faults (drops, client timeouts) happen before
         # routing, from the root factory's historical streams.
         cluster_injector = FaultInjector(_request_spec(faults), rng=rng, policy=policy)
         timeout_ms = cluster_injector.timeout_ms
+        requests_spec = faults.requests
+        drops_possible = requests_spec is not None and requests_spec.drop_prob > 0.0
 
         per_priority = {
             Priority.HIGH: PriorityMetrics(),
@@ -370,7 +510,6 @@ class ClusterServer:
                     injector,
                     policy,
                     timeout_ms,
-                    per_priority,
                     per_task_completed,
                 )
             )
@@ -383,7 +522,45 @@ class ClusterServer:
         placement = PlacementSpec.build(config.placement, model_names, num_gpus)
         router = make_router(config.router)
         backlog_since: Dict[str, float] = {}
-        seq = {"value": 0}
+        dispatch_seq = count(1)
+        migration_on = config.migration_backlog > 0 and num_gpus >= 2
+
+        # Per-run memos: predicted isolated latency per (model, calibration)
+        # and the stage kernel specs per model, shared by every task of that
+        # model; per-task profiles bundle them with the metric bucket.
+        predicted_by_model: Dict[int, float] = {}
+        kernels_by_model: Dict[int, tuple] = {}
+        profiles: Dict[int, _TaskProfile] = {}
+        for task in taskset.tasks:
+            model = task.model
+            key = id(model)
+            predicted = predicted_by_model.get(key)
+            if predicted is None:
+                predicted = model.isolated_latency_ms(self.calibration)
+                predicted_by_model[key] = predicted
+                kernels_by_model[key] = tuple(
+                    stage.to_kernel_spec() for stage in model.stages
+                )
+            profiles[id(task)] = _TaskProfile(
+                task, per_priority[task.priority], predicted, kernels_by_model[key]
+            )
+
+        # The indexed tier: one dispatch ledger per run, device deltas
+        # mirrored in, routing and migration triggers read it directly.
+        ledger: Optional[DispatchLedger] = None
+        group_by_model: Dict[str, object] = {}
+        if indexed:
+            ledger = DispatchLedger(
+                num_gpus,
+                config.router,
+                backlog=config.migration_backlog if migration_on else 0,
+            )
+            for injector in device_injectors:
+                injector.on_degraded_change = ledger.degraded_changed
+            for worker in workers:
+                worker.bind_ledger(ledger)
+            for name in model_names:
+                group_by_model[name] = ledger.group_for(placement.gpus_for(name))
 
         def migrate(model_name: str, eligible: Tuple[int, ...], now: float) -> None:
             others = [g for g in range(num_gpus) if g not in eligible]
@@ -393,71 +570,104 @@ class ClusterServer:
             target = min(others, key=lambda g: (workers[g].outstanding_ms, g))
             moved: List[_QueuedRequest] = []
             for g in eligible:
-                moved.extend(workers[g].take_queued(model_name))
-                workers[g].migrations += 1
+                taken = workers[g].take_queued(model_name)
+                if taken:
+                    # Only devices that actually contributed requests count
+                    # a migration (PR 9 inflated this by counting every
+                    # eligible device, moved or not).
+                    workers[g].migrations += 1
+                    moved.extend(taken)
             placement.reassign(model_name, (target,))
+            if ledger is not None:
+                group_by_model[model_name] = ledger.group_for((target,))
             backlog_since.pop(model_name, None)
-            receiver = workers[target]
-            for request in moved:
-                heapq.heappush(receiver.queue, request)
-                receiver.outstanding_ms += request.predicted_ms
-            receiver.max_queue_depth = max(
-                receiver.max_queue_depth, receiver.queue_depth
-            )
-            receiver.start_next()
+            workers[target].receive_migrated(moved)
 
-        def maybe_migrate(model_name: str, now: float) -> None:
-            if config.migration_backlog <= 0 or num_gpus < 2:
-                return
-            eligible = placement.gpus_for(model_name)
-            best_depth = min(workers[g].queue_depth for g in eligible)
-            if best_depth < config.migration_backlog:
-                backlog_since.pop(model_name, None)
-                return
-            since = backlog_since.get(model_name)
-            if since is None:
-                backlog_since[model_name] = now
-            elif now - since >= config.migration_window_ms:
-                migrate(model_name, eligible, now)
+        maybe_migrate: Optional[Callable[[str, float], None]]
+        if not migration_on:
+            maybe_migrate = None
+        elif ledger is not None:
 
-        def on_release(task, release_time: float) -> None:
-            bucket = per_priority[task.priority]
+            def maybe_migrate(model_name: str, now: float) -> None:
+                # O(1) incremental trigger: ``below_backlog`` counts eligible
+                # devices under the threshold, so "every eligible GPU holds a
+                # backlog" is one integer compare per release.
+                group = group_by_model[model_name]
+                if group.below_backlog > 0:
+                    backlog_since.pop(model_name, None)
+                    return
+                since = backlog_since.get(model_name)
+                if since is None:
+                    backlog_since[model_name] = now
+                elif now - since >= config.migration_window_ms:
+                    migrate(model_name, group.devices, now)
+
+        else:
+
+            def maybe_migrate(model_name: str, now: float) -> None:
+                # Reference trigger: per-release scan over the eligible set.
+                eligible = placement.gpus_for(model_name)
+                best_depth = min(workers[g].queue_depth for g in eligible)
+                if best_depth < config.migration_backlog:
+                    backlog_since.pop(model_name, None)
+                    return
+                since = backlog_since.get(model_name)
+                if since is None:
+                    backlog_since[model_name] = now
+                elif now - since >= config.migration_window_ms:
+                    migrate(model_name, eligible, now)
+
+        fast_routing = indexed and on_dispatch is None
+        least_loaded_kind = config.router == "least_loaded"
+        deadline_kind = config.router == "deadline_aware"
+        rr_select_index = (
+            router.select_index if isinstance(router, RoundRobinRouter) else None
+        )
+        engagements = 0
+
+        def on_release(task, event) -> None:
+            nonlocal engagements
+            profile = profiles[id(task)]
+            bucket = profile.bucket
             bucket.released += 1
-            if cluster_injector.drop_request():
+            if drops_possible and cluster_injector.drop_request():
                 bucket.dropped += 1
                 return
-            model_name = task.model.name
-            maybe_migrate(model_name, release_time)
-            eligible = placement.gpus_for(model_name)
-            views = tuple(workers[g].load_view() for g in eligible)
-            candidates = tuple(view for view in views if view.alive) or views
-            predicted = task.model.isolated_latency_ms(self.calibration)
-            deadline = release_time + task.relative_deadline_ms
-            choice = router.select(release_time, deadline, predicted, candidates)
-            if on_dispatch is not None:
-                on_dispatch(release_time, model_name, choice, candidates)
-            seq["value"] += 1
+            model_name = profile.model_name
+            now = event.time
+            if maybe_migrate is not None:
+                maybe_migrate(model_name, now)
+            predicted = profile.predicted_ms
+            deadline = now + profile.relative_deadline_ms
+            if fast_routing and ledger.degraded_devices == 0:
+                # Indexed tier: direct ledger reads, no view materialization.
+                group = group_by_model[model_name]
+                if least_loaded_kind:
+                    choice = group.least_loaded()
+                elif deadline_kind:
+                    choice = group.deadline_aware(now, deadline, predicted)
+                else:
+                    choice = rr_select_index(group.devices)
+                engagements += 1
+            else:
+                # Reference path: kept alive for the toggle-off tier, the
+                # ``on_dispatch`` observer, and dispatches made while any
+                # device is degraded (the alive-filter needs real views).
+                eligible = placement.gpus_for(model_name)
+                views = tuple(workers[g].load_view() for g in eligible)
+                candidates = tuple(view for view in views if view.alive) or views
+                choice = router.select(now, deadline, predicted, candidates)
+                if on_dispatch is not None:
+                    on_dispatch(now, model_name, choice, candidates)
             worker = workers[choice]
             worker.routed += 1
-            worker.enqueue(
-                _QueuedRequest(
-                    deadline=deadline,
-                    seq=seq["value"],
-                    release=release_time,
-                    model=task.model,
-                    priority=task.priority,
-                    task_name=task.name,
-                    predicted_ms=predicted,
-                )
-            )
+            worker.enqueue(_QueuedRequest(deadline, next(dispatch_seq), now, profile))
 
         ReleaseStream(workload, rng).drive_taskset(
-            simulator,
-            horizon_ms,
-            taskset.tasks,
-            lambda task, event: on_release(task, event.time),
+            simulator, horizon_ms, taskset.tasks, on_release
         )
         simulator.run_until(horizon_ms)
+        self.indexed_engagements = engagements
 
         breakdown = tuple(worker.telemetry() for worker in workers)
         utilization = sum(gpu.utilization for gpu in breakdown) / len(breakdown)

@@ -108,6 +108,13 @@ class GpuEngine:
         self._noise_chunk: List[float] = []
         self._noise_pos = 0
         self._contexts: Dict[int, Context] = {}
+        # (id(spec), context_id) -> (spec, clipped_demand, contention_weight,
+        # launch_cost): launch-time invariants memoized per spec/context pair
+        # (the stored spec pins the id).  See launch().
+        self._launch_invariants: Dict[Tuple[int, int], tuple] = {}
+        # (allocation, contention_weight, fault_slowdown) -> the single-kernel
+        # replan outputs; see the fast path in _replan().
+        self._single_plan_cache: Dict[Tuple[float, float, float], tuple] = {}
         # Quota lookup used by every replan path.  Context.sm_quota is treated
         # as immutable after create_context(); all allocation code reads this
         # dict so there is a single source of truth at plan time.
@@ -257,17 +264,35 @@ class GpuEngine:
         kernel.effective_work = spec.work
         kernel.remaining_work = spec.work
         # Plan-time invariants of this kernel: the demand clipped to its
-        # context quota and the memory-intensity contention weight.  Both
-        # expressions match the historical inline forms bit for bit; caching
-        # them removes the spec/quota chasing from every replan.
-        quota = self._quotas[stream.context_id]
-        demand = spec.parallelism
-        if demand > quota:
-            demand = quota
-        kernel.clipped_demand = demand
-        kernel.contention_weight = (
-            CONTENTION_WEIGHT_BASE + CONTENTION_WEIGHT_MEMORY * spec.memory_intensity
-        )
+        # context quota, the memory-intensity contention weight and the
+        # dispatcher launch overhead.  All three are pure functions of the
+        # (frozen) spec, the context quota and the engine calibration — none
+        # of which change after setup — so they are computed once per
+        # (spec, context) pair and replayed bit for bit on every relaunch of
+        # the same stage (serving loops launch the same few specs thousands
+        # of times).  The tuple holds a strong reference to the spec so the
+        # id()-key can never be resurrected by a different object.
+        context_id = stream.context_id
+        invariants = self._launch_invariants
+        key = (id(spec), context_id)
+        cached = invariants.get(key)
+        if cached is None:
+            quota = self._quotas[context_id]
+            demand = spec.parallelism
+            if demand > quota:
+                demand = quota
+            cached = (
+                spec,
+                demand,
+                CONTENTION_WEIGHT_BASE
+                + CONTENTION_WEIGHT_MEMORY * spec.memory_intensity,
+                self.calibration.dispatch_overhead_ms
+                + spec.num_launches * self.spec.launch_overhead_ms,
+            )
+            invariants[key] = cached
+        kernel.clipped_demand = cached[1]
+        kernel.contention_weight = cached[2]
+        kernel.launch_cost = cached[3]
         became_head = stream.push(kernel)
         if became_head:
             self._begin_dispatch(kernel)
@@ -276,10 +301,7 @@ class GpuEngine:
     def _begin_dispatch(self, kernel: KernelInstance) -> None:
         """Charge launch overhead on the context dispatcher, then start the kernel."""
         context = self._contexts[kernel.context_id]
-        launch_cost = (
-            self.calibration.dispatch_overhead_ms
-            + kernel.spec.num_launches * self.spec.launch_overhead_ms
-        )
+        launch_cost = kernel.launch_cost  # cached at launch(); see there
         now = self.simulator.now
         free_at = context.dispatcher_free_at
         ready_at = (now if now > free_at else free_at) + launch_cost
@@ -527,7 +549,11 @@ class GpuEngine:
 
         # Single running kernel: the whole plan collapses to a handful of
         # float operations (same operations as the general path, in the same
-        # order, so the results stay bitwise identical).
+        # order, so the results stay bitwise identical) — and those operations
+        # are a pure function of (allocation, contention weight, fault
+        # multiplier) plus frozen engine constants, so the result is memoized
+        # per input triple: serving loops that cycle through the same few
+        # stage specs replay the cached floats instead of re-deriving them.
         if len(running) == 1 and GpuEngine.fast_path_enabled:
             self.fast_path_hits += 1
             kernel = next(iter(running.values()))
@@ -537,35 +563,48 @@ class GpuEngine:
                 self._ctx_alloc[cid] = ([demand], demand)
                 dirty.clear()
             allocation = self._ctx_alloc[cid][1]
-            num_sms = self._num_sms
-            pressure = allocation / num_sms
-            if allocation > num_sms:
-                scale = num_sms / allocation
-                grant = allocation * scale
-            else:
-                scale = 1.0
-                grant = allocation
-            self._current_pressure = pressure = max(pressure, 1.0) if allocation > 0 else 0.0
-            self._current_utilization = min(1.0, grant / num_sms) if num_sms else 0.0
-            # Recompute the rate unconditionally: with concurrency 1 the intra
-            # efficiency is exactly 1.0 and the whole expression is a handful
-            # of operations, cheaper than tracking staleness.
-            min_rate = self._min_rate
-            allocated = grant if grant > min_rate else min_rate
-            contention_factor = self._contention_penalty * (
-                pressure - 1.0 if pressure > 1.0 else 0.0
-            )
-            kernel.allocated_sms = allocated
-            if contention_factor == 0.0:
-                # efficiency == 1/(1 + 0) == 1.0 exactly; the multiply is a
-                # bitwise no-op, so skip the division entirely.
-                rate = allocated
-            else:
-                rate = allocated * (
-                    1.0 / (1.0 + contention_factor * kernel.contention_weight)
+            key = (allocation, kernel.contention_weight, self._fault_slowdown)
+            cached = self._single_plan_cache.get(key)
+            if cached is None:
+                num_sms = self._num_sms
+                pressure = allocation / num_sms
+                if allocation > num_sms:
+                    scale = num_sms / allocation
+                    grant = allocation * scale
+                else:
+                    scale = 1.0
+                    grant = allocation
+                pressure = max(pressure, 1.0) if allocation > 0 else 0.0
+                utilization = min(1.0, grant / num_sms) if num_sms else 0.0
+                min_rate = self._min_rate
+                allocated = grant if grant > min_rate else min_rate
+                contention_factor = self._contention_penalty * (
+                    pressure - 1.0 if pressure > 1.0 else 0.0
                 )
-            if self._fault_slowdown != 1.0:
-                rate *= self._fault_slowdown
+                if contention_factor == 0.0:
+                    # efficiency == 1/(1 + 0) == 1.0 exactly; the multiply is
+                    # a bitwise no-op, so skip the division entirely.
+                    rate = allocated
+                else:
+                    rate = allocated * (
+                        1.0 / (1.0 + contention_factor * kernel.contention_weight)
+                    )
+                if self._fault_slowdown != 1.0:
+                    rate *= self._fault_slowdown
+                cached = (
+                    pressure,
+                    utilization,
+                    allocated,
+                    rate,
+                    scale,
+                    contention_factor,
+                )
+                self._single_plan_cache[key] = cached
+            else:
+                pressure, utilization, allocated, rate, scale, contention_factor = cached
+            self._current_pressure = pressure
+            self._current_utilization = utilization
+            kernel.allocated_sms = allocated
             kernel.current_rate = rate
             self._last_scale = scale
             self._last_contention = contention_factor
@@ -871,7 +910,30 @@ class GpuEngine:
                 self._begin_dispatch(next_kernel)
             elif notify_idle is not None:
                 notify_idle(context_id, kernel.stream_id)
-        self._replan()
+        if self._running or self._vec_active or not GpuEngine.fast_path_enabled:
+            self._replan()
+        else:
+            # _replan() inlined for the drained-engine case (the every-stage
+            # tail of serving loops that run one kernel at a time): with no
+            # running kernel and the vector tier inactive, the full replan
+            # reduces to exactly these side effects — invalidate outstanding
+            # completion events, settle busy time, drop emptied contexts and
+            # zero the utilization signals.
+            self._completion_gen += 1
+            if self._busy_time_start is not None:
+                self._total_busy_time += now - self._busy_time_start
+                self._busy_time_start = None
+            dirty = self._dirty_contexts
+            if dirty:
+                ctx_running = self._ctx_running
+                ctx_alloc = self._ctx_alloc
+                for cid in tuple(dirty):
+                    if not ctx_running.get(cid):
+                        ctx_running.pop(cid, None)
+                        ctx_alloc.pop(cid, None)
+                        dirty.discard(cid)
+            self._current_utilization = 0.0
+            self._current_pressure = 0.0
         for kernel in finished:
             if kernel.on_complete is not None:
                 kernel.on_complete(kernel)

@@ -106,6 +106,7 @@ class KernelInstance:
         "current_rate",
         "clipped_demand",
         "contention_weight",
+        "launch_cost",
     )
 
     def __init__(
@@ -133,10 +134,12 @@ class KernelInstance:
         self.allocated_sms = 0.0
         self.current_rate = 0.0
         # Plan-time invariants filled in by the engine at launch: the demand
-        # clipped to the context quota and the memory-intensity contention
-        # weight (both cached so replans avoid re-deriving them).
+        # clipped to the context quota, the memory-intensity contention
+        # weight, and the dispatcher launch overhead (all cached so replans
+        # and dispatch events avoid re-deriving them).
         self.clipped_demand = spec.parallelism
         self.contention_weight = 0.0
+        self.launch_cost = 0.0
 
     @property
     def execution_time_ms(self) -> float:

@@ -455,6 +455,10 @@ class FaultInjector:
         if self.spec.randomized and self._rng is None:
             raise ValueError("a randomized FaultSpec requires an RngFactory (or seed)")
         self._simulator: Optional[Simulator] = None
+        #: Optional observer called with True/False when ``degraded`` flips
+        #: (episode opens/closes).  The cluster backend uses it to keep an
+        #: O(1) count of degraded devices for its dispatch fast path.
+        self.on_degraded_change: Optional[Callable[[bool], None]] = None
         # Degradation bookkeeping: overlapping windows/recoveries are merged
         # into episodes; ``_active`` counts the currently open ones.
         self._active = 0
@@ -566,6 +570,8 @@ class FaultInjector:
     def _enter(self, now: float) -> None:
         if self._active == 0:
             self._episode_start = now
+            if self.on_degraded_change is not None:
+                self.on_degraded_change(True)
         self._active += 1
 
     def _exit(self, now: float) -> None:
@@ -573,6 +579,8 @@ class FaultInjector:
         if self._active == 0:
             self._episodes.append((self._episode_start, now))
             self._awaiting_recovery.append(now)
+            if self.on_degraded_change is not None:
+                self.on_degraded_change(False)
 
     def _enter_window(self, simulator: Simulator, engine, factor: float) -> None:
         self.slowdown_windows += 1

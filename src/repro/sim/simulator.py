@@ -139,15 +139,20 @@ class Simulator:
     ) -> int:
         """Bulk-schedule fire-and-forget ``(time, priority, callback)`` entries.
 
-        Appends every entry and re-heapifies once: O(n + heap) instead of
-        O(n log heap) for n individual pushes.  Pop order is identical to a
-        push-based insertion because keys are unique (the shared sequence
-        counter) and a heap pops uniquely-keyed items in sorted order
-        regardless of its internal arrangement.  Returns the entry count.
+        Pop order is independent of the insertion strategy because keys are
+        unique (the shared sequence counter) and a heap pops uniquely-keyed
+        items in sorted order regardless of its internal arrangement — so the
+        cheaper of two equivalent insertions is chosen per call: n individual
+        pushes (O(n log heap), right when the batch is small next to the
+        resident heap, e.g. one task's releases landing among every other
+        task's) or append-all + one heapify (O(n + heap), right for bulk
+        loads into a small heap).  The historical always-heapify form made
+        per-task scheduling quadratic in the number of tasks.  Returns the
+        entry count.
         """
         heap = self._heap
         now = self.now
-        count = 0
+        staged = []
         for time, priority, callback in entries:
             if time < now:
                 if time < now - 1e-9:
@@ -156,9 +161,16 @@ class Simulator:
                         f" current time is {now:.6f} ms"
                     )
                 time = now
-            heap.append(((time, priority, next_sequence()), callback))
-            count += 1
-        if count:
+            staged.append(((time, priority, next_sequence()), callback))
+        count = len(staged)
+        if not count:
+            return 0
+        total = len(heap) + count
+        if count * total.bit_length() < total:
+            for item in staged:
+                heapq.heappush(heap, item)
+        else:
+            heap.extend(staged)
             heapq.heapify(heap)
         return count
 

@@ -169,6 +169,29 @@ def test_round_robin_router_cycles_deterministically():
     assert picks == [0, 1, 2, 0, 1, 2]
 
 
+def test_round_robin_rotation_under_filtered_views():
+    """The cursor counts dispatches, not device positions: a filtered
+    eligible list is indexed at ``cursor mod len(eligible)``, keeping traffic
+    uniform over whatever devices are currently up (pinned semantics — see
+    the RoundRobinRouter docstring)."""
+    router = RoundRobinRouter()
+    full = _views(0.0, 0.0, 0.0, 0.0)
+    assert router.select(0.0, 100.0, 5.0, full) == 0  # cursor 0 -> position 0
+    assert router.select(0.0, 100.0, 5.0, full) == 1  # cursor 1 -> position 1
+    # Device 1 drops out: three eligible, cursor 2 -> position 2 -> index 3.
+    filtered = [view for view in full if view.index != 1]
+    assert router.select(0.0, 100.0, 5.0, filtered) == 3
+    # Narrower still (devices 2 and 3): cursor 3 -> position 1 -> index 3.
+    narrow = [view for view in full if view.index in (2, 3)]
+    assert router.select(0.0, 100.0, 5.0, narrow) == 3
+    # The full list returns: cursor 4 -> position 0, a fresh lap over all.
+    assert router.select(0.0, 100.0, 5.0, full) == 0
+    # select_index (the indexed fast path) shares the same cursor, so mixed
+    # fast/reference runs rotate exactly like an all-reference run.
+    assert router.select_index((0, 1, 2, 3)) == 1
+    assert router.select(0.0, 100.0, 5.0, full) == 2
+
+
 def test_deadline_aware_router_packs_feasible_and_falls_back():
     router = DeadlineAwareRouter()
     # GPU 1 is the most loaded that still meets the deadline -> packed there.
@@ -327,6 +350,41 @@ def test_migration_moves_a_backlogged_queue_and_counts_it():
         taskset, HORIZON, workload=named_workload("bursty"), rng=RngFactory(3)
     )
     assert again == metrics
+
+
+def test_migration_counts_only_contributing_devices(monkeypatch):
+    """``migrations`` telemetry counts a device only when ``take_queued``
+    actually moved requests off it (PR 9 counted every eligible device,
+    inflating the telemetry whenever a device's queue was already empty)."""
+    from repro.cluster import server as server_module
+
+    contributed: list = []
+    original_take = server_module._GpuWorker.take_queued
+
+    def recording_take(self, model_name):
+        taken = original_take(self, model_name)
+        if taken:
+            contributed.append(self.index)
+        return taken
+
+    monkeypatch.setattr(server_module._GpuWorker, "take_queued", recording_take)
+    models = [build_model("resnet18"), build_model("resnet50")]
+    taskset = make_taskset(
+        models, num_high=2, num_low=6, task_jps=30.0, name="migration-count"
+    )
+    config = ClusterConfig(
+        num_gpus=3,
+        placement="partitioned",
+        migration_backlog=1,
+        migration_window_ms=5.0,
+    )
+    metrics = ClusterServer(config).serve(
+        taskset, HORIZON, workload=named_workload("bursty"), rng=RngFactory(3)
+    )
+    per_device = {g: contributed.count(g) for g in set(contributed)}
+    assert sum(per_device.values()) >= 1, "scenario produced no migrations"
+    for telemetry in metrics.gpu_breakdown:
+        assert telemetry.migrations == per_device.get(telemetry.gpu, 0)
 
 
 # ------------------------------------------------------------- telemetry

@@ -21,16 +21,24 @@ from __future__ import annotations
 
 import pytest
 
+from repro.cluster import ClusterConfig, ClusterServer
+from repro.dnn.zoo import build_model
 from repro.experiments.parallel import ScenarioRequest, run_scenarios_parallel
 from repro.experiments.runner import run_daris_scenario
 from repro.experiments.scenarios import named_fault
 from repro.gpu.engine import GpuEngine
-from repro.rt.taskset import table2_taskset
+from repro.rt.taskset import make_taskset, table2_taskset
 from repro.scheduler.config import DarisConfig
 from repro.scheduler.daris import DarisScheduler
+from repro.sim.faults import FaultSpec
 from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
-from repro.sim.workload import DiurnalModulator, ReleaseStream, WorkloadSpec
+from repro.sim.workload import (
+    POISSON_WORKLOAD,
+    DiurnalModulator,
+    ReleaseStream,
+    WorkloadSpec,
+)
 
 
 @pytest.fixture
@@ -368,3 +376,137 @@ def test_parallel_runner_unordered_mode_returns_request_order():
     ordered = run_scenarios_parallel(requests, processes=1)
     for left, right in zip(ordered, results):
         assert left.metrics == right.metrics
+
+
+# ------------------------------------------------- cluster indexed dispatch
+#
+# The O(1) indexed-dispatch tier (heap/bisect routing index, incremental
+# migration trigger, memoized task profiles) must answer every routing and
+# migration question exactly as the PR 9 reference scan would — same floats,
+# same tie-breaks, same epsilon.  These tests pin the full router x placement
+# x targeted-fault x migration matrix bit-identical between the tiers, per
+# seed, by comparing complete ``ScenarioMetrics`` (deep dataclass equality
+# including the per-request response-time lists and the per-GPU breakdown).
+
+
+@pytest.fixture
+def cluster_toggle_guard():
+    """Snapshot and restore the cluster dispatch toggle around a test."""
+    saved = ClusterServer.indexed_dispatch_enabled
+    yield
+    ClusterServer.indexed_dispatch_enabled = saved
+
+
+def _serve_cluster_traced(cfg_kwargs, faults=None, seed=3):
+    model = build_model("resnet18")
+    taskset = make_taskset(
+        [model], num_high=3, num_low=5, task_jps=40.0, name="cluster-eq"
+    )
+    server = ClusterServer(ClusterConfig(**cfg_kwargs))
+    metrics = server.serve(
+        taskset,
+        1500.0,
+        workload=POISSON_WORKLOAD,
+        rng=RngFactory(seed),
+        faults=faults,
+    )
+    return metrics, server.indexed_engagements
+
+
+_CLUSTER_MATRIX = (
+    ("least_loaded", dict(num_gpus=4, router="least_loaded"), None),
+    ("round_robin", dict(num_gpus=4, router="round_robin"), None),
+    ("deadline_aware", dict(num_gpus=4, router="deadline_aware"), None),
+    (
+        "partitioned",
+        dict(num_gpus=4, router="least_loaded", placement="partitioned"),
+        None,
+    ),
+    (
+        "partitioned-migration",
+        dict(
+            num_gpus=4,
+            router="deadline_aware",
+            placement="partitioned",
+            migration_backlog=2,
+            migration_window_ms=40.0,
+        ),
+        None,
+    ),
+    (
+        "targeted-crash",
+        dict(num_gpus=4, router="least_loaded"),
+        FaultSpec.crashes(mtbf_ms=100.0, recovery_ms=60.0).targeting(1),
+    ),
+    (
+        "targeted-throttle",
+        dict(num_gpus=4, router="deadline_aware"),
+        FaultSpec.throttle(period_ms=120.0, duration_ms=50.0, factor=0.5).targeting(0),
+    ),
+)
+
+
+@pytest.mark.parametrize(
+    ("cfg_kwargs", "faults"),
+    [(kwargs, faults) for _, kwargs, faults in _CLUSTER_MATRIX],
+    ids=[label for label, _, _ in _CLUSTER_MATRIX],
+)
+def test_cluster_indexed_dispatch_trace_identical(
+    cluster_toggle_guard, cfg_kwargs, faults
+):
+    """Indexed tier on vs off: merged metrics are bit-identical per seed."""
+    for seed in (3, 11):
+        ClusterServer.indexed_dispatch_enabled = True
+        fast, engaged = _serve_cluster_traced(cfg_kwargs, faults, seed=seed)
+        ClusterServer.indexed_dispatch_enabled = False
+        reference, ref_engaged = _serve_cluster_traced(cfg_kwargs, faults, seed=seed)
+        assert fast == reference
+        assert engaged > 0
+        assert ref_engaged == 0
+
+
+def test_cluster_indexed_dispatch_actually_engages(cluster_toggle_guard):
+    """Fault-free runs resolve every dispatch through the index; targeted
+    faults drop to the reference view path only inside degraded windows."""
+    ClusterServer.indexed_dispatch_enabled = True
+    metrics, engaged = _serve_cluster_traced(dict(num_gpus=4, router="least_loaded"))
+    dispatches = (
+        metrics.high.admitted
+        + metrics.high.rejected
+        + metrics.low.admitted
+        + metrics.low.rejected
+    )
+    assert engaged > 0
+    assert engaged >= dispatches  # every release routed through the index
+
+    faults = FaultSpec.crashes(mtbf_ms=100.0, recovery_ms=60.0).targeting(1)
+    _, engaged_faulted = _serve_cluster_traced(
+        dict(num_gpus=4, router="least_loaded"), faults
+    )
+    assert 0 < engaged_faulted < engaged
+
+
+def test_cluster_on_dispatch_hook_forces_reference_views(cluster_toggle_guard):
+    """An observed run builds reference views even with the tier enabled, so
+    the hook sees exactly what a reference router saw — and the observed
+    choices match the indexed run's telemetry."""
+    ClusterServer.indexed_dispatch_enabled = True
+    observed = []
+    model = build_model("resnet18")
+    taskset = make_taskset([model], num_high=2, num_low=2, task_jps=30.0, name="hook")
+    server = ClusterServer(ClusterConfig(num_gpus=3, router="least_loaded"))
+    metrics = server.serve(
+        taskset,
+        800.0,
+        workload=POISSON_WORKLOAD,
+        rng=RngFactory(5),
+        on_dispatch=lambda now, name, chosen, views: observed.append((chosen, views)),
+    )
+    assert server.indexed_engagements == 0  # hook pins the reference path
+    assert len(observed) > 0
+    for chosen, views in observed:
+        eligible = [v for v in views if v.alive] or list(views)
+        best = min(eligible, key=lambda v: (v.outstanding_ms, v.index))
+        assert chosen == best.index
+    routed = sum(t.routed for t in metrics.gpu_breakdown)
+    assert routed == len(observed)
